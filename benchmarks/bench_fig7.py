@@ -1,0 +1,74 @@
+"""Regenerate Figure 7: the incremental-extension staircase.
+
+The paper enables its extensions cumulatively — base global scheduling,
++speculation (5.1), +cyclic motion (5.2), +partial-ready motion (5.3) —
+and reports the average schedule-length reduction plus the accompanying
+average solve time at each level. Each benchmark here is one level of
+the staircase over all nine routines; the rendered series is written to
+``benchmarks/results/fig7.txt``.
+
+The sweep runs at ``REPRO_FIG7_SCALE`` (default 0.5) because it is a
+4x-everything parameter sweep; the shape — every extension contributing
+on a subset of routines, solve time rising for the last levels — is what
+the figure shows and what the assertions check.
+
+Run:  pytest benchmarks/bench_fig7.py --benchmark-only -q
+"""
+
+import os
+
+import pytest
+
+from repro.tools.experiments import FIG7_LEVELS, default_features, run_routine
+
+
+def fig7_scale():
+    return float(os.environ.get("REPRO_FIG7_SCALE", "0.5"))
+from repro.tools.report import render_fig7
+from repro.workloads.spec_routines import SPEC_ROUTINES
+
+ROUTINES = [spec.name for spec in SPEC_ROUTINES]
+_LEVEL_RESULTS = {}
+
+
+@pytest.mark.parametrize("label,overrides", FIG7_LEVELS, ids=[l for l, _ in FIG7_LEVELS])
+def test_fig7_level(benchmark, label, overrides):
+    """One bar of Figure 7: all routines at one extension level."""
+
+    def sweep():
+        rows = {}
+        for name in ROUTINES:
+            features = default_features(**overrides)
+            experiment = run_routine(name, features=features, scale=fig7_scale())
+            rows[name] = {
+                "reduction": experiment.comparison.static_reduction,
+                "time": experiment.result.ilp_size["time"],
+                "ok": experiment.result.verification.ok,
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(r["ok"] for r in rows.values())
+    _LEVEL_RESULTS[label] = {
+        "avg_reduction": sum(r["reduction"] for r in rows.values()) / len(rows),
+        "avg_time": sum(r["time"] for r in rows.values()) / len(rows),
+        "per_routine": rows,
+    }
+
+
+def test_render_fig7(benchmark, results_dir):
+    if len(_LEVEL_RESULTS) < len(FIG7_LEVELS):
+        pytest.skip("level sweeps not run (use --benchmark-only)")
+    ordered = {label: _LEVEL_RESULTS[label] for label, _ in FIG7_LEVELS}
+    text = benchmark.pedantic(lambda: render_fig7(ordered), rounds=1, iterations=1)
+    (results_dir / "fig7.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+    reductions = [ordered[label]["avg_reduction"] for label, _ in FIG7_LEVELS]
+    # The staircase is monotone (paper: "on the average, each is
+    # essential"); allow half-a-point of noise between adjacent levels.
+    for earlier, later in zip(reductions, reductions[1:]):
+        assert later >= earlier - 0.005
+    # The full feature set beats the base noticeably.
+    assert reductions[-1] > reductions[0]

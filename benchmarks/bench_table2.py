@@ -1,0 +1,79 @@
+"""Regenerate Table 2: routine characteristics and the solution process.
+
+Columns: #BB, #loops, speculation in/possible/used, ILP constraints and
+variables, branch-and-bound nodes and solve time. The measured table is
+written to ``benchmarks/results/table2.txt`` next to the paper's CPLEX
+numbers.
+
+The per-routine pipeline runs are shared with bench_table1 through the
+session cache; this file benchmarks the *solver-facing* piece in
+isolation (model construction + solve) for three representative
+routines, which is what Table 2's last columns time.
+
+Run:  pytest benchmarks/bench_table2.py --benchmark-only -q
+"""
+
+import pytest
+
+from repro.ilp import solve_model
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.ir.rename import rename_registers
+from repro.sched.cycles import lengths_from_input
+from repro.sched.ilp_formulation import SchedulingIlp
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.prep import clone_function, undo_speculation
+from repro.sched.regions import build_region
+from repro.machine.itanium2 import ITANIUM2
+from repro.tools.experiments import default_time_limit, run_routine
+from repro.tools.report import render_table2
+from repro.workloads.spec_routines import SPEC_ROUTINES, build_spec_routine
+
+ROUTINES = [spec.name for spec in SPEC_ROUTINES]
+SOLVE_SAMPLES = ["firstone", "xfree", "get_heap_head"]
+
+
+@pytest.mark.parametrize("name", SOLVE_SAMPLES)
+def test_table2_model_build_and_solve(benchmark, name):
+    """Time the Table 2 'solution process' piece: build + solve the ILP."""
+    fn = build_spec_routine(name)
+    work = clone_function(fn)
+    undo_speculation(work)
+    rename_registers(work)
+    cfg = CfgInfo(work)
+    ddg = build_dependence_graph(work, cfg, compute_liveness(work))
+    input_schedule = ListScheduler().schedule(work, ddg)
+    region = build_region(work, cfg, ddg, max_hops=4)
+    lengths = lengths_from_input(input_schedule, work)
+
+    def build_and_solve():
+        ilp = SchedulingIlp(region, dict(lengths), ITANIUM2)
+        model = ilp.generate()
+        return solve_model(model, time_limit=default_time_limit())
+
+    solution = benchmark.pedantic(build_and_solve, rounds=1, iterations=1)
+    assert solution.status.has_solution
+
+
+def test_render_table2(benchmark, experiment_cache, results_dir):
+    """Write the measured-vs-published Table 2 artifact."""
+    for name in ROUTINES:
+        if name not in experiment_cache:
+            experiment_cache[name] = run_routine(name)
+    experiments = [experiment_cache[n] for n in ROUTINES]
+    text = benchmark.pedantic(lambda: render_table2(experiments), rounds=1, iterations=1)
+    (results_dir / "table2.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+    rows = [e.table2_row() for e in experiments]
+    # Shape assertions against the paper's Table 2:
+    # model sizes span the 10^2..10^5 range with qSort3 among the largest,
+    sizes = {r["routine"]: r["constraints"] for r in rows}
+    assert sizes["qSort3"] >= max(sizes["firstone"], sizes["xfree"])
+    # most routines solve in few nodes; planted input speculation is
+    # within the generator's best-effort tolerance of the Table 2 target.
+    for row, spec in zip(rows, SPEC_ROUTINES):
+        assert abs(row["spec_in"] - spec.input_spec_loads) <= 2
+        assert row["spec_poss"] >= row["spec_out"]

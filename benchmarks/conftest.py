@@ -1,0 +1,38 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one of the paper's evaluation artifacts
+(Table 1, Table 2, Figure 7). The experiments are expensive (whole-ILP
+solves), so they run once (``pedantic`` with a single round) and their
+results are shared through a session cache; the rendered tables are
+written to ``benchmarks/results/`` and echoed at the end of the session.
+
+Environment knobs:
+
+* ``REPRO_SCALE``       — routine size factor (default 1.0 = paper size)
+* ``REPRO_TIME_LIMIT``  — per-solve ILP budget in seconds (default 90)
+* ``REPRO_FIG7_SCALE``  — size factor for the Figure 7 sweep (default 0.5;
+  the sweep runs the nine routines at four feature levels)
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_cache():
+    """name -> RoutineExperiment, shared across benchmark files."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def fig7_scale():
+    return float(os.environ.get("REPRO_FIG7_SCALE", "0.5"))

@@ -1,0 +1,53 @@
+"""Micro-architecture exploration (paper Sec. 7).
+
+Run:  python examples/microarch_exploration.py
+
+"We can evaluate the impact of microarchitectural changes on performance
+without compiler influence — it is simple to model architectural
+restrictions and asymmetries with this method and to obtain schedules
+that account for them optimally."
+
+This example schedules one routine optimally for three machine variants:
+the real Itanium 2, a narrow 2M/1I variant, and a hypothetical 8-wide
+EPIC core — the compiler-independent architecture comparison the paper
+proposes as a research application.
+"""
+
+from repro import optimize_function
+from repro.machine.itanium2 import ITANIUM2
+from repro.sched.scheduler import ScheduleFeatures
+from repro.workloads.spec_routines import build_spec_routine
+
+VARIANTS = {
+    "itanium2 (6-wide, 4M/2I/2F/3B)": ITANIUM2,
+    "narrow (3-wide, 2M/1I)": ITANIUM2.with_ports(
+        issue_width=3, m_ports=2, i_ports=1
+    ),
+    "wide (8-wide, 5M/3I)": ITANIUM2.with_ports(
+        issue_width=8, m_ports=5, i_ports=3
+    ),
+}
+
+
+def main():
+    fn = build_spec_routine("firstone")
+    features = ScheduleFeatures(time_limit=60, verify=False)
+    print(f"routine: {fn.name} ({fn.instruction_count} instructions)\n")
+    baseline = None
+    for label, machine in VARIANTS.items():
+        result = optimize_function(fn, features, machine=machine)
+        length = result.weighted_length_out
+        if baseline is None:
+            baseline = length
+        print(
+            f"{label:32s} weighted length {length:8.1f} "
+            f"({length / baseline:5.2f}x vs itanium2)"
+        )
+    print(
+        "\nEach schedule is optimal *for its machine*: differences measure "
+        "the architecture, not the scheduler."
+    )
+
+
+if __name__ == "__main__":
+    main()

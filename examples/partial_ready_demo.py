@@ -1,0 +1,42 @@
+"""Figure 6 of the paper: partial-ready code motion.
+
+Run:  python examples/partial_ready_demo.py
+
+On the likely path the load's address is ready early, but a mov on the
+unlikely side still redefines the address register. Partial-ready code
+motion (Sec. 5.3) hoists a speculative copy above the join for the
+likely path and places a compensation copy after the mov, so the load
+executes twice on the unlikely path — exactly the transformation of
+Fig. 6.
+"""
+
+from repro import optimize_function, parse_function
+from repro.ir.printer import format_schedule
+from repro.sched.scheduler import ScheduleFeatures
+from repro.workloads.samples import fig6_partial_ready_sample
+
+
+def main():
+    fn = parse_function(fig6_partial_ready_sample())
+
+    plain = optimize_function(
+        fn, ScheduleFeatures(time_limit=60, partial_ready=False)
+    )
+    ready = optimize_function(fn, ScheduleFeatures(time_limit=60))
+
+    print("--- without partial-ready motion ---")
+    print(format_schedule(plain.output_schedule, plain.fn))
+    print(f"weighted length: {plain.weighted_length_out:g}")
+    print()
+    print("--- with partial-ready motion (Fig. 6) ---")
+    print(format_schedule(ready.output_schedule, ready.fn))
+    print(f"weighted length: {ready.weighted_length_out:g}")
+    print()
+    loads = [
+        p for p in ready.output_schedule.placements() if p.instr.is_load
+    ]
+    print("load copies:", ", ".join(f"{p.block}[{p.cycle}]" for p in loads))
+
+
+if __name__ == "__main__":
+    main()

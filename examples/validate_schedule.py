@@ -1,0 +1,62 @@
+"""Using the model as a schedule validator (paper Sec. 7).
+
+Run:  python examples/validate_schedule.py
+
+"A schedule is proven to be correct if it is a feasible solution of the
+ILP ... This property can be used to validate the schedules produced by
+heuristics." This example runs the operational version of that checker:
+it validates the heuristic list scheduler's output, then corrupts the
+schedule in two ways and shows the verifier catching both.
+"""
+
+from repro import parse_function
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.regions import build_region
+from repro.sched.verifier import verify_schedule
+from repro.workloads.samples import fig4_speculation_sample
+
+
+def main():
+    fn = parse_function(fig4_speculation_sample())
+    cfg = CfgInfo(fn)
+    ddg = build_dependence_graph(fn, cfg, compute_liveness(fn))
+    region = build_region(fn, cfg, ddg, allow_predication=False)
+
+    schedule = ListScheduler().schedule(fn, ddg)
+    report = verify_schedule(schedule, region)
+    print(f"heuristic schedule: {'VALID' if report.ok else 'INVALID'} "
+          f"({report.paths_checked} paths checked)")
+
+    # Corruption 1: drop an instruction.
+    dropped = schedule.group("B", 1).pop()
+    report = verify_schedule(schedule, region)
+    print(f"\nafter dropping {dropped.mnemonic} from B:")
+    for problem in report.problems:
+        print("  -", problem)
+    schedule.group("B", 1).append(dropped)
+
+    # Corruption 2: violate the load latency.
+    load = next(i for i in fn.block("B").instructions if i.is_load)
+    consumer_cycle = next(
+        p.cycle for p in schedule.placements() if p.instr is load
+    )
+    group = schedule.cycles_of("B")
+    # move every later instruction one cycle earlier than legal
+    squeezed = ListScheduler().schedule(fn, ddg)
+    from repro.sched.schedule import Schedule
+
+    bad = Schedule(squeezed.block_order)
+    for placement in squeezed.placements():
+        cycle = 1 if placement.block == "B" else placement.cycle
+        bad.place(placement.instr, placement.block, cycle)
+    report = verify_schedule(bad, region)
+    print("\nafter squeezing block B into one cycle:")
+    for problem in report.problems:
+        print("  -", problem)
+
+
+if __name__ == "__main__":
+    main()

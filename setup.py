@@ -1,0 +1,32 @@
+"""Setup script.
+
+Metadata lives here rather than in a ``[project]`` table because this
+offline environment lacks the ``wheel`` package: with ``[project]`` present
+pip insists on the PEP 517 path (which needs ``bdist_wheel``), while a plain
+``setup.py`` lets ``pip install -e .`` use the legacy develop install.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "ILP-based global instruction scheduling for Itanium 2 "
+        "(reproduction of Winkel, CGO 2004)"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.11", "networkx>=3.0"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": [
+            "tia-opt = repro.tools.optimize:main",
+            "tia-report = repro.tools.report:main",
+        ]
+    },
+)

@@ -1,0 +1,33 @@
+"""IA-64 bundling: packing instruction groups into templates.
+
+The scheduler decides *cycles*; this package decides *encoding*: each
+cycle's instruction group is packed into at most two 3-slot bundles whose
+templates must (a) offer type-compatible slots in an order compatible
+with the group's internal dependences, and (b) place an instruction-group
+stop at the group boundary. Mid-bundle stops (``M;MI``, ``MI;I``) let two
+adjacent groups share a bundle, which is exactly why the paper's larger
+groups cost almost no extra bundles ("Delta Bundl." of Table 1).
+
+The dynamic program follows the two-phase bundler the paper credits to
+Ingmar Stein: per-group packings are enumerated against precomputed
+template shapes, and a DP over the group sequence picks the globally
+minimal bundle count.
+"""
+
+from repro.bundle.bundler import (
+    Bundle,
+    BundleResult,
+    bundle_block,
+    bundle_schedule,
+    group_is_bundleable,
+    pack_groups,
+)
+
+__all__ = [
+    "Bundle",
+    "BundleResult",
+    "bundle_block",
+    "bundle_schedule",
+    "group_is_bundleable",
+    "pack_groups",
+]

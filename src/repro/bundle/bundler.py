@@ -1,0 +1,416 @@
+"""Dynamic-programming bundler for Itanium 2.
+
+Definitions:
+
+* a *group* is one cycle's instructions in their required slot order
+  (the scheduler emits a topological order of the intra-group
+  dependences; the bundler preserves it, which is always sufficient);
+* a *state* between groups is either ``CLOSED`` (next group starts a new
+  bundle) or an open mid-stop bundle: ``("MMI", 1)`` after an ``M;MI``
+  stop, ``("MII", 2)`` after an ``MI;I`` stop — the next group continues
+  in the same bundle at the given slot;
+* a group may span at most two bundles (the dispersal window is two
+  bundles wide; spanning three would split the cycle).
+
+Feasibility of placing an ordered unit sequence into a slot sequence is
+checked greedily (earliest compatible slot), which is exact for
+order-preserving matching when every slot may alternatively hold a nop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.errors import BundlingError
+from repro.machine.templates import TEMPLATES_BY_NAME, nop_for_slot, slot_accepts
+from repro.machine.units import UnitKind
+
+CLOSED = "closed"
+
+# Mid-stop resume states: template name -> resume slot index.
+_MID_STOP_STATES = (("MMI", 1), ("MII", 2))
+
+_TEMPLATE_NAMES = ("MII", "MLX", "MMI", "MFI", "MMF", "MIB", "MBB", "BBB", "MMB", "MFB")
+
+
+@dataclass
+class Bundle:
+    """One 128-bit bundle: template, three slot entries, stop marker.
+
+    ``slots`` holds Instruction objects or nop mnemonics (strings);
+    ``stop_after`` is the slot index after which the ``;;`` falls, or
+    None when the group continues into the next bundle.
+    """
+
+    template: str
+    slots: list
+    stop_after: int | None
+    mid_stop: int | None = None  # internal ;; when two groups share the bundle
+
+    @property
+    def nop_count(self):
+        return sum(1 for s in self.slots if isinstance(s, str))
+
+    def __repr__(self):
+        names = [
+            s if isinstance(s, str) else s.mnemonic for s in self.slots
+        ]
+        stop = f";;@{self.stop_after}" if self.stop_after is not None else ""
+        return f"Bundle({self.template}: {', '.join(names)}{stop})"
+
+
+@dataclass
+class BundleResult:
+    """Bundles per block plus the counters Table 1 reports."""
+
+    bundles: dict = field(default_factory=dict)  # block -> list[Bundle]
+
+    @property
+    def total_bundles(self):
+        return sum(len(v) for v in self.bundles.values())
+
+    @property
+    def total_nops(self):
+        return sum(b.nop_count for v in self.bundles.values() for b in v)
+
+    def bundles_of(self, block):
+        return self.bundles.get(block, [])
+
+
+def _unit_signature(group):
+    return tuple(i.unit for i in group)
+
+
+@lru_cache(maxsize=100000)
+def _packings_for(units, state):
+    """All ways to pack an ordered unit tuple starting from ``state``.
+
+    Returns a list of ``(bundles_used, out_state, layout)`` where
+    ``layout`` is a tuple of per-bundle slot assignments: each entry is
+    ``(template_name, start_slot, ((slot_index, unit_position | None), ...),
+    stop_after)``. ``bundles_used`` counts *newly opened* bundles (a
+    continued open bundle costs 0 — it was counted by the group that
+    opened it).
+    """
+    options = []
+    heads = []  # (consumed_prefix_len, opened_bundles, partial_layout)
+    if state == CLOSED:
+        heads.append((0, 0, ()))
+    else:
+        template_name, resume = state
+        template = TEMPLATES_BY_NAME[template_name]
+        tail_slots = list(range(resume, len(template.slots)))
+        for consumed, assignment in _fill_slots(units, 0, template, tail_slots):
+            heads.append(
+                (
+                    consumed,
+                    0,
+                    ((template_name, resume, assignment, 2),),
+                )
+            )
+        # The continuation bundle always ends with a stop at its end: the
+        # next group may not resume inside it (it would be a third group
+        # in one bundle boundary chain, which the state machine forbids).
+
+    for consumed0, opened0, layout0 in heads:
+        remaining0 = len(units) - consumed0
+        if remaining0 == 0 and consumed0 > 0 or (len(units) == 0 and layout0):
+            options.append((opened0, CLOSED, layout0))
+        if remaining0 == 0:
+            if not layout0:
+                # Empty group: no encoding needed.
+                options.append((0, CLOSED, ()))
+            continue
+        max_new = 2 - len(layout0)
+        # A continuation bundle that does not finish the group has no end
+        # stop — the group flows into the next bundle.
+        layout_open = tuple(
+            (t, s, a, None) if i == len(layout0) - 1 else (t, s, a, st)
+            for i, (t, s, a, st) in enumerate(layout0)
+        )
+        for name1 in _TEMPLATE_NAMES:
+            template1 = TEMPLATES_BY_NAME[name1]
+            all_slots = list(range(len(template1.slots)))
+            for consumed1, assign1 in _fill_slots(
+                units, consumed0, template1, all_slots
+            ):
+                total1 = consumed0 + consumed1
+                remaining1 = len(units) - total1
+                if remaining1 == 0:
+                    # Close with an end stop...
+                    options.append(
+                        (
+                            opened0 + 1,
+                            CLOSED,
+                            layout_open + ((name1, 0, assign1, 2),),
+                        )
+                    )
+                    # ...or leave a mid-stop open for the next group.
+                    for mid_name, resume in _MID_STOP_STATES:
+                        if name1 != mid_name:
+                            continue
+                        stop_at = resume - 1
+                        if all(
+                            pos is None or slot <= stop_at
+                            for slot, pos in assign1
+                        ):
+                            trimmed = tuple(
+                                (slot, pos)
+                                for slot, pos in assign1
+                                if slot <= stop_at
+                            )
+                            options.append(
+                                (
+                                    opened0 + 1,
+                                    (mid_name, resume),
+                                    layout_open + ((name1, 0, trimmed, stop_at),),
+                                )
+                            )
+                    continue
+                if max_new < 2:
+                    continue  # already spans two bundles
+                if consumed1 == 0:
+                    continue
+                for name2 in _TEMPLATE_NAMES:
+                    template2 = TEMPLATES_BY_NAME[name2]
+                    slots2 = list(range(len(template2.slots)))
+                    for consumed2, assign2 in _fill_slots(
+                        units, total1, template2, slots2
+                    ):
+                        if total1 + consumed2 != len(units):
+                            continue
+                        options.append(
+                            (
+                                opened0 + 2,
+                                CLOSED,
+                                layout_open
+                                + (
+                                    (name1, 0, assign1, None),
+                                    (name2, 0, assign2, 2),
+                                ),
+                            )
+                        )
+                        for mid_name, resume in _MID_STOP_STATES:
+                            if name2 != mid_name:
+                                continue
+                            stop_at = resume - 1
+                            if all(
+                                pos is None or slot <= stop_at
+                                for slot, pos in assign2
+                            ):
+                                trimmed = tuple(
+                                    (s, p) for s, p in assign2 if s <= stop_at
+                                )
+                                options.append(
+                                    (
+                                        opened0 + 2,
+                                        (mid_name, resume),
+                                        layout_open
+                                        + (
+                                            (name1, 0, assign1, None),
+                                            (name2, 0, trimmed, stop_at),
+                                        ),
+                                    )
+                                )
+    return options
+
+
+def _fill_slots(units, start, template, slot_indices):
+    """Greedy order-preserving placements of ``units[start:]`` into slots.
+
+    Yields ``(consumed, assignment)`` for every *prefix length* that can be
+    placed; assignment is a tuple of (slot_index, unit_position) — slots
+    not listed become nops. The maximal greedy assignment dominates, but
+    shorter prefixes matter when the remainder flows into a second bundle.
+    """
+    placements = []
+    position = start
+    for slot in slot_indices:
+        slot_type = template.slots[slot]
+        if slot_type == "X":
+            # Consumed by a movl in the preceding L slot, or nop.
+            continue
+        if position < len(units) and slot_accepts(slot_type, units[position]):
+            placements.append((slot, position))
+            position += 1
+    # Every prefix of the greedy placement is itself feasible.
+    for cut in range(len(placements) + 1):
+        consumed = cut
+        assignment = tuple(placements[:cut])
+        yield consumed, assignment
+
+
+_MAX_ORDERS = 64
+
+
+def _linear_extensions(units, pairs):
+    """Distinct unit-sequence linear extensions of the partial order.
+
+    ``pairs`` is an iterable of (i, j) index pairs (i before j); ``None``
+    means "preserve the given order exactly". Returns a list of
+    ``(unit_tuple, perm)`` where ``perm[pos]`` is the original index of
+    the unit placed at ``pos``. Orders whose unit signature repeats are
+    deduplicated; enumeration is capped at ``_MAX_ORDERS`` signatures.
+    """
+    n = len(units)
+    identity = tuple(range(n))
+    if pairs is None or n <= 1:
+        return [(tuple(units), identity)]
+    succs = {}
+    pred_count = [0] * n
+    for i, j in pairs:
+        succs.setdefault(i, []).append(j)
+        pred_count[j] += 1
+
+    results = []
+    seen_signatures = {}
+    order = []
+
+    def dfs(counts, available):
+        if len(results) >= _MAX_ORDERS:
+            return
+        if len(order) == n:
+            signature = tuple(units[i] for i in order)
+            if signature not in seen_signatures:
+                seen_signatures[signature] = True
+                results.append((signature, tuple(order)))
+            return
+        for idx in sorted(available):
+            order.append(idx)
+            available.discard(idx)
+            released = []
+            for succ in succs.get(idx, ()):  # release successors
+                counts[succ] -= 1
+                if counts[succ] == 0:
+                    available.add(succ)
+                    released.append(succ)
+            dfs(counts, available)
+            for succ in succs.get(idx, ()):
+                counts[succ] += 1
+            for succ in released:
+                available.discard(succ)
+            available.add(idx)
+            order.pop()
+
+    dfs(list(pred_count), {i for i in range(n) if pred_count[i] == 0})
+    if not results:
+        return [(tuple(units), identity)]
+    return results
+
+
+def pack_groups(groups, order_pairs=None, machine=None):
+    """DP over a block's cycle groups; returns list of Bundle per block.
+
+    ``groups``: list of instruction lists (cycle order, slot order within).
+    ``order_pairs``: per-group lists of (i, j) index pairs the slot order
+    must respect; ``None`` entries preserve the given order exactly.
+    Raises :class:`BundlingError` naming the first unpackable group.
+    """
+    states = {CLOSED: (0, None, None, None)}  # state -> (cost, bp, layout, perm)
+    history = [states]
+    for index, group in enumerate(groups):
+        if not group:
+            # A stall cycle needs no encoding: the in-order pipeline stalls
+            # on the unavailable operand by itself. Identity transition so
+            # the backtracking chain stays aligned with group indices.
+            states = {
+                state: (cost, state, (), None)
+                for state, (cost, _bp, _layout, _perm) in states.items()
+            }
+            history.append(states)
+            continue
+        pairs = order_pairs[index] if order_pairs is not None else None
+        pairs_key = tuple(sorted(set(pairs))) if pairs is not None else None
+        units = _unit_signature(group)
+        orders = _linear_extensions(units, pairs_key)
+        new_states = {}
+        for state, (cost, _bp, _layout, _perm) in states.items():
+            for signature, perm in orders:
+                for opened, out_state, layout in _packings_for(signature, state):
+                    total = cost + opened
+                    best = new_states.get(out_state)
+                    if best is None or total < best[0]:
+                        new_states[out_state] = (total, state, layout, perm)
+        if not new_states:
+            error = BundlingError(
+                f"group {index} ({[i.mnemonic for i in group]}) fits no "
+                "template sequence"
+            )
+            error.instructions = list(group)
+            error.group_index = index
+            raise error
+        states = new_states
+        history.append(states)
+
+    # Backtrack from the cheapest final state.
+    final_state = min(states, key=lambda s: states[s][0])
+    chain = []
+    state = final_state
+    for index in range(len(groups), 0, -1):
+        cost, back, layout, perm = history[index][state]
+        chain.append((index - 1, layout, perm))
+        state = back
+    chain.reverse()
+    return _materialize(groups, chain)
+
+
+def _materialize(groups, chain):
+    """Turn DP layouts into concrete Bundle objects."""
+    bundles = []
+    open_bundle = None
+    for index, layout, perm in chain:
+        group = groups[index]
+        if perm is not None:
+            group = [group[i] for i in perm]
+        for template_name, start_slot, assignment, stop_after in layout or ():
+            template = TEMPLATES_BY_NAME[template_name]
+            if start_slot > 0 and open_bundle is not None:
+                bundle = open_bundle
+                bundle.mid_stop = bundle.stop_after
+            else:
+                bundle = Bundle(
+                    template_name,
+                    [nop_for_slot(t) for t in template.slots],
+                    None,
+                )
+                bundles.append(bundle)
+            for slot, pos in assignment:
+                bundle.slots[slot] = group[pos]
+            if stop_after == 2:
+                bundle.stop_after = 2
+                open_bundle = None
+            elif stop_after is None:
+                bundle.stop_after = None
+                open_bundle = None
+            else:
+                bundle.stop_after = stop_after  # mid stop: bundle stays open
+                open_bundle = bundle
+    return bundles
+
+
+def bundle_block(schedule, block, machine=None):
+    """Bundle one block of a schedule."""
+    groups = []
+    pairs = []
+    for cycle in range(1, schedule.block_length(block) + 1):
+        groups.append(schedule.group(block, cycle))
+        pairs.append(schedule.order_pairs.get((block, cycle)))
+    return pack_groups(groups, pairs, machine)
+
+
+def bundle_schedule(schedule, machine=None):
+    """Bundle every block; returns a :class:`BundleResult`."""
+    result = BundleResult()
+    for block in schedule.block_order:
+        result.bundles[block] = bundle_block(schedule, block, machine)
+    return result
+
+
+def group_is_bundleable(group, order_pairs=None, machine=None):
+    """Advance check used to generate bundling constraints (Sec. 4.2)."""
+    try:
+        pack_groups([list(group)], [order_pairs], machine)
+        return True
+    except BundlingError:
+        return False

@@ -1,0 +1,118 @@
+"""Structural encoding of bundles into 128-bit images.
+
+Produces the byte-level artifact the bundling story is about: code size.
+Each bundle is 16 bytes regardless of how many real instructions it
+carries — which is exactly why the paper's +15 % instruction growth cost
+only +2 % code size: the new instructions displace nops inside existing
+bundles.
+
+The template field uses the architectural 5-bit codes. Slot encoding is
+*structural*, not ISA-exact: a 41-bit field packs a 9-bit operation tag
+(stable hash of the mnemonic), the qualifying predicate, one destination
+and up to two source register numbers, and a 12-bit immediate window.
+This is sufficient for deterministic round-tripping of the scheduling-
+relevant content (and for measuring code bytes); producing bit-exact
+IA-64 machine code is out of scope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import BundlingError
+from repro.ir.registers import Register
+
+# Architectural template codes: (slots, has_mid_stop, has_end_stop) -> code.
+TEMPLATE_CODES = {
+    ("MII", False, False): 0x00,
+    ("MII", False, True): 0x01,
+    ("MII", True, False): 0x02,
+    ("MII", True, True): 0x03,
+    ("MLX", False, False): 0x04,
+    ("MLX", False, True): 0x05,
+    ("MMI", False, False): 0x08,
+    ("MMI", False, True): 0x09,
+    ("MMI", True, False): 0x0A,
+    ("MMI", True, True): 0x0B,
+    ("MFI", False, False): 0x0C,
+    ("MFI", False, True): 0x0D,
+    ("MMF", False, False): 0x0E,
+    ("MMF", False, True): 0x0F,
+    ("MIB", False, False): 0x10,
+    ("MIB", False, True): 0x11,
+    ("MBB", False, False): 0x12,
+    ("MBB", False, True): 0x13,
+    ("BBB", False, False): 0x16,
+    ("BBB", False, True): 0x17,
+    ("MMB", False, False): 0x18,
+    ("MMB", False, True): 0x19,
+    ("MFB", False, False): 0x1C,
+    ("MFB", False, True): 0x1D,
+}
+
+_SLOT_BITS = 41
+_TAG_BITS = 9
+
+
+def _operation_tag(mnemonic):
+    """Stable 9-bit operation tag."""
+    digest = hashlib.blake2s(mnemonic.encode(), digest_size=2).digest()
+    return int.from_bytes(digest, "big") & ((1 << _TAG_BITS) - 1)
+
+
+def encode_slot(entry):
+    """41-bit integer for one slot entry (Instruction or nop mnemonic)."""
+    if isinstance(entry, str):
+        return _operation_tag(entry) << (_SLOT_BITS - _TAG_BITS)
+    value = _operation_tag(entry.mnemonic) << (_SLOT_BITS - _TAG_BITS)
+    pred = entry.pred.index if entry.pred is not None else 0
+    value |= (pred & 0x3F) << 26
+    dest = entry.dests[0].index if entry.dests else 0
+    value |= (dest & 0x7F) << 19
+    sources = [s for s in entry.srcs if isinstance(s, Register)][:2]
+    for i, src in enumerate(sources):
+        value |= (src.index & 0x7F) << (12 - 7 * i)
+    if entry.imms:
+        value ^= entry.imms[0] & 0xFFF
+    return value & ((1 << _SLOT_BITS) - 1)
+
+
+def encode_bundle(bundle):
+    """16-byte image: 5-bit template code + three 41-bit slots."""
+    has_mid = (bundle.mid_stop is not None and bundle.mid_stop < 2) or (
+        bundle.stop_after is not None and bundle.stop_after < 2
+    )
+    has_end = bundle.stop_after == 2
+    code = TEMPLATE_CODES.get((bundle.template, has_mid, has_end))
+    if code is None:
+        raise BundlingError(
+            f"no architectural template for {bundle.template} with "
+            f"stops mid={key[1]} end={key[2]}"
+        )
+    image = code
+    for position, entry in enumerate(bundle.slots):
+        image |= encode_slot(entry) << (5 + position * _SLOT_BITS)
+    return image.to_bytes(16, "little")
+
+
+def encode_bundles(bundles):
+    """Concatenated images; len() is the routine's code size in bytes."""
+    return b"".join(encode_bundle(b) for b in bundles)
+
+
+def code_bytes(bundle_result):
+    """Total code size in bytes for a BundleResult."""
+    return sum(
+        len(encode_bundles(bundles))
+        for bundles in bundle_result.bundles.values()
+    )
+
+
+def decode_template(image):
+    """Template code and name from a 16-byte image (round-trip checks)."""
+    value = int.from_bytes(image, "little")
+    code = value & 0x1F
+    for (name, _mid, _end), candidate in TEMPLATE_CODES.items():
+        if candidate == code:
+            return code, name
+    raise BundlingError(f"unknown template code {code:#x}")

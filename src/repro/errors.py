@@ -1,0 +1,54 @@
+"""Exception hierarchy shared by all repro subsystems."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IlpError(ReproError):
+    """Errors from the ILP substrate (modeling or solving)."""
+
+
+class InfeasibleError(IlpError):
+    """The model has no feasible solution."""
+
+
+class UnboundedError(IlpError):
+    """The model's objective is unbounded."""
+
+
+class SolverTimeout(IlpError):
+    """The solver hit its time or node limit without proving optimality.
+
+    The best incumbent found so far (if any) is attached as ``incumbent``.
+    """
+
+    def __init__(self, message, incumbent=None):
+        super().__init__(message)
+        self.incumbent = incumbent
+
+
+class ParseError(ReproError):
+    """Malformed TIA assembly input."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class MachineError(ReproError):
+    """Unknown opcode or machine-model inconsistency."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce or reconstruct a schedule."""
+
+
+class VerificationError(ReproError):
+    """A schedule failed the path-based correctness check."""
+
+
+class BundlingError(ReproError):
+    """An instruction group cannot be packed into any template sequence."""

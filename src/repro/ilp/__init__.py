@@ -1,0 +1,64 @@
+"""Integer linear programming substrate.
+
+The paper solves its scheduling models with CPLEX 8.0, which is not
+available here, so this package provides the whole ILP stack from scratch:
+
+``repro.ilp.expr``
+    Variables and linear-expression algebra (a small modeling language).
+``repro.ilp.model``
+    The :class:`Model` container: variables, linear constraints, objective,
+    conversion to matrix form, LP-format export.
+``repro.ilp.simplex``
+    A dense two-phase primal simplex for linear programs (used for the
+    relaxations of small models and as an independent cross-check of the
+    scipy backend).
+``repro.ilp.branch_bound``
+    A pure-Python branch-and-bound MILP solver over LP relaxations.
+``repro.ilp.highs``
+    A backend that hands the matrix form to ``scipy.optimize.milp``
+    (the HiGHS branch-and-cut solver bundled with scipy).
+``repro.ilp.presolve``
+    Bound tightening and fixed-variable elimination applied before search.
+
+Solvers share the :class:`~repro.ilp.status.Solution` result type, which
+carries the variable assignment, objective value, proof status and search
+statistics (node counts and times reported in Table 2).
+"""
+
+from repro.ilp.expr import Var, LinExpr, lin_sum
+from repro.ilp.model import Model, Constraint, Sense
+from repro.ilp.status import SolveStatus, Solution, SolverStats
+from repro.ilp.branch_bound import BranchBoundSolver
+from repro.ilp.highs import HighsSolver
+from repro.ilp.simplex import SimplexSolver, LpResult
+
+__all__ = [
+    "Var",
+    "LinExpr",
+    "lin_sum",
+    "Model",
+    "Constraint",
+    "Sense",
+    "SolveStatus",
+    "Solution",
+    "SolverStats",
+    "BranchBoundSolver",
+    "HighsSolver",
+    "SimplexSolver",
+    "LpResult",
+    "solve_model",
+]
+
+
+def solve_model(model, backend="highs", **kwargs):
+    """Solve ``model`` with the named backend (``"highs"`` or ``"bb"``).
+
+    Returns a :class:`Solution`. This is the convenience entry point used
+    throughout the scheduler; pass ``time_limit`` / ``node_limit`` through
+    ``kwargs`` to bound the search.
+    """
+    if backend == "highs":
+        return HighsSolver(**kwargs).solve(model)
+    if backend == "bb":
+        return BranchBoundSolver(**kwargs).solve(model)
+    raise ValueError(f"unknown ILP backend: {backend!r}")

@@ -1,0 +1,195 @@
+"""Decision variables and linear-expression algebra.
+
+This is the modeling vocabulary of the ILP substrate: :class:`Var` objects
+are created through :meth:`repro.ilp.model.Model.add_var`, combined with
+``+``, ``-``, ``*`` and :func:`lin_sum` into :class:`LinExpr` objects, and
+turned into constraints with ``<=``, ``>=`` and ``==``.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+
+class Var:
+    """A single decision variable.
+
+    Instances are interned per-model and identified by ``index``; identity
+    (not name) is what the expression algebra keys on. ``lb``/``ub`` may be
+    ``None`` for unbounded, and ``is_integer`` selects integrality (binaries
+    are integer variables with bounds [0, 1]).
+    """
+
+    __slots__ = ("index", "name", "lb", "ub", "is_integer")
+
+    def __init__(self, index, name, lb=0.0, ub=None, is_integer=False):
+        self.index = index
+        self.name = name
+        self.lb = lb
+        self.ub = ub
+        self.is_integer = is_integer
+
+    @property
+    def is_binary(self):
+        return self.is_integer and self.lb == 0 and self.ub == 1
+
+    def to_expr(self):
+        return LinExpr({self: 1.0})
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other):
+        return self.to_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.to_expr() - other
+
+    def __rsub__(self, other):
+        return (-self.to_expr()) + other
+
+    def __mul__(self, coef):
+        return self.to_expr() * coef
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self.to_expr() * -1.0
+
+    # -- relational (produce constraint specs) ------------------------------
+    def __le__(self, other):
+        return self.to_expr() <= other
+
+    def __ge__(self, other):
+        return self.to_expr() >= other
+
+    def __eq__(self, other):  # noqa: D105 - builds a constraint, like PuLP
+        if isinstance(other, (Var, LinExpr, numbers.Number)):
+            return self.to_expr() == other
+        return NotImplemented
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self):
+        return f"Var({self.name})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coef_i * var_i) + constant``.
+
+    Immutable from the caller's point of view: every operator returns a new
+    expression. Terms with coefficient 0 are dropped eagerly so expressions
+    stay compact even after long chains of additions.
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms=None, constant=0.0):
+        self.terms = dict(terms) if terms else {}
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(value):
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Var):
+            return value.to_expr()
+        if isinstance(value, numbers.Number):
+            return LinExpr(constant=float(value))
+        raise TypeError(f"cannot use {value!r} in a linear expression")
+
+    def copy(self):
+        return LinExpr(self.terms, self.constant)
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other):
+        other = self._coerce(other)
+        terms = dict(self.terms)
+        for var, coef in other.terms.items():
+            new = terms.get(var, 0.0) + coef
+            if new == 0.0:
+                terms.pop(var, None)
+            else:
+                terms[var] = new
+        return LinExpr(terms, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other):
+        return (self * -1.0) + other
+
+    def __mul__(self, coef):
+        if not isinstance(coef, numbers.Number):
+            raise TypeError("linear expressions can only be scaled by numbers")
+        coef = float(coef)
+        if coef == 0.0:
+            return LinExpr()
+        return LinExpr(
+            {var: c * coef for var, c in self.terms.items()}, self.constant * coef
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self * -1.0
+
+    # -- relational --------------------------------------------------------
+    def __le__(self, other):
+        from repro.ilp.model import Constraint, Sense
+
+        return Constraint._from_sides(self, self._coerce(other), Sense.LE)
+
+    def __ge__(self, other):
+        from repro.ilp.model import Constraint, Sense
+
+        return Constraint._from_sides(self, self._coerce(other), Sense.GE)
+
+    def __eq__(self, other):  # noqa: D105
+        from repro.ilp.model import Constraint, Sense
+
+        if isinstance(other, (Var, LinExpr, numbers.Number)):
+            return Constraint._from_sides(self, self._coerce(other), Sense.EQ)
+        return NotImplemented
+
+    def __hash__(self):
+        return id(self)
+
+    # -- evaluation --------------------------------------------------------
+    def value(self, assignment):
+        """Evaluate under ``assignment``, a mapping ``Var -> float``."""
+        total = self.constant
+        for var, coef in self.terms.items():
+            total += coef * assignment[var]
+        return total
+
+    def __repr__(self):
+        parts = [f"{coef:+g}*{var.name}" for var, coef in self.terms.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+def lin_sum(items):
+    """Sum an iterable of Vars/LinExprs/numbers into one LinExpr.
+
+    Unlike repeated ``+`` this builds the term dictionary in place, which
+    matters for the resource constraints that sum hundreds of variables.
+    """
+    terms = {}
+    constant = 0.0
+    for item in items:
+        if isinstance(item, Var):
+            terms[item] = terms.get(item, 0.0) + 1.0
+        elif isinstance(item, LinExpr):
+            for var, coef in item.terms.items():
+                terms[var] = terms.get(var, 0.0) + coef
+            constant += item.constant
+        elif isinstance(item, numbers.Number):
+            constant += float(item)
+        else:
+            raise TypeError(f"cannot sum {item!r}")
+    return LinExpr({v: c for v, c in terms.items() if c != 0.0}, constant)

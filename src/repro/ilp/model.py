@@ -1,0 +1,213 @@
+"""The ILP model container: variables, constraints, objective, matrix form."""
+
+from __future__ import annotations
+
+import enum
+import io
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import IlpError
+from repro.ilp.expr import LinExpr, Var
+
+
+class Sense(enum.Enum):
+    """Relational sense of a constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "="
+
+
+class Constraint:
+    """A linear constraint ``expr (<=|>=|=) rhs`` in normalized form.
+
+    Normalization moves every variable term to the left-hand side and every
+    constant to the right, so ``expr`` has constant 0 and ``rhs`` is a float.
+    """
+
+    __slots__ = ("expr", "sense", "rhs", "name")
+
+    def __init__(self, expr, sense, rhs, name=""):
+        self.expr = expr
+        self.sense = sense
+        self.rhs = float(rhs)
+        self.name = name
+
+    @classmethod
+    def _from_sides(cls, lhs, rhs, sense):
+        diff = lhs - rhs
+        rhs_const = -diff.constant
+        return cls(LinExpr(diff.terms), sense, rhs_const)
+
+    def satisfied_by(self, assignment, tol=1e-6):
+        """Check the constraint under ``assignment`` with tolerance ``tol``."""
+        lhs = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return lhs <= self.rhs + tol
+        if self.sense is Sense.GE:
+            return lhs >= self.rhs - tol
+        return abs(lhs - self.rhs) <= tol
+
+    def __repr__(self):
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.expr!r} {self.sense.value} {self.rhs:g}"
+
+
+class Model:
+    """A mixed-integer linear program under construction.
+
+    Only minimization is supported (the scheduler always minimizes); callers
+    wanting maximization negate their objective. Variables are created
+    through :meth:`add_var` / :meth:`add_binary` and owned by the model.
+    """
+
+    def __init__(self, name="model"):
+        self.name = name
+        self.variables = []
+        self.constraints = []
+        self.objective = LinExpr()
+        self._names = set()
+
+    # -- construction ------------------------------------------------------
+    def add_var(self, name, lb=0.0, ub=None, is_integer=False):
+        """Create and register a variable; names must be unique."""
+        if name in self._names:
+            raise IlpError(f"duplicate variable name {name!r}")
+        if lb is not None and ub is not None and lb > ub:
+            raise IlpError(f"variable {name!r} has empty domain [{lb}, {ub}]")
+        var = Var(len(self.variables), name, lb, ub, is_integer)
+        self.variables.append(var)
+        self._names.add(name)
+        return var
+
+    def add_binary(self, name):
+        return self.add_var(name, lb=0.0, ub=1.0, is_integer=True)
+
+    def add_constraint(self, constraint, name=""):
+        """Register a constraint built with ``<=``, ``>=`` or ``==``."""
+        if not isinstance(constraint, Constraint):
+            raise IlpError(
+                "add_constraint expects an expression comparison, got "
+                f"{constraint!r} — a plain bool means both sides were constants"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr):
+        """Set the (minimized) objective."""
+        if isinstance(expr, Var):
+            expr = expr.to_expr()
+        self.objective = expr
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def num_variables(self):
+        return len(self.variables)
+
+    @property
+    def num_constraints(self):
+        return len(self.constraints)
+
+    @property
+    def num_integer_variables(self):
+        return sum(1 for v in self.variables if v.is_integer)
+
+    def check_solution(self, assignment, tol=1e-6):
+        """Return the list of constraints violated by ``assignment``."""
+        return [c for c in self.constraints if not c.satisfied_by(assignment, tol)]
+
+    # -- matrix form -------------------------------------------------------
+    def to_arrays(self):
+        """Convert to matrix form for the numeric backends.
+
+        Returns a dict with objective vector ``c`` (dense), constraint matrix
+        ``A`` (CSR), row bound vectors ``b_lo``/``b_hi`` (so LE rows have
+        ``b_lo = -inf``, GE rows ``b_hi = +inf``, EQ rows both equal),
+        variable bounds ``lb``/``ub`` and the boolean ``integrality`` mask.
+        """
+        n = len(self.variables)
+        c = np.zeros(n)
+        for var, coef in self.objective.terms.items():
+            c[var.index] = coef
+
+        rows, cols, vals = [], [], []
+        b_lo = np.empty(len(self.constraints))
+        b_hi = np.empty(len(self.constraints))
+        for i, con in enumerate(self.constraints):
+            for var, coef in con.expr.terms.items():
+                rows.append(i)
+                cols.append(var.index)
+                vals.append(coef)
+            if con.sense is Sense.LE:
+                b_lo[i], b_hi[i] = -np.inf, con.rhs
+            elif con.sense is Sense.GE:
+                b_lo[i], b_hi[i] = con.rhs, np.inf
+            else:
+                b_lo[i] = b_hi[i] = con.rhs
+        matrix = sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(len(self.constraints), n)
+        )
+
+        lb = np.array([-np.inf if v.lb is None else v.lb for v in self.variables])
+        ub = np.array([np.inf if v.ub is None else v.ub for v in self.variables])
+        integrality = np.array([v.is_integer for v in self.variables])
+        return {
+            "c": c,
+            "A": matrix,
+            "b_lo": b_lo,
+            "b_hi": b_hi,
+            "lb": lb,
+            "ub": ub,
+            "integrality": integrality,
+        }
+
+    # -- export ------------------------------------------------------------
+    def write_lp(self, path=None):
+        """Render in CPLEX LP format; return the text (and write if ``path``).
+
+        Useful for debugging the scheduler's formulations with external
+        solvers and for regression-testing model structure.
+        """
+        out = io.StringIO()
+        out.write(f"\\ model {self.name}\n")
+        out.write("Minimize\n obj:")
+        if not self.objective.terms:
+            out.write(" 0")
+        for var, coef in sorted(
+            self.objective.terms.items(), key=lambda kv: kv[0].index
+        ):
+            out.write(f" {coef:+g} {var.name}")
+        out.write("\nSubject To\n")
+        for i, con in enumerate(self.constraints):
+            label = con.name or f"c{i}"
+            out.write(f" {label}:")
+            for var, coef in sorted(con.expr.terms.items(), key=lambda kv: kv[0].index):
+                out.write(f" {coef:+g} {var.name}")
+            out.write(f" {con.sense.value} {con.rhs:g}\n")
+        out.write("Bounds\n")
+        for var in self.variables:
+            lo = "-inf" if var.lb is None else f"{var.lb:g}"
+            hi = "+inf" if var.ub is None else f"{var.ub:g}"
+            out.write(f" {lo} <= {var.name} <= {hi}\n")
+        integers = [v.name for v in self.variables if v.is_integer]
+        if integers:
+            out.write("Generals\n")
+            for name in integers:
+                out.write(f" {name}\n")
+        out.write("End\n")
+        text = out.getvalue()
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text)
+        return text
+
+    def __repr__(self):
+        return (
+            f"Model({self.name!r}, vars={self.num_variables}, "
+            f"constraints={self.num_constraints}, "
+            f"integers={self.num_integer_variables})"
+        )

@@ -1,0 +1,298 @@
+"""A dense two-phase primal simplex for linear programs.
+
+This exists so the ILP substrate is self-contained: it solves the LP
+relaxations inside :mod:`repro.ilp.branch_bound` when the ``"simplex"``
+relaxation backend is selected, and it independently cross-checks the
+scipy/HiGHS results in the test suite. It is a textbook tableau
+implementation (Dantzig pricing with a Bland's-rule fallback against
+cycling), adequate for the model sizes the schedulers build in tests.
+
+The entry point accepts the matrix form produced by
+:meth:`repro.ilp.model.Model.to_arrays` and internally converts to standard
+form ``min c'x  s.t.  Ax = b, x >= 0``:
+
+* finite lower bounds are shifted out,
+* free variables are split into positive/negative parts,
+* finite upper bounds become extra ``<=`` rows,
+* ``<=``/``>=`` rows gain slack/surplus variables,
+* phase 1 minimizes artificial variables to find a basic feasible point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import IlpError
+
+
+@dataclass
+class LpResult:
+    """Outcome of an LP solve: status, objective and primal point."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded"
+    objective: float | None = None
+    x: np.ndarray | None = None
+    iterations: int = 0
+
+
+@dataclass
+class _StandardForm:
+    """Internal standard-form program plus the recipe to map x back."""
+
+    c: np.ndarray
+    A: np.ndarray
+    b: np.ndarray
+    obj_offset: float
+    # recover[i] = (kind, data) describing original variable i:
+    #   ("shift", (col, lb))       -> x_i = y[col] + lb
+    #   ("split", (pos, neg))      -> x_i = y[pos] - y[neg]
+    recover: list = field(default_factory=list)
+
+
+_TOL = 1e-9
+
+
+def _to_standard_form(arrays):
+    """Convert the Model matrix form to ``min c'y, Ay = b, y >= 0``."""
+    a_mat = np.asarray(arrays["A"].todense(), dtype=float)
+    m, n = a_mat.shape
+    c = np.asarray(arrays["c"], dtype=float)
+    lb, ub = arrays["lb"], arrays["ub"]
+    b_lo, b_hi = arrays["b_lo"], arrays["b_hi"]
+
+    columns = []  # one column vector (over original rows) per standard var
+    new_c = []
+    recover = []
+    obj_offset = 0.0
+    extra_upper_rows = []  # (std_col, bound) rows y_col <= bound
+
+    for j in range(n):
+        col = a_mat[:, j]
+        if np.isfinite(lb[j]):
+            # x_j = y + lb_j
+            idx = len(columns)
+            columns.append(col)
+            new_c.append(c[j])
+            obj_offset += c[j] * lb[j]
+            recover.append(("shift", (idx, lb[j])))
+            if np.isfinite(ub[j]):
+                extra_upper_rows.append((idx, ub[j] - lb[j]))
+        elif np.isfinite(ub[j]):
+            # x_j = ub_j - y  (y >= 0)
+            idx = len(columns)
+            columns.append(-col)
+            new_c.append(-c[j])
+            obj_offset += c[j] * ub[j]
+            recover.append(("shift_neg", (idx, ub[j])))
+        else:
+            pos = len(columns)
+            columns.append(col)
+            new_c.append(c[j])
+            neg = len(columns)
+            columns.append(-col)
+            new_c.append(-c[j])
+            recover.append(("split", (pos, neg)))
+
+    std_a_core = np.column_stack(columns) if columns else np.zeros((m, 0))
+    # Adjust row bounds for the shifts: row value = core + sum(a_ij * shift_j)
+    shift_contrib = np.zeros(m)
+    for j, (kind, data) in enumerate(recover):
+        if kind == "shift":
+            shift_contrib += a_mat[:, j] * data[1]
+        elif kind == "shift_neg":
+            shift_contrib += a_mat[:, j] * data[1]
+
+    rows = []
+    rhs = []
+    kinds = []  # "le" or "eq" after normalization
+    for i in range(m):
+        lo, hi = b_lo[i] - shift_contrib[i], b_hi[i] - shift_contrib[i]
+        if np.isfinite(lo) and np.isfinite(hi) and abs(lo - hi) <= _TOL:
+            rows.append(std_a_core[i])
+            rhs.append(hi)
+            kinds.append("eq")
+            continue
+        if np.isfinite(hi):
+            rows.append(std_a_core[i])
+            rhs.append(hi)
+            kinds.append("le")
+        if np.isfinite(lo):
+            rows.append(-std_a_core[i])
+            rhs.append(-lo)
+            kinds.append("le")
+    n_core = std_a_core.shape[1]
+    for col_idx, bound in extra_upper_rows:
+        row = np.zeros(n_core)
+        row[col_idx] = 1.0
+        rows.append(row)
+        rhs.append(bound)
+        kinds.append("le")
+
+    a_rows = np.array(rows) if rows else np.zeros((0, n_core))
+    b_vec = np.array(rhs)
+
+    # Add slacks for "le" rows.
+    n_slack = sum(1 for k in kinds if k == "le")
+    full = np.zeros((a_rows.shape[0], n_core + n_slack))
+    full[:, :n_core] = a_rows
+    slack_at = 0
+    for i, kind in enumerate(kinds):
+        if kind == "le":
+            full[i, n_core + slack_at] = 1.0
+            slack_at += 1
+    c_full = np.concatenate([np.array(new_c), np.zeros(n_slack)])
+
+    # Make rhs nonnegative.
+    for i in range(full.shape[0]):
+        if b_vec[i] < 0:
+            full[i] *= -1.0
+            b_vec[i] *= -1.0
+
+    return _StandardForm(c_full, full, b_vec, obj_offset, recover)
+
+
+class SimplexSolver:
+    """Two-phase dense primal simplex.
+
+    Parameters
+    ----------
+    max_iterations:
+        Hard cap on pivots across both phases; exceeded caps raise
+        :class:`~repro.errors.IlpError` (a symptom of cycling or a model
+        far too large for the dense tableau).
+    """
+
+    def __init__(self, max_iterations=20000):
+        self.max_iterations = max_iterations
+
+    # -- public API ---------------------------------------------------------
+    def solve(self, model):
+        """Solve the LP relaxation of a :class:`~repro.ilp.model.Model`."""
+        return self.solve_arrays(model.to_arrays())
+
+    def solve_arrays(self, arrays):
+        """Solve from matrix form; integrality flags are ignored."""
+        std = _to_standard_form(arrays)
+        status, y, iters = self._two_phase(std)
+        if status != "optimal":
+            return LpResult(status=status, iterations=iters)
+        x = np.empty(len(std.recover))
+        for j, (kind, data) in enumerate(std.recover):
+            if kind == "shift":
+                col, low = data
+                x[j] = y[col] + low
+            elif kind == "shift_neg":
+                col, high = data
+                x[j] = high - y[col]
+            else:
+                pos, neg = data
+                x[j] = y[pos] - y[neg]
+        objective = float(np.dot(arrays["c"], x))
+        return LpResult("optimal", objective, x, iters)
+
+    # -- core ----------------------------------------------------------------
+    def _two_phase(self, std):
+        a_mat, b_vec, c_vec = std.A, std.b, std.c
+        m, n = a_mat.shape
+        if m == 0:
+            # Unconstrained: optimum at y = 0 unless some cost is negative.
+            if np.any(c_vec < -_TOL):
+                return "unbounded", None, 0
+            return "optimal", np.zeros(n), 0
+
+        # Phase 1 with artificials on every row (simple and robust; rows
+        # whose slack can serve as basis start there instead).
+        tableau = np.zeros((m + 1, n + m + 1))
+        tableau[:m, :n] = a_mat
+        tableau[:m, n : n + m] = np.eye(m)
+        tableau[:m, -1] = b_vec
+        basis = list(range(n, n + m))
+        # Phase-1 objective row: minimize sum of artificials.
+        tableau[m, n : n + m] = 1.0
+        for i in range(m):
+            tableau[m] -= tableau[i]
+
+        iters = self._iterate(tableau, basis, restrict=n + m)
+        phase1_obj = -tableau[m, -1]
+        if phase1_obj > 1e-7:
+            return "infeasible", None, iters
+
+        # Drive artificials out of the basis where possible.
+        for i in range(m):
+            if basis[i] >= n:
+                pivot_col = next(
+                    (
+                        j
+                        for j in range(n)
+                        if abs(tableau[i, j]) > 1e-9
+                    ),
+                    None,
+                )
+                if pivot_col is not None:
+                    self._pivot(tableau, basis, i, pivot_col)
+                # else: redundant row; artificial stays basic at zero.
+
+        # Phase 2: replace the objective row.
+        tableau[m, :] = 0.0
+        tableau[m, :n] = c_vec
+        for i in range(m):
+            if basis[i] < n:
+                tableau[m] -= c_vec[basis[i]] * tableau[i]
+        # Artificials cannot re-enter: phase 2 restricts entering columns
+        # to the first n (structural + slack) columns.
+
+        phase2 = self._iterate(tableau, basis, restrict=n)
+        if phase2 < 0:
+            return "unbounded", None, iters - phase2
+        iters += phase2
+        y = np.zeros(n)
+        for i, var in enumerate(basis):
+            if var < n:
+                y[var] = tableau[i, -1]
+        return "optimal", y, iters
+
+    def _iterate(self, tableau, basis, restrict):
+        """Run simplex pivots until optimal; returns iteration count.
+
+        Returns a negative count if the problem is unbounded (the caller
+        inspects the sign). Entering columns are limited to ``restrict``.
+        """
+        m = len(basis)
+        iters = 0
+        degenerate_streak = 0
+        while True:
+            if iters > self.max_iterations:
+                raise IlpError("simplex iteration limit exceeded (cycling?)")
+            row_obj = tableau[m, :restrict]
+            if degenerate_streak > 50:  # Bland's rule
+                candidates = np.where(row_obj < -_TOL)[0]
+                if candidates.size == 0:
+                    return iters
+                col = int(candidates[0])
+            else:
+                col = int(np.argmin(row_obj))
+                if row_obj[col] >= -_TOL:
+                    return iters
+            ratios = np.full(m, np.inf)
+            column = tableau[:m, col]
+            positive = column > _TOL
+            ratios[positive] = tableau[:m, -1][positive] / column[positive]
+            row = int(np.argmin(ratios))
+            if not np.isfinite(ratios[row]):
+                return -iters if iters else -1
+            if ratios[row] < _TOL:
+                degenerate_streak += 1
+            else:
+                degenerate_streak = 0
+            self._pivot(tableau, basis, row, col)
+            iters += 1
+
+    @staticmethod
+    def _pivot(tableau, basis, row, col):
+        tableau[row] /= tableau[row, col]
+        for i in range(tableau.shape[0]):
+            if i != row and tableau[i, col] != 0.0:
+                tableau[i] -= tableau[i, col] * tableau[row]
+        basis[row] = col

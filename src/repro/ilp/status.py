@@ -1,0 +1,63 @@
+"""Result types shared by all ILP/LP backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # incumbent found, optimality not proven (limits hit)
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NO_SOLUTION = "no_solution"  # limits hit before any incumbent
+
+    @property
+    def has_solution(self):
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class SolverStats:
+    """Search statistics, the raw material of the paper's Table 2.
+
+    ``nodes`` counts branch-and-bound nodes *explored* (the root relaxation
+    counts as node 0, so a model solved at the root reports 0 — matching the
+    convention CPLEX uses in the paper's table).
+    """
+
+    nodes: int = 0
+    lp_solves: int = 0
+    simplex_iterations: int = 0
+    time_seconds: float = 0.0
+    best_bound: float | None = None
+    gap: float | None = None
+    backend: str = ""
+
+
+@dataclass
+class Solution:
+    """A (possibly optimal) assignment for a model.
+
+    ``values`` maps :class:`~repro.ilp.expr.Var` to float; integer variables
+    in an integral solution carry values within the integrality tolerance of
+    an integer and should be read through :meth:`value_of` which rounds them.
+    """
+
+    status: SolveStatus
+    objective: float | None = None
+    values: dict = field(default_factory=dict)
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def value_of(self, var):
+        """Value of ``var``, rounded to an exact integer for integer vars."""
+        raw = self.values[var]
+        if var.is_integer:
+            return int(round(raw))
+        return raw
+
+    def __bool__(self):
+        return self.status.has_solution

@@ -1,0 +1,56 @@
+"""Program representation and analysis.
+
+The postpass optimizer consumes assembly text in "TIA" form — a textual
+IA-64 subset with block/frequency annotations mirroring what Intel's
+compiler emits with ``-prof_use`` (paper Sec. 6.1). This package parses it
+into :class:`~repro.ir.function.Function` objects and provides the
+analyses the scheduler requires:
+
+* control flow: dominators, postdominators, natural loops
+  (:mod:`repro.ir.cfg`),
+* liveness and def-use webs (:mod:`repro.ir.liveness`),
+* the global data-dependence graph with true/anti/output/memory edges
+  and IA-64 latency rules (:mod:`repro.ir.ddg`),
+* register renaming that strips false dependences before scheduling
+  (:mod:`repro.ir.rename`), and
+* the conservative alias oracle with ANSI-style class annotations
+  (:mod:`repro.ir.alias`).
+"""
+
+from repro.ir.registers import Register, RegisterBank, reg
+from repro.ir.instruction import Instruction, MemRef
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function, Edge
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function, format_instruction
+from repro.ir.cfg import CfgInfo, Loop
+from repro.ir.ddg import DepGraph, DepEdge, DepKind, build_dependence_graph
+from repro.ir.liveness import LivenessInfo, compute_liveness
+from repro.ir.rename import rename_registers
+from repro.ir.interp import ExecutionResult, Interpreter, initial_registers
+
+__all__ = [
+    "Register",
+    "RegisterBank",
+    "reg",
+    "Instruction",
+    "MemRef",
+    "BasicBlock",
+    "Function",
+    "Edge",
+    "parse_function",
+    "format_function",
+    "format_instruction",
+    "CfgInfo",
+    "Loop",
+    "DepGraph",
+    "DepEdge",
+    "DepKind",
+    "build_dependence_graph",
+    "LivenessInfo",
+    "compute_liveness",
+    "rename_registers",
+    "Interpreter",
+    "ExecutionResult",
+    "initial_registers",
+]

@@ -1,0 +1,62 @@
+"""Memory disambiguation.
+
+The postpass setting gives no high-level alias information (paper
+Sec. 6.1), so the default answer is "may alias". Two refinements mirror
+the paper's policy:
+
+* references whose ``cls=`` annotations differ are *independent by ANSI
+  aliasing rules* — the paper admits data speculation into the ILP exactly
+  for such pairs;
+* references off the same base register with non-overlapping constant
+  offsets cannot alias (base unchanged between the two references is the
+  caller's responsibility; the dependence builder only asks about pairs
+  where that holds or conservatively treats the base as clobbered).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AliasVerdict(enum.Enum):
+    """Three-valued disambiguation answer."""
+
+    NO = "no"  # provably disjoint
+    MAY = "may"  # unknown: conservative dependence required
+    ANSI_DISTINCT = "ansi"  # disjoint under ANSI rules: data-spec candidate
+
+
+def classify_alias(ref_a, ref_b):
+    """Disambiguate two :class:`~repro.ir.instruction.MemRef` operands."""
+    if ref_a is None or ref_b is None:
+        return AliasVerdict.MAY
+    if ref_a.base == ref_b.base:
+        # Same base: constant offsets decide exactly.
+        lo_a, hi_a = ref_a.offset, ref_a.offset + ref_a.size
+        lo_b, hi_b = ref_b.offset, ref_b.offset + ref_b.size
+        if hi_a <= lo_b or hi_b <= lo_a:
+            return AliasVerdict.NO
+        return AliasVerdict.MAY
+    if (
+        ref_a.alias_class is not None
+        and ref_b.alias_class is not None
+        and ref_a.alias_class != ref_b.alias_class
+    ):
+        return AliasVerdict.ANSI_DISTINCT
+    return AliasVerdict.MAY
+
+
+def must_order(ref_a, ref_b):
+    """Conservative dependence test: order unless provably disjoint.
+
+    ANSI-distinct pairs still get a dependence edge — the postpass cannot
+    *prove* disjointness, it can only justify breaking the edge through
+    data speculation (``ld.a``/``chk.a``) where recovery exists. This
+    matches the paper's policy exactly.
+    """
+    return classify_alias(ref_a, ref_b) is not AliasVerdict.NO
+
+
+def data_spec_candidate(ref_a, ref_b):
+    """Pair eligible for an ``ld.a``/``chk.a`` alternative in the ILP."""
+    return classify_alias(ref_a, ref_b) is AliasVerdict.ANSI_DISTINCT

@@ -1,0 +1,84 @@
+"""Graphviz exports for CFGs, dependence graphs and schedules.
+
+Debugging and paper-figure-style visualization: the exporters emit plain
+``dot`` text (no graphviz dependency — render externally with
+``dot -Tsvg``). Used by ``tia-opt --dot``.
+"""
+
+from __future__ import annotations
+
+import io
+
+
+def cfg_to_dot(fn, cfg=None, schedule=None):
+    """The basic-block graph; loop back edges dashed, lengths annotated."""
+    out = io.StringIO()
+    out.write(f'digraph "{fn.name}" {{\n')
+    out.write("  node [shape=box, fontname=monospace];\n")
+    for block in fn.blocks:
+        label = f"{block.name}\\nfreq={block.freq:g}"
+        if schedule is not None:
+            label += f"\\nlen={schedule.block_length(block.name)}"
+        out.write(f'  "{block.name}" [label="{label}"];\n')
+    back = cfg.back_edges if cfg is not None else set()
+    for edge in fn.edges:
+        style = ' [style=dashed, constraint=false]' if (edge.src, edge.dst) in back else ""
+        out.write(f'  "{edge.src}" -> "{edge.dst}"{style};\n')
+    out.write("}\n")
+    return out.getvalue()
+
+
+def ddg_to_dot(fn, ddg, max_nodes=150):
+    """The data-dependence graph; edge style encodes the dependence kind."""
+    styles = {
+        "true": "solid",
+        "anti": "dashed",
+        "output": "dotted",
+        "mem_true": "bold",
+        "mem_anti": "dashed",
+        "mem_output": "dotted",
+        "call": "dotted",
+    }
+    nodes = [i for i in fn.all_instructions() if not i.is_nop][:max_nodes]
+    node_set = set(nodes)
+    out = io.StringIO()
+    out.write(f'digraph "{fn.name}_ddg" {{\n')
+    out.write("  rankdir=TB; node [shape=oval, fontname=monospace];\n")
+    for instr in nodes:
+        out.write(f'  n{instr.uid} [label="{instr.uid}: {instr.mnemonic}"];\n')
+    for edge in ddg.edges:
+        if edge.src not in node_set or edge.dst not in node_set:
+            continue
+        style = styles.get(edge.kind.value, "solid")
+        out.write(
+            f"  n{edge.src.uid} -> n{edge.dst.uid} "
+            f'[style={style}, label="{edge.latency}"];\n'
+        )
+    out.write("}\n")
+    return out.getvalue()
+
+
+def schedule_to_dot(fn, schedule):
+    """Schedule as an HTML-table-per-block graph (cycles as rows)."""
+    out = io.StringIO()
+    out.write(f'digraph "{fn.name}_sched" {{\n')
+    out.write("  node [shape=plaintext, fontname=monospace];\n")
+    for name in schedule.block_order:
+        length = schedule.block_length(name)
+        rows = [
+            f'<tr><td align="left">{name} (len {length})</td></tr>'
+        ]
+        for cycle in range(1, length + 1):
+            group = schedule.group(name, cycle)
+            text = "; ".join(i.mnemonic for i in group) or "&middot;"
+            rows.append(f'<tr><td align="left">[{cycle}] {text}</td></tr>')
+        table = (
+            '<<table border="1" cellborder="0" cellspacing="0">'
+            + "".join(rows)
+            + "</table>>"
+        )
+        out.write(f'  "{name}" [label={table}];\n')
+    for edge in fn.edges:
+        out.write(f'  "{edge.src}" -> "{edge.dst}";\n')
+    out.write("}\n")
+    return out.getvalue()

@@ -1,0 +1,165 @@
+"""Instructions and memory references."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.machine.opcodes import lookup_opcode
+from repro.ir.registers import Register
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory operand ``[base + offset]`` with an optional alias class.
+
+    ``alias_class`` carries the ANSI-aliasing annotation (``cls=...`` in the
+    assembly): two references with *different* classes are disjoint by
+    language rules, which is exactly the situation where the paper admits a
+    data-speculation alternative into the ILP (Sec. 6.1). ``None`` means
+    "unknown", which aliases everything.
+    """
+
+    base: Register
+    offset: int = 0
+    alias_class: str | None = None
+    size: int = 8
+
+    def __repr__(self):
+        cls = f" cls={self.alias_class}" if self.alias_class else ""
+        off = f"+{self.offset}" if self.offset else ""
+        return f"[{self.base}{off}]{cls}"
+
+
+_instr_ids = itertools.count()
+
+
+@dataclass(eq=False)
+class Instruction:
+    """One IA-64 instruction.
+
+    ``dests``/``srcs`` list the *register* operands; loads and stores also
+    carry a :class:`MemRef` (whose base register is additionally in
+    ``srcs``). ``pred`` is the qualifying predicate or ``None`` for an
+    unconditional instruction. ``target`` names the branch-target block.
+
+    Instructions compare by identity: the scheduler may create several
+    *copies* (compensation code) of the same original instruction, which
+    are distinct objects sharing ``origin``.
+    """
+
+    mnemonic: str
+    dests: list = field(default_factory=list)
+    srcs: list = field(default_factory=list)
+    mem: MemRef | None = None
+    pred: Register | None = None
+    target: str | None = None
+    imms: list = field(default_factory=list)
+    annotations: dict = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_instr_ids))
+    origin: "Instruction | None" = None
+
+    # -- opcode properties ---------------------------------------------------
+    @property
+    def op(self):
+        return lookup_opcode(self.mnemonic)
+
+    @property
+    def unit(self):
+        return self.op.unit
+
+    @property
+    def latency(self):
+        override = self.annotations.get("lat")
+        return int(override) if override is not None else self.op.latency
+
+    @property
+    def is_load(self):
+        return self.op.is_load
+
+    @property
+    def is_store(self):
+        return self.op.is_store
+
+    @property
+    def is_branch(self):
+        return self.op.is_branch
+
+    @property
+    def is_call(self):
+        return self.op.is_call
+
+    @property
+    def is_nop(self):
+        return self.op.is_nop
+
+    @property
+    def is_check(self):
+        return self.op.is_check
+
+    # -- dataflow ----------------------------------------------------------
+    def regs_read(self):
+        """Registers read, including the qualifying predicate and address base."""
+        read = [s for s in self.srcs if isinstance(s, Register) and not s.is_constant]
+        if self.pred is not None and not self.pred.is_constant:
+            read.append(self.pred)
+        return read
+
+    def regs_written(self):
+        """Registers written (p0/r0 writes are architecturally discarded)."""
+        return [d for d in self.dests if not d.is_constant]
+
+    # -- semantic predicates used by the scheduler ----------------------------
+    @property
+    def may_trap(self):
+        return self.op.may_trap
+
+    @property
+    def multiply_executable(self):
+        """Safe to execute repeatedly with unchanged operands (paper 5.2).
+
+        False when a destination register also appears as a source (e.g.
+        ``add r1 = r1, r2``) or for post-increment addressing, branches and
+        stores.
+        """
+        if not self.op.multiply_executable:
+            return False
+        if self.is_store:
+            return False
+        written = set(self.regs_written())
+        return not any(s in written for s in self.regs_read())
+
+    @property
+    def root_origin(self):
+        node = self
+        while node.origin is not None:
+            node = node.origin
+        return node
+
+    def copy(self, **overrides):
+        """A fresh Instruction sharing this one's fields (new uid).
+
+        The copy records this instruction as its ``origin`` unless an
+        explicit origin override is given.
+        """
+        fields = dict(
+            mnemonic=self.mnemonic,
+            dests=list(self.dests),
+            srcs=list(self.srcs),
+            mem=self.mem,
+            pred=self.pred,
+            target=self.target,
+            imms=list(self.imms),
+            annotations=dict(self.annotations),
+            origin=self,
+        )
+        fields.update(overrides)
+        return Instruction(**fields)
+
+    def __repr__(self):
+        from repro.ir.printer import format_instruction
+
+        return f"<{self.uid}: {format_instruction(self)}>"
+
+    def __hash__(self):
+        return id(self)

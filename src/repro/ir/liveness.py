@@ -1,0 +1,130 @@
+"""Liveness and reaching definitions.
+
+Both analyses run at instruction granularity over the full (cyclic) CFG —
+correctness here must not depend on the scheduling region being acyclic.
+Predicated definitions are treated as *conditional*: they do not kill the
+incoming value (the predicate may be false), which is the standard safe
+treatment for IA-64 predication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_ENTRY_DEF = "__livein__"  # pseudo-definition for values live into the routine
+
+
+@dataclass
+class LivenessInfo:
+    """Per-block live sets plus instruction-level reaching definitions.
+
+    ``reaching_uses`` maps each instruction to, per source register, the
+    set of definitions (Instruction objects or the :data:`ENTRY_DEF`
+    sentinel) that may reach that use.
+    """
+
+    live_in: dict = field(default_factory=dict)  # block name -> set[Register]
+    live_out: dict = field(default_factory=dict)
+    reaching_uses: dict = field(default_factory=dict)  # Instruction -> {reg: set}
+    defs_reaching_exit: set = field(default_factory=set)  # (Instruction, reg) pairs
+
+    ENTRY_DEF = _ENTRY_DEF
+
+
+def compute_liveness(fn):
+    """Run both analyses; returns a :class:`LivenessInfo`."""
+    block_uses, block_defs = {}, {}
+    for block in fn.blocks:
+        uses, defs = set(), set()
+        for instr in block.instructions:
+            for src in instr.regs_read():
+                if src not in defs:
+                    uses.add(src)
+            for dst in instr.regs_written():
+                if instr.pred is None:  # predicated defs are conditional
+                    defs.add(dst)
+        block_uses[block.name] = uses
+        block_defs[block.name] = defs
+
+    info = LivenessInfo()
+    live_in = {b.name: set() for b in fn.blocks}
+    live_out = {b.name: set() for b in fn.blocks}
+    exit_names = set(fn.exit_blocks)
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(fn.blocks):
+            name = block.name
+            out = set()
+            for succ in fn.successors(name):
+                out |= live_in[succ]
+            if name in exit_names:
+                out |= fn.live_out
+            new_in = block_uses[name] | (out - block_defs[name])
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    info.live_in = live_in
+    info.live_out = live_out
+
+    _reaching_definitions(fn, info)
+    return info
+
+
+def _reaching_definitions(fn, info):
+    """Instruction-level reaching defs (may-reach, predication-aware)."""
+    # Dataflow value: per register, set of candidate defining instructions.
+    entry_names = set(fn.entry_blocks)
+    exit_names = set(fn.exit_blocks)
+    in_sets = {b.name: {} for b in fn.blocks}
+    out_sets = {b.name: {} for b in fn.blocks}
+
+    def transfer(block, reach):
+        reach = {r: set(s) for r, s in reach.items()}
+        for instr in block.instructions:
+            for dst in instr.regs_written():
+                if instr.pred is None:
+                    reach[dst] = {instr}
+                else:
+                    reach.setdefault(dst, set()).add(instr)
+        return reach
+
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            name = block.name
+            merged = {}
+            if name in entry_names:
+                for live in fn.live_in:
+                    merged.setdefault(live, set()).add(_ENTRY_DEF)
+            for pred in fn.predecessors(name):
+                for regname, defs in out_sets[pred].items():
+                    merged.setdefault(regname, set()).update(defs)
+            if merged != in_sets[name]:
+                in_sets[name] = merged
+                changed = True
+            new_out = transfer(block, merged)
+            if new_out != out_sets[name]:
+                out_sets[name] = new_out
+                changed = True
+
+    # Per-use resolution (second forward pass inside each block).
+    for block in fn.blocks:
+        reach = {r: set(s) for r, s in in_sets[block.name].items()}
+        for instr in block.instructions:
+            use_map = {}
+            for src in instr.regs_read():
+                use_map[src] = set(reach.get(src, set()))
+            info.reaching_uses[instr] = use_map
+            for dst in instr.regs_written():
+                if instr.pred is None:
+                    reach[dst] = {instr}
+                else:
+                    reach.setdefault(dst, set()).add(instr)
+        if block.name in exit_names:
+            for regname in fn.live_out:
+                for definition in reach.get(regname, set()):
+                    if definition is not _ENTRY_DEF:
+                        info.defs_reaching_exit.add((definition, regname))

@@ -1,0 +1,282 @@
+"""Parser for the TIA textual IA-64 subset.
+
+The format mirrors what the paper's tool reads: compiler-produced assembly
+with profile annotations (block execution frequencies, optional edge
+probabilities) plus liveness directives describing the routine's boundary
+(the paper's tool gets this from the surrounding program; our synthetic
+routines declare it).
+
+Grammar (line-oriented, ``//`` and ``#`` start comments)::
+
+    .proc NAME
+    .livein  r32, r33, ...
+    .liveout r8, ...
+    .block NAME freq=FLOAT [succ=B1:0.75,B2:0.25]
+        [(pN)] MNEMONIC [dest, ... =] [src | imm | [rB+OFF]] , ... [key=val ...]
+    .endp
+
+Examples::
+
+    ld8 r15 = [r14] cls=heap
+    add r16 = r15, r33
+    cmp.eq p6, p7 = r16, r0
+    (p6) br.cond B2
+    st8 [r20+8] = r16 cls=stack
+    chk.s r15, recover_1
+    br.ret b0
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, MemRef
+from repro.ir.registers import reg
+
+_REG_RE = re.compile(r"^[rfpb]\d+$")
+_IMM_RE = re.compile(r"^-?\d+$")
+_MEM_RE = re.compile(r"^\[([rfpb]\d+)(?:\s*\+\s*(-?\d+))?\]$")
+_PRED_RE = re.compile(r"^\((p\d+)\)\s+(.*)$")
+_KV_RE = re.compile(r"^(\w+)=(\S+)$")
+
+
+def parse_function(text):
+    """Parse one ``.proc``/``.endp`` routine; returns a validated Function."""
+    functions = parse_functions(text)
+    if len(functions) != 1:
+        raise ParseError(f"expected exactly one routine, found {len(functions)}")
+    return functions[0]
+
+
+def parse_functions(text):
+    """Parse all routines in ``text``."""
+    functions = []
+    state = _ParserState()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//")[0].split("#")[0].strip()
+        if not line:
+            continue
+        try:
+            done = state.feed(line)
+        except ParseError as exc:
+            raise ParseError(str(exc), line=lineno) from None
+        if done is not None:
+            functions.append(done)
+    if state.fn is not None:
+        raise ParseError(f"unterminated .proc {state.fn.name}")
+    return functions
+
+
+class _ParserState:
+    """Line-by-line parser state machine."""
+
+    def __init__(self):
+        self.fn = None
+        self.block = None
+        self.pending_probs = {}  # block name -> {succ: prob}
+
+    def feed(self, line):
+        """Consume one cleaned line; return a Function at ``.endp``."""
+        if line.startswith(".proc"):
+            return self._start_proc(line)
+        if self.fn is None:
+            raise ParseError(f"directive outside .proc: {line!r}")
+        if line.startswith(".endp"):
+            return self._finish_proc()
+        if line.startswith(".block"):
+            return self._start_block(line)
+        if line.startswith(".livein"):
+            self.fn.live_in.update(self._parse_reg_list(line[len(".livein") :]))
+            return None
+        if line.startswith(".liveout"):
+            self.fn.live_out.update(self._parse_reg_list(line[len(".liveout") :]))
+            return None
+        if line.startswith("."):
+            raise ParseError(f"unknown directive {line.split()[0]!r}")
+        if self.block is None:
+            raise ParseError("instruction outside a .block")
+        self.block.instructions.append(parse_instruction(line))
+        return None
+
+    # -- directives -----------------------------------------------------------
+    def _start_proc(self, line):
+        if self.fn is not None:
+            raise ParseError("nested .proc")
+        parts = line.split()
+        if len(parts) != 2:
+            raise ParseError(".proc needs exactly one name")
+        self.fn = Function(name=parts[1])
+        self.pending_probs = {}
+        return None
+
+    def _start_block(self, line):
+        parts = line.split()
+        if len(parts) < 2:
+            raise ParseError(".block needs a name")
+        name = parts[1]
+        block = BasicBlock(name=name)
+        for part in parts[2:]:
+            match = _KV_RE.match(part)
+            if not match:
+                raise ParseError(f"malformed block annotation {part!r}")
+            key, value = match.groups()
+            if key == "freq":
+                block.freq = float(value)
+            elif key == "succ":
+                probs = {}
+                for item in value.split(","):
+                    if ":" in item:
+                        succ, prob = item.split(":")
+                        probs[succ] = float(prob)
+                    else:
+                        probs[item] = None
+                self.pending_probs[name] = probs
+            else:
+                raise ParseError(f"unknown block annotation {key!r}")
+        self.fn.add_block(block)
+        self.block = block
+        return None
+
+    def _finish_proc(self):
+        fn = self.fn
+        self._build_edges(fn)
+        fn.validate()
+        self.fn = None
+        self.block = None
+        return fn
+
+    @staticmethod
+    def _parse_reg_list(tail):
+        names = [t.strip() for t in tail.replace(",", " ").split()]
+        return {reg(n) for n in names if n}
+
+    # -- CFG construction -------------------------------------------------------
+    def _build_edges(self, fn):
+        """Derive edges from branch targets and fall-through layout."""
+        for i, block in enumerate(fn.blocks):
+            succs = []
+            falls_through = True
+            for instr in block.instructions:
+                if not instr.is_branch:
+                    continue
+                if instr.op.is_return or instr.op.is_call:
+                    if instr.op.is_return:
+                        falls_through = False
+                    continue
+                if instr.target is None:
+                    raise ParseError(f"branch without target in {block.name}")
+                succs.append(instr.target)
+                if instr.pred is None:  # unconditional: no fall-through
+                    falls_through = False
+            if falls_through and i + 1 < len(fn.blocks):
+                succs.append(fn.blocks[i + 1].name)
+            probs = self.pending_probs.get(block.name, {})
+            seen = set()
+            for succ in succs:
+                if succ in seen:
+                    continue  # parallel edges collapse
+                seen.add(succ)
+                fn.add_edge(block.name, succ, probs.get(succ))
+            unknown = set(probs) - seen
+            if unknown:
+                raise ParseError(
+                    f"succ= annotation on {block.name} names non-successors "
+                    f"{sorted(unknown)}"
+                )
+
+
+def parse_instruction(line):
+    """Parse one instruction line into an :class:`Instruction`."""
+    pred = None
+    match = _PRED_RE.match(line)
+    if match:
+        pred = reg(match.group(1))
+        line = match.group(2).strip()
+
+    tokens = line.split(None, 1)
+    mnemonic = tokens[0]
+    rest = tokens[1].strip() if len(tokens) > 1 else ""
+
+    # Trailing key=value annotations.
+    annotations = {}
+    while rest:
+        parts = rest.rsplit(None, 1)
+        if len(parts) < 2:
+            break
+        match = _KV_RE.match(parts[1])
+        if not match:
+            break
+        key, value = match.groups()
+        if key in ("cls", "lat", "miss", "prob", "callee", "recovery"):
+            annotations[key] = value
+            rest = parts[0].strip()
+        else:
+            break
+
+    instr = Instruction(
+        mnemonic=mnemonic, pred=pred, annotations=annotations
+    )
+    _parse_operands(instr, rest)
+
+    info = instr.op  # raises MachineError -> surfaced as-is for bad opcodes
+    if info.is_branch and not (info.is_return or info.is_call):
+        if instr.target is None:
+            raise ParseError(f"branch {mnemonic} needs a target block")
+    if "cls" in annotations and instr.mem is not None:
+        instr.mem = MemRef(
+            base=instr.mem.base,
+            offset=instr.mem.offset,
+            alias_class=annotations["cls"],
+            size=instr.mem.size,
+        )
+    return instr
+
+
+def _parse_operands(instr, rest):
+    """Fill dests/srcs/mem/imms/target from the operand text."""
+    if not rest:
+        return
+    if "=" in rest:
+        left, right = rest.split("=", 1)
+        dest_tokens = _split_operands(left)
+        src_tokens = _split_operands(right)
+    else:
+        dest_tokens = []
+        src_tokens = _split_operands(rest)
+
+    for token in dest_tokens:
+        mem = _MEM_RE.match(token)
+        if mem:  # store address: a *read*, not a written register
+            if instr.mem is not None:
+                raise ParseError("more than one memory operand")
+            instr.mem = MemRef(reg(mem.group(1)), int(mem.group(2) or 0))
+            instr.srcs.append(instr.mem.base)
+        elif _REG_RE.match(token):
+            instr.dests.append(reg(token))
+        else:
+            raise ParseError(f"bad destination operand {token!r}")
+
+    for token in src_tokens:
+        mem = _MEM_RE.match(token)
+        if mem:
+            if instr.mem is not None:
+                raise ParseError("more than one memory operand")
+            instr.mem = MemRef(reg(mem.group(1)), int(mem.group(2) or 0))
+            instr.srcs.append(instr.mem.base)
+        elif _REG_RE.match(token):
+            instr.srcs.append(reg(token))
+        elif _IMM_RE.match(token):
+            instr.imms.append(int(token))
+        elif re.match(r"^\w[\w.$]*$", token):
+            if instr.target is not None:
+                raise ParseError(f"two symbolic operands on {instr.mnemonic}")
+            instr.target = token
+        else:
+            raise ParseError(f"bad source operand {token!r}")
+
+
+def _split_operands(text):
+    return [t.strip() for t in text.split(",") if t.strip()]

@@ -1,0 +1,96 @@
+"""Formatting Functions/Instructions back to TIA assembly text.
+
+Round-tripping through :func:`parse_function` is covered by property tests;
+the printer is also what the postpass driver uses to emit its optimized
+output (paper Sec. 6.1: "a bundler ... generates the final assembly
+output").
+"""
+
+from __future__ import annotations
+
+from repro.ir.registers import Register
+
+
+def format_instruction(instr):
+    """One-line TIA text for an instruction."""
+    parts = []
+    if instr.pred is not None:
+        parts.append(f"({instr.pred.name})")
+    parts.append(instr.mnemonic)
+
+    operand_text = _operands_text(instr)
+    if operand_text:
+        parts.append(operand_text)
+    for key, value in sorted(instr.annotations.items()):
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def _operands_text(instr):
+    mem_text = None
+    if instr.mem is not None:
+        off = f"+{instr.mem.offset}" if instr.mem.offset else ""
+        mem_text = f"[{instr.mem.base.name}{off}]"
+
+    srcs = []
+    mem_base_pending = instr.mem is not None
+    for src in instr.srcs:
+        if (
+            mem_base_pending
+            and isinstance(src, Register)
+            and src == instr.mem.base
+        ):
+            # The address base is rendered as the memory operand itself.
+            srcs.append(mem_text)
+            mem_base_pending = False
+        else:
+            srcs.append(src.name)
+    srcs.extend(str(imm) for imm in instr.imms)
+    if instr.target is not None:
+        srcs.append(instr.target)
+
+    if instr.is_store:
+        # st8 [base] = value : memory operand belongs on the left.
+        left = [mem_text]
+        right = [s for s in srcs if s != mem_text]
+        return f"{', '.join(left)} = {', '.join(right)}" if right else mem_text
+    dests = [d.name for d in instr.dests]
+    if dests and srcs:
+        return f"{', '.join(dests)} = {', '.join(srcs)}"
+    if dests:
+        return ", ".join(dests)
+    return ", ".join(srcs)
+
+
+def format_function(fn):
+    """Full TIA text for a routine."""
+    lines = [f".proc {fn.name}"]
+    if fn.live_in:
+        lines.append(".livein " + ", ".join(r.name for r in sorted(fn.live_in)))
+    if fn.live_out:
+        lines.append(".liveout " + ", ".join(r.name for r in sorted(fn.live_out)))
+    for block in fn.blocks:
+        probs = {
+            e.dst: e.prob for e in fn.out_edges(block.name) if e.prob is not None
+        }
+        header = f".block {block.name} freq={block.freq:g}"
+        if probs:
+            header += " succ=" + ",".join(f"{d}:{p:g}" for d, p in probs.items())
+        lines.append(header)
+        for instr in block.instructions:
+            lines.append("    " + format_instruction(instr))
+    lines.append(".endp")
+    return "\n".join(lines) + "\n"
+
+
+def format_schedule(schedule, fn=None):
+    """Readable cycle-by-cycle dump of a Schedule (for examples/debugging)."""
+    lines = []
+    for block_name in schedule.block_order:
+        cycles = schedule.cycles_of(block_name)
+        freq = f" freq={fn.block(block_name).freq:g}" if fn is not None else ""
+        lines.append(f"{block_name}: length {schedule.block_length(block_name)}{freq}")
+        for cycle in sorted(cycles):
+            text = "; ".join(format_instruction(i) for i in cycles[cycle])
+            lines.append(f"  [{cycle}] {text}")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""IA-64 register model.
+
+Four architectural banks matter to the scheduler: general registers
+``r0-r127``, floating-point ``f0-f127``, predicates ``p0-p63`` and branch
+registers ``b0-b7``. Two registers have hardwired semantics the analyses
+must know: ``r0`` always reads 0 (writes are illegal) and ``p0`` always
+reads true — instructions predicated on ``p0`` are unconditional, and
+compares targeting ``p0`` discard that result.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class RegisterBank(enum.Enum):
+    """Architectural register file."""
+
+    GR = "r"
+    FR = "f"
+    PR = "p"
+    BR = "b"
+
+    @property
+    def size(self):
+        return {"r": 128, "f": 128, "p": 64, "b": 8}[self.value]
+
+    def __lt__(self, other):
+        """Stable bank order so mixed register sets sort deterministically."""
+        if not isinstance(other, RegisterBank):
+            return NotImplemented
+        return self.value < other.value
+
+
+@dataclass(frozen=True, order=True)
+class Register:
+    """One architectural register, interned by (bank, index)."""
+
+    bank: RegisterBank
+    index: int
+
+    def __post_init__(self):
+        if not 0 <= self.index < self.bank.size:
+            raise ParseError(
+                f"register {self.bank.value}{self.index} out of range "
+                f"(bank size {self.bank.size})"
+            )
+
+    @property
+    def name(self):
+        return f"{self.bank.value}{self.index}"
+
+    @property
+    def is_zero(self):
+        """r0 — reads as constant zero; never a true dependence source."""
+        return self.bank is RegisterBank.GR and self.index == 0
+
+    @property
+    def is_true_predicate(self):
+        """p0 — reads as constant true."""
+        return self.bank is RegisterBank.PR and self.index == 0
+
+    @property
+    def is_constant(self):
+        return self.is_zero or self.is_true_predicate
+
+    def __repr__(self):
+        return self.name
+
+
+_CACHE = {}
+
+
+def reg(name):
+    """Parse ``"r13"``/``"f6"``/``"p7"``/``"b0"`` into a Register (interned)."""
+    cached = _CACHE.get(name)
+    if cached is not None:
+        return cached
+    if not name or name[0] not in "rfpb" or not name[1:].isdigit():
+        raise ParseError(f"malformed register name {name!r}")
+    bank = {
+        "r": RegisterBank.GR,
+        "f": RegisterBank.FR,
+        "p": RegisterBank.PR,
+        "b": RegisterBank.BR,
+    }[name[0]]
+    register = Register(bank, int(name[1:]))
+    _CACHE[name] = register
+    return register
+
+
+def fresh_register_allocator(used, bank=RegisterBank.GR):
+    """Yield unused registers of ``bank``, skipping those in ``used``.
+
+    Used by the renaming pass; raises ``ParseError``-free StopIteration
+    exhaustion is translated by the caller into "skip renaming this web"
+    (the paper's tool is similarly bounded by the 128-register file).
+    """
+    taken = {r.index for r in used if r.bank is bank}
+    for index in range(1, bank.size):
+        if index not in taken:
+            yield Register(bank, index)

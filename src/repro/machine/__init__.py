@@ -1,0 +1,36 @@
+"""Itanium 2 machine model.
+
+The scheduler, bundler and pipeline simulator all consult this package:
+
+``repro.machine.units``
+    Execution-unit kinds (M/I/F/B, A-type ALU that disperses to M or I,
+    L+X long-immediate) and the Itanium 2 port counts.
+``repro.machine.opcodes``
+    The IA-64 instruction subset: mnemonics, unit requirements, latencies
+    and semantic attributes (loads, stores, speculation variants, checks).
+``repro.machine.templates``
+    The 128-bit bundle templates with their slot-type strings and stop
+    positions, as documented for the Itanium 2.
+``repro.machine.itanium2``
+    Ties it together into a :class:`MachineDescription` (``ITANIUM2``),
+    including the per-cycle dispersal feasibility test used by the ILP
+    resource constraints (eq. (6) of the paper).
+"""
+
+from repro.machine.units import UnitKind, Itanium2Ports
+from repro.machine.opcodes import OpcodeInfo, lookup_opcode, OPCODES
+from repro.machine.templates import Template, TEMPLATES, slot_accepts
+from repro.machine.itanium2 import MachineDescription, ITANIUM2
+
+__all__ = [
+    "UnitKind",
+    "Itanium2Ports",
+    "OpcodeInfo",
+    "lookup_opcode",
+    "OPCODES",
+    "Template",
+    "TEMPLATES",
+    "slot_accepts",
+    "MachineDescription",
+    "ITANIUM2",
+]

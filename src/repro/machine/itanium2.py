@@ -1,0 +1,69 @@
+"""The Itanium 2 machine description used across the tool stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.machine.opcodes import lookup_opcode
+from repro.machine.templates import TEMPLATES
+from repro.machine.units import Itanium2Ports, UnitKind
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """Everything the scheduler/bundler/simulator need to know.
+
+    Instances are immutable; experiment variants (e.g. a hypothetical
+    8-wide EPIC core for the "research tool" use case of paper Sec. 7)
+    are made with :meth:`with_ports`.
+    """
+
+    name: str = "itanium2"
+    ports: Itanium2Ports = field(default_factory=Itanium2Ports)
+    templates: tuple = TEMPLATES
+    # Pipeline-simulator parameters (perf substrate; see DESIGN.md):
+    l1d_hit_cycles: int = 1  # charged inside the scheduling latency
+    l1d_miss_penalty: int = 7  # additional cycles to L2 on a miss
+    l2_miss_penalty: int = 100  # additional cycles to memory
+    branch_misp_penalty: int = 6
+    taken_branch_bubble: int = 2  # front-end bubble on taken branches
+    spec_check_failure_penalty: int = 120  # branch to recovery code
+
+    # -- queries -------------------------------------------------------------
+    def unit_of(self, mnemonic):
+        """Unit kind required by a mnemonic."""
+        return lookup_opcode(mnemonic).unit
+
+    def latency_of(self, mnemonic):
+        return lookup_opcode(mnemonic).latency
+
+    @property
+    def issue_width(self):
+        return self.ports.issue_width
+
+    def unit_capacity(self, kind):
+        """Port count for a unit kind (A shares M+I, reported as their sum)."""
+        ports = self.ports
+        return {
+            UnitKind.M: ports.m_ports,
+            UnitKind.I: ports.i_ports,
+            UnitKind.F: ports.f_ports,
+            UnitKind.B: ports.b_ports,
+            UnitKind.A: ports.m_ports + ports.i_ports,
+            UnitKind.L: ports.i_ports,
+        }[kind]
+
+    def group_feasible(self, units):
+        """Dispersal feasibility of a group given its unit-kind list."""
+        counts = {}
+        for unit in units:
+            counts[unit] = counts.get(unit, 0) + 1
+        return self.ports.feasible(counts)
+
+    # -- variants -------------------------------------------------------------
+    def with_ports(self, **kwargs):
+        """A copy with modified port counts (micro-architecture studies)."""
+        return replace(self, ports=replace(self.ports, **kwargs))
+
+
+ITANIUM2 = MachineDescription()

@@ -1,0 +1,88 @@
+"""IA-64 bundle templates.
+
+A bundle packs three 41-bit instruction slots plus a 5-bit template code.
+The template determines the functional-unit type of each slot and where
+*stops* (instruction-group boundaries, written ``;;``) may fall. The
+Itanium 2 supports the templates below; the missing codes (MI;I variants
+of others, etc.) do not exist architecturally.
+
+The bundler uses two properties per template:
+
+* ``slots`` — the unit-type string, e.g. ``("M", "I", "I")``;
+* ``stop_options`` — where a stop may be placed: ``2`` after the last
+  slot (the ``;;`` variant), ``0``/``1`` inside the bundle (only ``M;MI``
+  and ``MI;I`` exist), or ``None`` for no stop, in which case the
+  instruction group continues into the next bundle.
+
+The L+X pair of ``MLX`` is modeled as one logical slot of type ``L``
+occupying slot indices 1 and 2 (a ``movl`` consumes both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.units import UnitKind
+
+
+@dataclass(frozen=True)
+class Template:
+    """One architectural bundle template."""
+
+    name: str
+    slots: tuple
+    stop_options: tuple  # entries: None (no stop), or int position (stop after slot i)
+
+    @property
+    def has_mid_stop(self):
+        return any(pos is not None and pos < 2 for pos in self.stop_options)
+
+
+TEMPLATES = (
+    Template("MII", ("M", "I", "I"), (None, 1, 2)),
+    Template("MLX", ("M", "L", "X"), (None, 2)),
+    Template("MMI", ("M", "M", "I"), (None, 0, 2)),
+    Template("MFI", ("M", "F", "I"), (None, 2)),
+    Template("MMF", ("M", "M", "F"), (None, 2)),
+    Template("MIB", ("M", "I", "B"), (None, 2)),
+    Template("MBB", ("M", "B", "B"), (None, 2)),
+    Template("BBB", ("B", "B", "B"), (None, 2)),
+    Template("MMB", ("M", "M", "B"), (None, 2)),
+    Template("MFB", ("M", "F", "B"), (None, 2)),
+)
+
+TEMPLATES_BY_NAME = {t.name: t for t in TEMPLATES}
+
+
+def slot_accepts(slot_type, unit):
+    """Can an instruction needing ``unit`` occupy a slot of ``slot_type``?
+
+    A-type ALU instructions fit both M and I slots; ``movl`` (L) needs the
+    architectural L slot (the X half is implied and must stay empty); nothing
+    else may sit in an L or X slot.
+    """
+    if slot_type == "M":
+        return unit in (UnitKind.M, UnitKind.A)
+    if slot_type == "I":
+        return unit in (UnitKind.I, UnitKind.A)
+    if slot_type == "F":
+        return unit is UnitKind.F
+    if slot_type == "B":
+        return unit is UnitKind.B
+    if slot_type == "L":
+        return unit is UnitKind.L
+    if slot_type == "X":
+        return False  # consumed by the L slot's movl
+    raise ValueError(f"unknown slot type {slot_type!r}")
+
+
+def nop_for_slot(slot_type):
+    """Mnemonic of the nop that fills an empty slot of ``slot_type``."""
+    return {
+        "M": "nop.m",
+        "I": "nop.i",
+        "F": "nop.f",
+        "B": "nop.b",
+        "L": "nop.i",  # an empty L slot is encoded as a long nop
+        "X": "nop.i",
+    }[slot_type]

@@ -1,0 +1,32 @@
+"""Performance evaluation: static metrics and pipeline simulation.
+
+Two layers, matching how the paper argues:
+
+* :mod:`repro.perf.static_eval` computes the schedule-side numbers of
+  Table 1 (weighted/unweighted schedule length, static IPC, instruction
+  and bundle deltas);
+* :mod:`repro.perf.trace` + :mod:`repro.perf.pipeline` substitute for the
+  paper's 1.4 GHz Itanium 2 runs: a profile-directed block trace is
+  executed on an in-order, scoreboarded, 6-issue pipeline model with a
+  probabilistic D-cache, yielding routine cycle counts from which
+  :mod:`repro.perf.speedup` derives routine and program speedups the way
+  the paper does from `weight`.
+"""
+
+from repro.perf.static_eval import StaticMetrics, compare_schedules
+from repro.perf.trace import generate_trace
+from repro.perf.pipeline import PipelineSimulator, SimulationResult
+from repro.perf.pressure import PressureReport, measure_pressure
+from repro.perf.speedup import program_speedup, routine_speedup_from_program
+
+__all__ = [
+    "StaticMetrics",
+    "compare_schedules",
+    "generate_trace",
+    "PipelineSimulator",
+    "SimulationResult",
+    "PressureReport",
+    "measure_pressure",
+    "program_speedup",
+    "routine_speedup_from_program",
+]

@@ -1,0 +1,35 @@
+"""Routine ↔ program speedup arithmetic (paper Sec. 6.2).
+
+The paper measures *program* speedups and derives routine speedups via
+the routine's weight w (fraction of program time spent in it):
+
+    S_program = 1 / (1 - w + w / S_routine)
+
+We simulate routines directly, so we apply the identity in both
+directions: simulated routine speedups produce the Table 1 program
+column, and the inverse recovers routine speedups from program numbers
+in the tests that cross-check against the paper's values.
+"""
+
+from __future__ import annotations
+
+
+def program_speedup(weight, routine_speedup):
+    """Amdahl combination of a routine speedup at weight ``weight``."""
+    if routine_speedup <= 0:
+        raise ValueError("routine speedup must be positive")
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError("weight must be within [0, 1]")
+    return 1.0 / (1.0 - weight + weight / routine_speedup)
+
+
+def routine_speedup_from_program(weight, prog_speedup):
+    """Inverse of :func:`program_speedup` (the paper's derivation)."""
+    if weight <= 0:
+        raise ValueError("weight must be positive to attribute speedup")
+    denominator = 1.0 / prog_speedup - (1.0 - weight)
+    if denominator <= 0:
+        raise ValueError(
+            "program speedup exceeds what the routine weight allows"
+        )
+    return weight / denominator

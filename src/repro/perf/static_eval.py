@@ -1,0 +1,88 @@
+"""Static schedule metrics — the schedule-side columns of Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StaticMetrics:
+    """Numbers characterizing one schedule of one routine."""
+
+    weighted_length: float
+    total_length: int
+    instructions: int
+    weighted_instructions: float
+    bundles: int
+    nops: int
+    collapsed_blocks: int
+
+    @property
+    def weighted_ipc(self):
+        """Frequency-weighted static IPC (nops excluded), paper Sec. 6.2."""
+        if self.weighted_length <= 0:
+            return 0.0
+        return self.weighted_instructions / self.weighted_length
+
+    @property
+    def unweighted_ipc(self):
+        if self.total_length <= 0:
+            return 0.0
+        return self.instructions / self.total_length
+
+
+def evaluate_schedule(schedule, fn, bundles=None):
+    """Compute :class:`StaticMetrics` for a schedule."""
+    instructions = 0
+    weighted_instructions = 0.0
+    for block in schedule.block_order:
+        count = sum(
+            1 for i in schedule.instructions_in(block) if not i.is_nop
+        )
+        instructions += count
+        weighted_instructions += count * fn.block(block).freq
+    return StaticMetrics(
+        weighted_length=schedule.weighted_length(fn),
+        total_length=schedule.total_length,
+        instructions=instructions,
+        weighted_instructions=weighted_instructions,
+        bundles=bundles.total_bundles if bundles is not None else 0,
+        nops=bundles.total_nops if bundles is not None else 0,
+        collapsed_blocks=len(schedule.collapsed_blocks()),
+    )
+
+
+@dataclass
+class ScheduleComparison:
+    """Input-vs-output deltas (Table 1 columns)."""
+
+    metrics_in: StaticMetrics
+    metrics_out: StaticMetrics
+
+    @property
+    def static_reduction(self):
+        before = self.metrics_in.weighted_length
+        if before <= 0:
+            return 0.0
+        return 1.0 - self.metrics_out.weighted_length / before
+
+    @property
+    def delta_instructions(self):
+        base = self.metrics_in.instructions
+        if base == 0:
+            return 0.0
+        return self.metrics_out.instructions / base - 1.0
+
+    @property
+    def delta_bundles(self):
+        base = self.metrics_in.bundles
+        if base == 0:
+            return 0.0
+        return self.metrics_out.bundles / base - 1.0
+
+
+def compare_schedules(fn, schedule_in, schedule_out, bundles_in=None, bundles_out=None):
+    return ScheduleComparison(
+        evaluate_schedule(schedule_in, fn, bundles_in),
+        evaluate_schedule(schedule_out, fn, bundles_out),
+    )

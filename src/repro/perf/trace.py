@@ -1,0 +1,60 @@
+"""Profile-directed execution traces.
+
+A trace is a sequence of block names obtained by walking the CFG from an
+entry block, choosing successors according to the annotated (or
+frequency-derived) edge probabilities. Running the input and output
+schedules over the *same* trace gives paired cycle counts, mirroring the
+paper's before/after runs on identical SPEC inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def generate_trace(fn, invocations=50, max_blocks=200000, seed=1):
+    """Random walk through the CFG; returns a list of block names.
+
+    ``invocations`` full entry→exit walks are concatenated. The walk is
+    bounded by ``max_blocks`` as a guard against pathological probability
+    annotations (a loop with exit probability 0).
+    """
+    rng = random.Random(seed)
+    entries = fn.entry_blocks
+    if not entries:
+        raise ValueError(f"{fn.name} has no entry block")
+    trace = []
+    for _ in range(invocations):
+        block = entries[0]
+        while len(trace) < max_blocks:
+            trace.append(block)
+            edges = fn.out_edges(block)
+            if not edges:
+                break
+            if len(edges) == 1:
+                block = edges[0].dst
+                continue
+            probs = [max(fn.edge_probability(e), 0.0) for e in edges]
+            total = sum(probs)
+            if total <= 0:
+                probs = [1.0] * len(edges)
+                total = float(len(edges))
+            pick = rng.random() * total
+            cumulative = 0.0
+            block = edges[-1].dst
+            for edge, p in zip(edges, probs):
+                cumulative += p
+                if pick <= cumulative:
+                    block = edge.dst
+                    break
+        if len(trace) >= max_blocks:
+            break
+    return trace
+
+
+def expected_block_counts(trace):
+    """Histogram of the trace (for calibrating against freq annotations)."""
+    counts = {}
+    for block in trace:
+        counts[block] = counts.get(block, 0) + 1
+    return counts

@@ -1,0 +1,68 @@
+"""Per-block cycle ranges G(A) — paper Sec. 4.2 / 6.1.
+
+The number of cycles reserved per block bounds the ILP size, so it is
+"chosen pragmatically: it is set to the length of A in the input schedule
+plus a constant reserve (usually k = 1)". The safe alternative — a list
+scheduling upper bound over Θ⁻¹(A), all instructions that could move into
+the block — is available as ``upper_bound_lengths`` and is what the
+scheduler falls back to when a model proves infeasible for a block that
+was sized too tightly.
+"""
+
+from __future__ import annotations
+
+from repro.machine.itanium2 import ITANIUM2
+
+
+def lengths_from_input(input_schedule, fn, reserve=1, extra=()):
+    """G_A = input length + reserve (blocks in ``extra`` get reserve + 1)."""
+    lengths = {}
+    for block in fn.blocks:
+        base = input_schedule.block_length(block.name)
+        bonus = 1 if block.name in extra else 0
+        lengths[block.name] = max(base + reserve + bonus, 1)
+    return lengths
+
+
+def upper_bound_lengths(region, machine=ITANIUM2):
+    """List-scheduling upper bound on an optimal local schedule of Θ⁻¹(A).
+
+    Greedy resource-only bound: dependence-free packing of every candidate
+    instruction at full width can never need more cycles than an optimal
+    schedule of the subset actually placed there, plus the critical path of
+    instructions pinned to the block — we take the max of the two bounds.
+    """
+    lengths = {}
+    for block in region.fn.blocks:
+        candidates = region.blocks_hosting(block.name)
+        width = machine.issue_width
+        resource_bound = -(-len(candidates) // width) if candidates else 0
+        pinned_len = _critical_path_length(
+            [i for i in block.instructions if not i.is_nop], region.ddg
+        )
+        lengths[block.name] = max(resource_bound, pinned_len, 1)
+    return lengths
+
+
+def grow_lengths(lengths, factor=1, bump=1):
+    """Uniformly enlarge all ranges (infeasibility recovery)."""
+    return {name: value * factor + bump for name, value in lengths.items()}
+
+
+def _critical_path_length(instrs, ddg):
+    """Dependence-height bound in cycles (zero-latency edges share cycles)."""
+    in_set = set(instrs)
+    memo = {}
+
+    def height(instr):
+        if instr in memo:
+            return memo[instr]
+        memo[instr] = 1  # pre-seed to cut unexpected cycles short
+        best = 1
+        for edge in ddg.succs(instr):
+            if edge.dst in in_set and edge.dst is not instr:
+                best = max(best, edge.latency + height(edge.dst))
+        memo[instr] = best
+        return best
+
+    return max((height(i) for i in instrs), default=0)

@@ -1,0 +1,497 @@
+"""The global scheduling ILP — equations (2)–(7) of the paper.
+
+Variable classes (Sec. 4):
+
+* ``x[n,A,t]`` — binary: a copy of instruction n is scheduled at cycle t
+  of block A; generated for A ∈ Θ(n), t ∈ G(A).
+* ``a[n,B]`` — binary: a copy of n is scheduled *on all program paths
+  through s(n) before B*; generated for B related to s(n) plus the
+  pseudo exit block Ω. Constant-valued ``a``s (provably 0, or the pinned
+  shortcut) are folded away, one of the paper's "fully automated
+  optimizations to make the search space compact".
+* ``B[A,t]`` — binary block-length indicators, t ∈ {0} ∪ G(A); linked
+  tightly to the x variables (OASIC-style) and carrying objective (7).
+
+Extensions (speculation, cyclic, partial-ready) hook in *before*
+:meth:`SchedulingIlp.generate` by
+
+* adding instructions (with their own Θ sets) via :meth:`add_instruction`,
+* overriding an instruction's assignment right-hand side (eq. (3)) via
+  ``assign_rhs`` — e.g. ``1 - usespec``,
+* registering relaxation terms added to the RHS of precedence
+  constraints (4)/(5) for specific dependence edges via ``relax_edge``,
+* adding/removing dependence edges via ``extra_edges``/``dropped_edges``,
+* relaxing specific instances of the flow equality (2) to ``<=`` via
+  ``relaxed_flow`` (partial-ready code motion, Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.ilp import Model, lin_sum
+from repro.ir.ddg import DepEdge, DepKind
+from repro.machine.units import UnitKind
+
+
+@dataclass
+class _InstrInfo:
+    """Per-instruction formulation data."""
+
+    theta: set
+    related: set  # a-variable domain (w/o Ω)
+    source: str
+    pinned: bool
+    assign_rhs: object = 1  # number | Var | LinExpr
+
+
+class SchedulingIlp:
+    """Builds and owns the scheduling model for one region."""
+
+    OMEGA = "__omega__"
+
+    def __init__(self, region, lengths, machine, name="sched", tight_lengths=True):
+        self.region = region
+        self.lengths = lengths
+        self.machine = machine
+        # Tight mode links every x variable to the block-length suffix
+        # individually (OASIC-grade LP bound, ~|x| extra rows); compact
+        # mode aggregates per (block, cycle) through the width constraint
+        # (far fewer rows, weaker relaxation). Both are exact as ILPs.
+        self.tight_lengths = tight_lengths
+        self.model = Model(name)
+
+        self.x = {}  # (instr, block, t) -> Var
+        self.a = {}  # (instr, block) -> Var
+        self.blen = {}  # (block, t) -> Var
+        self.info = {}  # instr -> _InstrInfo
+        # edge -> list of (term, blocks | None): term is added to the RHS of
+        # the edge's precedence constraints, either everywhere (None) or only
+        # for constraint instances anchored at a block in ``blocks``.
+        self.relax_terms = {}
+        self.local_only_edges = set()  # edges with (5) instances but no (4)
+        self.extra_edges = []
+        self.dropped_edges = set()
+        self.relaxed_flow = set()  # (instr, pred_block, block) flow edges -> "<="
+        # (edge, controlling expr): the verifier skips the edge when the
+        # expression evaluates >= 0.5 in the solution (cross-iteration
+        # semantics the last-copy path rule cannot express).
+        self.verify_exempt = []
+        # edge -> frozenset(blocks): the verifier checks the edge only
+        # between copies inside those blocks (cyclic flipped edges exist
+        # within the loop only; the pre-loop copy legitimately precedes
+        # its in-loop operand writers).
+        self.verify_scopes = {}
+        self.forced_copies = []  # (instr, block, condition) copy requirements
+        self.deferred_builders = []  # callables run once x/blen vars exist
+        self.objective_extras = []  # expressions added to objective (7)
+        self.bundling_cuts = []  # lists of (instr, block) sets to forbid per-cycle
+        self.collapsible_branches = set()  # unconditional brs of removable blocks
+        self._generated = False
+
+        for instr in region.instructions:
+            self.info[instr] = _InstrInfo(
+                theta=set(region.theta[instr]),
+                related=set(region.theta_spec[instr]),
+                source=region.source_block[instr],
+                pinned=(instr in region.pinned),
+            )
+
+    # -- extension hooks -------------------------------------------------------
+    def add_instruction(self, instr, theta, related, source, pinned=False, rhs=1):
+        """Register an instruction created by an extension (e.g. an ld.s)."""
+        self.info[instr] = _InstrInfo(
+            theta=set(theta),
+            related=set(related),
+            source=source,
+            pinned=pinned,
+            assign_rhs=rhs,
+        )
+
+    def set_assign_rhs(self, instr, rhs):
+        self.info[instr].assign_rhs = rhs
+
+    def relax_edge(self, edge, term, blocks=None):
+        """Add ``term`` to the RHS of the edge's precedence constraints.
+
+        With ``blocks`` given, only the constraint instances anchored at one
+        of those blocks are relaxed (partial-ready and cyclic motion relax
+        a dependence on one *side* of the CFG only).
+        """
+        self.relax_terms.setdefault(edge, []).append(
+            (term, frozenset(blocks) if blocks is not None else None)
+        )
+
+    def drop_edge(self, edge):
+        self.dropped_edges.add(edge)
+
+    def add_edge(self, edge):
+        self.extra_edges.append(edge)
+
+    def defer(self, builder):
+        """Run ``builder(self)`` during generate(), after variable creation.
+
+        Extensions attach before the x/B variables exist; anything that
+        needs ``x_sum`` or ``blen`` registers a deferred builder instead.
+        """
+        self.deferred_builders.append(builder)
+
+    # -- variable access -----------------------------------------------------------
+    def instructions(self):
+        return list(self.info)
+
+    def x_var(self, instr, block, t):
+        return self.x[(instr, block, t)]
+
+    def x_sum(self, instr, block):
+        """Σ_t x[n,A,t] as an expression (0 if A ∉ Θ(n))."""
+        info = self.info[instr]
+        if block not in info.theta:
+            return 0
+        return lin_sum(
+            self.x[(instr, block, t)] for t in self._grange(block)
+        )
+
+    def a_expr(self, instr, block):
+        """The ``a[n,B]`` value: a Var, a constant, or the pinned shortcut."""
+        info = self.info[instr]
+        if info.pinned:
+            # n sits in s(n) (if scheduled at all): complete before every
+            # strict DAG-descendant of s(n) and before Ω; nowhere else.
+            if block == self.OMEGA or self.region.cfg.reaches(info.source, block):
+                return info.assign_rhs
+            return 0
+        if block != self.OMEGA and not self._a_can_be_one(instr, block):
+            return 0
+        key = (instr, block)
+        if key not in self.a:
+            self.a[key] = self.model.add_binary(f"a_{instr.uid}_{block}")
+        return self.a[key]
+
+    def _a_can_be_one(self, instr, block):
+        """Can some copy of n precede ``block``? (Θ(n) ∩ strict ancestors)"""
+        cfg = self.region.cfg
+        return any(
+            cfg.reaches(candidate, block) for candidate in self.info[instr].theta
+        )
+
+    def _grange(self, block):
+        return range(1, self.lengths[block] + 1)
+
+    # -- dependence edges ------------------------------------------------------------
+    def dep_edges(self):
+        for edge in self.region.ddg.edges:
+            if edge not in self.dropped_edges:
+                yield edge
+        for edge in self.extra_edges:
+            if edge not in self.dropped_edges:
+                yield edge
+
+    def _relax_expr(self, edge, block):
+        entries = self.relax_terms.get(edge)
+        if not entries:
+            return 0
+        terms = [
+            term
+            for term, blocks in entries
+            if blocks is None or block in blocks
+        ]
+        if not terms:
+            return 0
+        return lin_sum(terms)
+
+    # -- model generation ---------------------------------------------------------------
+    def generate(self):
+        """Emit all constraints and the objective. Idempotence-guarded."""
+        if self._generated:
+            raise SchedulingError("model already generated")
+        self._generated = True
+        self._create_x_variables()
+        self._create_length_variables()
+        for branch in self.collapsible_branches:
+            # Sec. 5.4: if the solver empties a block, its unconditional
+            # branch disappears (the predecessor falls through / retargets).
+            source = self.info[branch].source
+            self.set_assign_rhs(branch, 1 - self.blen[(source, 0)])
+        for builder in self.deferred_builders:
+            builder(self)
+        self._flow_constraints()  # eq (2) + (3)
+        self._global_precedence()  # eq (4)
+        self._local_precedence()  # eq (5)
+        self._resource_constraints()  # eq (6)
+        self._length_linking()
+        self._branch_constraints()
+        self._forced_copy_constraints()
+        self._bundling_constraints()
+        self._objective()  # eq (7)
+        return self.model
+
+    # -- pieces ----------------------------------------------------------------------------
+    def _create_x_variables(self):
+        for instr, info in self.info.items():
+            for block in sorted(info.theta):
+                for t in self._grange(block):
+                    self.x[(instr, block, t)] = self.model.add_binary(
+                        f"x_{instr.uid}_{block}_{t}"
+                    )
+
+    def _create_length_variables(self):
+        for block in self.region.fn.blocks:
+            name = block.name
+            for t in range(0, self.lengths[name] + 1):
+                self.blen[(name, t)] = self.model.add_binary(f"len_{name}_{t}")
+            self.model.add_constraint(
+                lin_sum(
+                    self.blen[(name, t)] for t in range(0, self.lengths[name] + 1)
+                )
+                == 1,
+                name=f"onelen_{name}",
+            )
+
+    def _flow_constraints(self):
+        """Equations (2) (inductive a/x coupling) and (3) (assignment)."""
+        cfg = self.region.cfg
+        for instr, info in self.info.items():
+            if info.pinned:
+                rhs = info.assign_rhs
+                total = self.x_sum(instr, info.source)
+                if isinstance(total, int) and total == 0:
+                    raise SchedulingError(
+                        f"pinned instruction {instr!r} has no x variables"
+                    )
+                self.model.add_constraint(
+                    total == rhs, name=f"assign_{instr.uid}"
+                )
+                continue
+
+            domain = sorted(info.related) + [self.OMEGA]
+            source = info.source
+            for block in domain:
+                lhs = self.a_expr(instr, block)
+                preds = (
+                    cfg.dag_sinks
+                    if block == self.OMEGA
+                    else cfg.predecessors_in_dag(block)
+                )
+                for pred in preds:
+                    if pred not in info.related and pred not in info.theta:
+                        continue
+                    # Only CFG edges that lie on some program path *through
+                    # s(n)* constrain a[n,B]: the edge must leave a block at
+                    # or below s(n), or enter a block at or above it.
+                    on_path = (
+                        pred == source
+                        or cfg.reaches(source, pred)
+                        or (
+                            block != self.OMEGA
+                            and (block == source or cfg.reaches(block, source))
+                        )
+                    )
+                    if not on_path:
+                        continue
+                    rhs = self.a_expr(instr, pred) + self.x_sum(instr, pred)
+                    if self._is_const_zero(lhs) and self._is_const_zero(rhs):
+                        continue
+                    relaxed = (instr, pred, block) in self.relaxed_flow
+                    if relaxed:
+                        constraint = self._as_expr(lhs) <= rhs
+                    else:
+                        constraint = self._as_expr(lhs) == rhs
+                    self.model.add_constraint(
+                        constraint, name=f"flow_{instr.uid}_{pred}_{block}"
+                    )
+            # eq (3): every path through s(n) executes n (or its group's rhs).
+            omega = self.a_expr(instr, self.OMEGA)
+            self.model.add_constraint(
+                self._as_expr(omega) == info.assign_rhs,
+                name=f"assign_{instr.uid}",
+            )
+
+    @staticmethod
+    def _is_const_zero(value):
+        if isinstance(value, (int, float)):
+            return value == 0
+        return False
+
+    @staticmethod
+    def _as_expr(value):
+        from repro.ilp.expr import LinExpr, Var
+
+        if isinstance(value, (LinExpr, Var)):
+            return value if isinstance(value, LinExpr) else value.to_expr()
+        return LinExpr(constant=float(value))
+
+    def _global_precedence(self):
+        """Equation (4): a[n,A] <= a[m,A] (+ relaxations) for deps (m, n)."""
+        for edge in self.dep_edges():
+            if edge.src not in self.info or edge.dst not in self.info:
+                continue
+            if edge in self.local_only_edges:
+                continue
+            info_m, info_n = self.info[edge.src], self.info[edge.dst]
+            common = (info_m.related | {self.OMEGA}) & (
+                info_n.related | {self.OMEGA}
+            )
+            common.discard(self.OMEGA)  # both sides are fixed there
+            for block in sorted(common):
+                relax = self._relax_expr(edge, block)
+                lhs = self.a_expr(edge.dst, block)
+                rhs = self.a_expr(edge.src, block)
+                if self._is_const_zero(lhs):
+                    continue
+                if isinstance(rhs, (int, float)) and rhs >= 1:
+                    continue  # trivially satisfied (binary lhs)
+                self.model.add_constraint(
+                    self._as_expr(lhs) <= self._as_expr(rhs) + relax,
+                    name=f"gprec_{edge.src.uid}_{edge.dst.uid}_{block}",
+                )
+
+    def _local_precedence(self):
+        """Equation (5): tight OASIC in-block precedence constraints."""
+        for edge in self.dep_edges():
+            if edge.src not in self.info or edge.dst not in self.info:
+                continue
+            info_m, info_n = self.info[edge.src], self.info[edge.dst]
+            lat = edge.latency
+            for block in sorted(info_m.theta & info_n.theta):
+                relax = self._relax_expr(edge, block)
+                length = self.lengths[block]
+                for t in self._grange(block):
+                    n_window = [
+                        self.x[(edge.dst, block, tn)]
+                        for tn in range(1, t + 1)
+                    ]
+                    m_lo = max(t - lat + 1, 1)
+                    m_window = [
+                        self.x[(edge.src, block, tm)]
+                        for tm in range(m_lo, length + 1)
+                    ]
+                    if not n_window or not m_window:
+                        continue
+                    self.model.add_constraint(
+                        lin_sum(n_window) + lin_sum(m_window)
+                        <= self._as_expr(1) + relax,
+                        name=f"lprec_{edge.src.uid}_{edge.dst.uid}_{block}_{t}",
+                    )
+
+    def _resource_constraints(self):
+        """Equation (6) + unit-class limits for the Itanium 2 dispersal."""
+        ports = self.machine.ports
+        hosting = {}
+        for instr, info in self.info.items():
+            for block in info.theta:
+                hosting.setdefault(block, []).append(instr)
+        for block, instrs in hosting.items():
+            for t in self._grange(block):
+                entries = [(i, self.x[(i, block, t)]) for i in instrs]
+                total = lin_sum(
+                    (2.0 if i.unit is UnitKind.L else 1.0) * v for i, v in entries
+                )
+                self.model.add_constraint(
+                    total <= ports.issue_width, name=f"width_{block}_{t}"
+                )
+                self._unit_cap(entries, (UnitKind.M,), ports.m_ports, block, t, "m")
+                self._unit_cap(
+                    entries, (UnitKind.I, UnitKind.L), ports.i_ports, block, t, "i"
+                )
+                self._unit_cap(entries, (UnitKind.F,), ports.f_ports, block, t, "f")
+                self._unit_cap(entries, (UnitKind.B,), ports.b_ports, block, t, "b")
+
+    def _unit_cap(self, entries, kinds, cap, block, t, tag):
+        members = [v for i, v in entries if i.unit in kinds]
+        if len(members) > cap:
+            self.model.add_constraint(
+                lin_sum(members) <= cap, name=f"unit{tag}_{block}_{t}"
+            )
+
+    def _length_linking(self):
+        """x[n,A,t] == 1 forces length(A) >= t.
+
+        Tight form: one row per x variable against the B-suffix sum.
+        Compact form: one row per (block, cycle) bounding the cycle's
+        total occupancy by width · suffix.
+        """
+        suffix = {}
+        for block in self.region.fn.blocks:
+            name = block.name
+            length = self.lengths[name]
+            running = None
+            for t in range(length, 0, -1):
+                term = self.blen[(name, t)]
+                running = term.to_expr() if running is None else running + term
+                suffix[(name, t)] = running
+        if self.tight_lengths:
+            for (instr, block, t), var in self.x.items():
+                self.model.add_constraint(
+                    var.to_expr() <= suffix[(block, t)],
+                    name=f"len_link_{instr.uid}_{block}_{t}",
+                )
+            return
+        by_cycle = {}
+        for (instr, block, t), var in self.x.items():
+            by_cycle.setdefault((block, t), []).append(var)
+        width = self.machine.issue_width
+        for (block, t), members in by_cycle.items():
+            self.model.add_constraint(
+                lin_sum(members) <= width * suffix[(block, t)],
+                name=f"len_link_{block}_{t}",
+            )
+
+    def _branch_constraints(self):
+        """Branches sit exactly in the last cycle of their block (Sec. 5.4)."""
+        for instr, info in self.info.items():
+            if not instr.is_branch:
+                continue
+            block = info.source
+            for t in self._grange(block):
+                key = (instr, block, t)
+                if key not in self.x:
+                    continue
+                self.model.add_constraint(
+                    self.x[key].to_expr() <= self.blen[(block, t)].to_expr(),
+                    name=f"br_last_{instr.uid}_{t}",
+                )
+
+    def _forced_copy_constraints(self):
+        """Extensions may force a copy in a block (cyclic motion latches)."""
+        for instr, block, condition in self.forced_copies:
+            total = self.x_sum(instr, block)
+            self.model.add_constraint(
+                self._as_expr(total) >= self._as_expr(condition),
+                name=f"force_{instr.uid}_{block}",
+            )
+
+    def _bundling_constraints(self):
+        """Forbid instruction sets no template sequence can encode (4.2)."""
+        for idx, members in enumerate(self.bundling_cuts):
+            by_block = {}
+            for instr, block in members:
+                by_block.setdefault(block, []).append(instr)
+            for block, instrs in by_block.items():
+                if len(instrs) < 2:
+                    continue
+                for t in self._grange(block):
+                    terms = [
+                        self.x[(i, block, t)]
+                        for i in instrs
+                        if (i, block, t) in self.x
+                    ]
+                    if len(terms) == len(instrs):
+                        self.model.add_constraint(
+                            lin_sum(terms) <= len(terms) - 1,
+                            name=f"bundle_cut{idx}_{block}_{t}",
+                        )
+
+    def _objective(self):
+        """Equation (7): frequency-weighted sum of block lengths.
+
+        Extensions may register additional cost terms (e.g. the Sec. 5.1
+        speculation cost model) through ``objective_extras``.
+        """
+        terms = []
+        for block in self.region.fn.blocks:
+            for t in self._grange(block.name):
+                terms.append(block.freq * t * self.blen[(block.name, t)])
+        terms.extend(self.objective_extras)
+        self.model.set_objective(lin_sum(terms))

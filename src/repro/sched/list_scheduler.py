@@ -1,0 +1,182 @@
+"""Heuristic baseline: local list scheduling per basic block.
+
+This produces the *input schedules* of the experiments — the stand-in for
+the production compiler whose output the paper's postpass optimizer
+consumes. It is a classical critical-path list scheduler honoring the
+Itanium 2 dispersal constraints, with branches pinned to the final cycle
+of their block. No global code motion is performed, so the gap to the ILP
+scheduler measures exactly what the paper's Tables 1/2 measure: the value
+of globally optimal motion, speculation and compensation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.machine.itanium2 import ITANIUM2
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class _Node:
+    instr: object
+    preds: list
+    succs: list
+    priority: int = 0
+    scheduled_cycle: int | None = None
+
+
+class ListScheduler:
+    """Critical-path local list scheduler.
+
+    ``schedule(fn, ddg)`` returns a :class:`~repro.sched.schedule.Schedule`
+    placing every non-nop instruction in its original block.
+    """
+
+    def __init__(self, machine=ITANIUM2):
+        self.machine = machine
+
+    def schedule(self, fn, ddg):
+        schedule = Schedule([b.name for b in fn.blocks])
+        for block in fn.blocks:
+            self._schedule_block(block, ddg, schedule)
+        return schedule
+
+    # -- internals ---------------------------------------------------------------
+    def _schedule_block(self, block, ddg, schedule):
+        instrs = [i for i in block.instructions if not i.is_nop]
+        if not instrs:
+            return
+        in_block = set(instrs)
+        nodes = {}
+        for instr in instrs:
+            preds = [
+                e for e in ddg.preds(instr) if e.src in in_block and e.src is not instr
+            ]
+            succs = [
+                e for e in ddg.succs(instr) if e.dst in in_block and e.dst is not instr
+            ]
+            nodes[instr] = _Node(instr, preds, succs)
+
+        self._assign_priorities(instrs, nodes)
+
+        branches = [i for i in instrs if i.is_branch]
+        work = [i for i in instrs if not i.is_branch]
+        remaining = set(work)
+        cycle = 0
+        guard = 0
+        while remaining:
+            cycle += 1
+            guard += 1
+            if guard > 10 * len(instrs) + 64:
+                raise SchedulingError(
+                    f"list scheduler failed to converge in block {block.name}"
+                )
+            group = []
+            ready = sorted(
+                (i for i in remaining if self._earliest(nodes[i], nodes) <= cycle),
+                key=lambda i: (-nodes[i].priority, i.uid),
+            )
+            for instr in ready:
+                candidate = group + [instr]
+                if not self.machine.group_feasible([c.unit for c in candidate]):
+                    continue
+                if not self._intra_group_ok(instr, nodes, group, cycle):
+                    continue
+                # Dispersal feasibility does not imply template
+                # encodability (two F ops + a movl need three bundles):
+                # keep the baseline's groups honest too.
+                from repro.bundle import group_is_bundleable
+
+                if group_is_bundleable(candidate, []):
+                    group.append(instr)
+            for instr in group:
+                nodes[instr].scheduled_cycle = cycle
+                schedule.place(instr, block.name, cycle)
+                remaining.discard(instr)
+
+        # Record required slot-order pairs (zero-latency same-cycle deps) so
+        # the bundler may permute groups within them.
+        for cyc, group_list in schedule.cycles_of(block.name).items():
+            index_of = {p: i for i, p in enumerate(group_list)}
+            pairs = []
+            for member in group_list:
+                for edge in nodes[member].succs:
+                    other = edge.dst
+                    if other in index_of and edge.latency == 0:
+                        pairs.append((index_of[member], index_of[other]))
+            schedule.order_pairs[(block.name, cyc)] = pairs
+
+        # Branches: one final cycle, no earlier than their dependences allow.
+        if branches:
+            earliest = max(
+                [self._earliest(nodes[b], nodes) for b in branches] + [cycle]
+            )
+            branch_cycle = max(earliest, cycle if cycle else 1, 1)
+            if not self.machine.group_feasible(
+                [b.unit for b in branches]
+                + [i.unit for i in schedule.group(block.name, branch_cycle)]
+            ):
+                branch_cycle += 1
+            for branch in branches:
+                nodes[branch].scheduled_cycle = branch_cycle
+                schedule.place(branch, block.name, branch_cycle)
+
+    @staticmethod
+    def _assign_priorities(instrs, nodes):
+        """Longest-path-to-sink priorities (classic critical path)."""
+        order = _topological(instrs, nodes)
+        for instr in reversed(order):
+            node = nodes[instr]
+            node.priority = max(
+                (
+                    nodes[e.dst].priority + max(e.latency, 1)
+                    for e in node.succs
+                ),
+                default=0,
+            )
+
+    @staticmethod
+    def _earliest(node, nodes):
+        """Earliest feasible cycle given scheduled predecessors.
+
+        Unscheduled predecessors make the node not ready (infinity);
+        zero-latency predecessors allow the same cycle, where the
+        intra-group check enforces slot order.
+        """
+        earliest = 1
+        for edge in node.preds:
+            pred_cycle = nodes[edge.src].scheduled_cycle
+            if pred_cycle is None:
+                return float("inf")
+            earliest = max(earliest, pred_cycle + edge.latency)
+        return earliest
+
+    def _intra_group_ok(self, instr, nodes, group, cycle):
+        """Zero-latency predecessors in the same cycle must already be in
+        the group (so intra-group slot order can satisfy them)."""
+        for edge in nodes[instr].preds:
+            pred_cycle = nodes[edge.src].scheduled_cycle
+            if pred_cycle == cycle and edge.src not in group:
+                return False
+        return True
+
+
+def _topological(instrs, nodes):
+    indegree = {i: 0 for i in instrs}
+    for instr in instrs:
+        for edge in nodes[instr].succs:
+            indegree[edge.dst] += 1
+    ready = [i for i in instrs if indegree[i] == 0]
+    order = []
+    while ready:
+        instr = ready.pop()
+        order.append(instr)
+        for edge in nodes[instr].succs:
+            indegree[edge.dst] -= 1
+            if indegree[edge.dst] == 0:
+                ready.append(edge.dst)
+    if len(order) != len(instrs):
+        raise SchedulingError("cycle in intra-block dependence graph")
+    return order

@@ -1,0 +1,168 @@
+"""Partial-ready code motion — paper Sec. 5.3.
+
+Partial-ready motion lets an instruction move up along its *likely* path
+by ignoring a dependence that only holds on another path, compensating
+with a re-execution after the dependence source on that other path
+(Fig. 6: the ld.s hoists above the join although a mov on the unlikely
+side still redefines its address register; a compensation copy re-runs
+the load after the mov).
+
+Model mechanics, following the paper ("replacing the '=' by '<=' for
+specific instances of equation (2), in the example for the edge A–B"):
+for a candidate instruction n, dependence (m → n) and join J below s(m),
+the flow equalities of n are relaxed to ``<=`` at every edge *into the
+dependence side* — the blocks path-related to s(m) above J. The a-chain
+may then "forget" a placement of n above s(m) on exactly that side:
+
+* the join's own equalities (untouched) now demand a fresh copy of n on
+  the forgotten side — the compensation copy, making n appear twice on
+  that path (the weakening of Theorem 2's hypothesis);
+* the precedence constraints (4)/(5) of the dependence stay *fully
+  active*: wherever the a-value of n is honest (not forgotten), n must
+  follow m — which pins the compensation copy after the mov while the
+  forgotten hoisted copy escapes, because its side a-values are zero.
+
+Because a relaxed equality only ever under-reports completion — forcing
+*more* copies downstream, never fewer — no switch variable is needed and
+the freedom composes safely with every other constraint.
+
+Restrictions mirroring the paper's (Sec. 5.3): only speculative,
+re-executable instructions (including Sec. 5.1 speculative loads); no
+combination with predication; the dependence source strictly above the
+join on one side.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ddg import DepKind
+
+
+def find_partial_ready_sites(region):
+    """Candidate (instruction, dependence, join) triples."""
+    sites = []
+    cfg = region.cfg
+    for instr in region.instructions:
+        if not region.speculative.get(instr, False):
+            continue
+        if not instr.multiply_executable:
+            continue
+        if instr in region.predicate_sources:
+            continue
+        source = region.source_block[instr]
+        for edge in region.ddg.preds(instr):
+            if edge.kind is not DepKind.TRUE:
+                continue
+            dep_block = region.source_block.get(edge.src)
+            if dep_block is None:
+                continue
+            for join in _joins_between(cfg, dep_block, source):
+                sites.append((instr, edge, join))
+    return sites
+
+
+def _joins_between(cfg, dep_block, source):
+    """Join blocks J with dep_block strictly above J and J at/above source.
+
+    These are the merge points where forgetting the dependence side opens
+    placement above J on the other side.
+    """
+    joins = []
+    candidates = {source} | {
+        b for b in cfg.block_names if cfg.reaches(b, source)
+    }
+    for join in candidates:
+        if len(cfg.predecessors_in_dag(join)) < 2:
+            continue
+        if join == dep_block:
+            continue
+        if not cfg.reaches(dep_block, join):
+            continue
+        # At least one incoming side must bypass the dependence source.
+        bypass = any(
+            pred != dep_block and not cfg.reaches(dep_block, pred)
+            for pred in cfg.predecessors_in_dag(join)
+        )
+        if bypass:
+            joins.append(join)
+    return joins
+
+
+def attach_partial_ready(ilp, spec_groups=(), max_sites=24):
+    """Wire partial-ready freedom into the model (pre-generate).
+
+    Sites are bounded by ``max_sites`` (nearest joins first) — the paper
+    likewise notes the "increased search space and thereby the solution
+    times" and imposes restrictions to cope.
+    """
+    region = ilp.region
+    cfg = region.cfg
+    sites = find_partial_ready_sites(region)
+    sites += _spec_group_sites(ilp, spec_groups)
+    sites.sort(key=lambda site: cfg.topo_index(site[2]), reverse=True)
+    sites = sites[:max_sites]
+
+    applied = []
+    relaxed_instrs = set()
+    for instr, edge, join in sites:
+        dep_block = region.source_block.get(edge.src)
+        side = _dependence_side(cfg, dep_block, join)
+        for block in side:
+            for pred in cfg.predecessors_in_dag(block):
+                ilp.relaxed_flow.add((instr, pred, block))
+        if instr not in relaxed_instrs:
+            relaxed_instrs.add(instr)
+            _limit_one_copy_per_block(ilp, instr)
+        applied.append((instr, edge, join))
+    return applied
+
+
+def _dependence_side(cfg, dep_block, join):
+    """Blocks path-related to the dependence source, strictly above the join.
+
+    This is where the candidate's a-chain may forget placements: the
+    source block itself, the side blocks above it, and the side blocks
+    between it and the join.
+    """
+    side = {dep_block}
+    for block in cfg.block_names:
+        if block == join or cfg.reaches(join, block):
+            continue  # at or below the join
+        if cfg.reaches(block, dep_block):
+            side.add(block)
+        elif cfg.reaches(dep_block, block) and cfg.reaches(block, join):
+            side.add(block)
+    return side
+
+
+def _limit_one_copy_per_block(ilp, instr):
+    """Relaxed flow loses the implicit Σ_t x <= 1 — restore it explicitly."""
+
+    def builder(ilp_):
+        for block in ilp_.info[instr].theta:
+            total = ilp_.x_sum(instr, block)
+            ilp_.model.add_constraint(
+                ilp_._as_expr(total) <= 1, name=f"once_{instr.uid}_{block}"
+            )
+
+    ilp.defer(builder)
+
+
+def _spec_group_sites(ilp, spec_groups):
+    """Partial-ready sites for the speculative loads of Sec. 5.1 groups."""
+    region = ilp.region
+    cfg = region.cfg
+    sites = []
+    for group in spec_groups:
+        spec_load = group.spec_load
+        info = ilp.info.get(spec_load)
+        if info is None:
+            continue
+        for edge in ilp.extra_edges:
+            if edge.dst is not spec_load or edge.kind is not DepKind.TRUE:
+                continue
+            dep_block = region.source_block.get(edge.src)
+            if dep_block is None:
+                continue
+            for join in _joins_between(cfg, dep_block, info.source):
+                sites.append((spec_load, edge, join))
+    return sites

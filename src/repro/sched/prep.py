@@ -1,0 +1,72 @@
+"""Input preparation for the postpass optimizer (paper Sec. 6.1).
+
+The tool "reconstructs control flow, data dependences and ... execution
+frequency estimates", then "undoes all uses of control and data
+speculation ... and performs register renaming". This module holds the
+undo step plus function cloning (the driver never mutates its caller's
+IR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function
+
+
+@dataclass
+class UndoStats:
+    """How much input speculation was reverted (Table 2 "Spec. in")."""
+
+    spec_loads_reverted: int = 0
+    checks_removed: int = 0
+
+    @property
+    def total(self):
+        return self.spec_loads_reverted
+
+
+def clone_function(fn):
+    """Deep-copy a Function via a print/parse round trip."""
+    return parse_function(format_function(fn))
+
+
+def undo_speculation(fn):
+    """Revert ld.s/ld.a to plain loads and drop their checks, in place.
+
+    A speculative load is matched with its check through the checked
+    register (the ``chk`` tests the load's destination). The reverted load
+    is re-homed to the check's position — the check marks the original,
+    non-speculative program point — so that the scheduler sees the program
+    as it was before the input compiler speculated.
+    """
+    stats = UndoStats()
+    position = {}
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if instr.is_check and instr.srcs:
+                position[instr.srcs[0]] = (block, instr)
+
+    for block in fn.blocks:
+        for instr in list(block.instructions):
+            op = instr.op
+            if not (op.is_spec_load or op.is_adv_load):
+                continue
+            stats.spec_loads_reverted += 1
+            instr.mnemonic = instr.mnemonic.split(".")[0]
+            if not instr.dests:
+                continue
+            entry = position.get(instr.dests[0])
+            if entry is None:
+                continue
+            home_block, check = entry
+            block.instructions.remove(instr)
+            at = home_block.instructions.index(check)
+            home_block.instructions.insert(at, instr)
+
+    for block in fn.blocks:
+        kept = [i for i in block.instructions if not i.is_check]
+        stats.checks_removed += len(block.instructions) - len(kept)
+        block.instructions[:] = kept
+    return stats

@@ -1,0 +1,418 @@
+"""The postpass optimizer driver (paper Sec. 6.1).
+
+Pipeline: clone → undo input speculation → register renaming → CFG /
+liveness / dependence analyses → baseline list schedule ("input
+schedule") → region + cycle ranges → ILP (with enabled extensions) →
+solve → reconstruct → bundling-cut loop → optional phase 2 → verify.
+
+``ScheduleFeatures`` mirrors the paper's experiment axes (Fig. 7):
+speculation, cyclic code motion and partial-ready code motion can be
+switched individually; predication, branch-collapse modeling and the
+phase-2 instruction-count cleanup are part of the base configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.errors import BundlingError, SchedulingError
+from repro.ilp import solve_model
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import DepEdge, DepKind, build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.ir.rename import rename_registers
+from repro.machine.itanium2 import ITANIUM2
+from repro.bundle import bundle_schedule
+from repro.sched.cycles import grow_lengths, lengths_from_input
+from repro.sched.ilp_formulation import SchedulingIlp
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.phase2 import minimize_instruction_count
+from repro.sched.prep import clone_function, undo_speculation
+from repro.sched.reconstruct import reconstruct_schedule
+from repro.sched.regions import build_region
+from repro.sched.speculation import (
+    attach_speculation,
+    find_speculation_candidates,
+)
+from repro.sched.verifier import verify_schedule
+
+
+@dataclass(frozen=True)
+class ScheduleFeatures:
+    """Optimizer configuration (paper defaults)."""
+
+    speculation: bool = True  # control speculation groups (5.1)
+    data_speculation: bool = True  # ld.a/chk.a groups (5.1/6.1)
+    cyclic: bool = True  # cyclic code motion (5.2)
+    partial_ready: bool = True  # partial-ready code motion (5.3)
+    predication: bool = True  # predication via code motion (Sec. 4)
+    collapse_branches: bool = True  # block-collapse modeling (5.4)
+    two_phase: bool = True  # instruction-count cleanup (5.5)
+    phase2_objective: str = "instructions"  # | "register_pressure" | "stalls"
+    baseline: str = "local"  # input-schedule heuristic: "local" | "greedy"
+    tight_lengths: bool = True  # OASIC-grade length linking vs compact rows
+    verify: bool = True
+    backend: str = "highs"
+    time_limit: float | None = 120.0
+    reserve: int = 1  # G_A head-room (Sec. 6.1, k)
+    freq_cap: float = 5.0  # speculation frequency factor (5.1)
+    speculation_cost: float = 0.0  # Sec. 5.1 cost model weight (paper: unused)
+    max_hops: int | None = None  # optional code-motion distance bound
+    max_resize_attempts: int = 3
+    max_bundle_retries: int = 4
+
+    @classmethod
+    def baseline_ilp(cls):
+        """Fig. 7 level 0: global motion only, no extensions."""
+        return cls(
+            speculation=False,
+            data_speculation=False,
+            cyclic=False,
+            partial_ready=False,
+        )
+
+
+@dataclass
+class OptimizeResult:
+    """Everything the benchmarks and reports read."""
+
+    fn: object  # the (prepared, renamed) routine actually scheduled
+    input_schedule: object
+    output_schedule: object
+    reconstruction: object
+    region: object
+    solution: object
+    spec_groups: list
+    bundles_in: object
+    bundles_out: object
+    verification: object = None
+    phase2_applied: bool = False
+    undo_stats: object = None
+    ilp_size: dict = field(default_factory=dict)
+    messages: list = field(default_factory=list)
+
+    # -- headline metrics -------------------------------------------------------
+    @property
+    def weighted_length_in(self):
+        return self.input_schedule.weighted_length(self.fn)
+
+    @property
+    def weighted_length_out(self):
+        return self.output_schedule.weighted_length(self.fn)
+
+    @property
+    def static_reduction(self):
+        before = self.weighted_length_in
+        if before <= 0:
+            return 0.0
+        return 1.0 - self.weighted_length_out / before
+
+    @property
+    def spec_possible(self):
+        return len(self.spec_groups)
+
+    @property
+    def spec_used(self):
+        return sum(
+            1
+            for g in self.spec_groups
+            if self.solution.value_of(g.usespec) >= 1
+        )
+
+    def report(self):
+        lines = [
+            f"routine {self.fn.name}:",
+            f"  weighted schedule length {self.weighted_length_in:g} -> "
+            f"{self.weighted_length_out:g} "
+            f"({self.static_reduction:.1%} reduction)",
+            f"  instructions {self.input_schedule.instruction_count} -> "
+            f"{self.output_schedule.instruction_count}",
+            f"  bundles {self.bundles_in.total_bundles} -> "
+            f"{self.bundles_out.total_bundles}",
+            f"  speculation possible/used: {self.spec_possible}/{self.spec_used}",
+            f"  ILP: {self.ilp_size.get('constraints', '?')} constraints, "
+            f"{self.ilp_size.get('variables', '?')} variables, "
+            f"{self.ilp_size.get('nodes', '?')} B&B nodes, "
+            f"{self.ilp_size.get('time', 0):.2f}s",
+        ]
+        if self.verification is not None:
+            status = "passed" if self.verification.ok else "FAILED"
+            lines.append(
+                f"  verification {status} "
+                f"({self.verification.paths_checked} paths)"
+            )
+        lines.extend(f"  note: {m}" for m in self.messages)
+        return "\n".join(lines)
+
+
+class IlpScheduler:
+    """ILP-based global scheduler with the paper's extensions."""
+
+    def __init__(self, machine=ITANIUM2, features=None):
+        self.machine = machine
+        self.features = features or ScheduleFeatures()
+
+    # -- public -----------------------------------------------------------------
+    def optimize(self, fn):
+        features = self.features
+        work = clone_function(fn)
+        undo_stats = undo_speculation(work)
+        rename_registers(work)
+        cfg = CfgInfo(work)
+        liveness = compute_liveness(work)
+        ddg = build_dependence_graph(work, cfg, liveness)
+
+        region = build_region(
+            work,
+            cfg,
+            ddg,
+            max_hops=features.max_hops,
+            freq_cap=features.freq_cap,
+            allow_predication=features.predication,
+        )
+        if features.baseline == "greedy":
+            from repro.sched.greedy_global import GreedyGlobalScheduler
+
+            input_schedule = GreedyGlobalScheduler(self.machine).schedule(
+                work, ddg, region
+            )
+        else:
+            input_schedule = ListScheduler(self.machine).schedule(work, ddg)
+        lengths = lengths_from_input(input_schedule, work, reserve=features.reserve)
+
+        messages = []
+        bundling_cuts = []
+        attempt = 0
+        while True:
+            attempt += 1
+            build = self._ilp_factory(region, lengths, bundling_cuts)
+            ilp, spec_groups = build()
+            model = ilp.generate()
+            solution = solve_model(
+                model, backend=features.backend, time_limit=features.time_limit
+            )
+            if solution.status.name == "INFEASIBLE":
+                if attempt > features.max_resize_attempts:
+                    raise SchedulingError(
+                        f"{work.name}: model stays infeasible after "
+                        f"{attempt} cycle-range growths"
+                    )
+                lengths = grow_lengths(lengths)
+                messages.append("grew cycle ranges after infeasibility")
+                continue
+            if not solution:
+                raise SchedulingError(
+                    f"{work.name}: solver returned {solution.status} "
+                    "without an incumbent; raise time_limit"
+                )
+            reconstruction = reconstruct_schedule(ilp, solution, spec_groups)
+            try:
+                bundles_out = bundle_schedule(reconstruction.schedule)
+                break
+            except BundlingError as exc:
+                if len(bundling_cuts) >= features.max_bundle_retries:
+                    raise
+                members = getattr(exc, "instructions", [])
+                placed = {
+                    (p.root_origin, blk)
+                    for blk in reconstruction.schedule.block_order
+                    for p in reconstruction.schedule.instructions_in(blk)
+                }
+                cut = [
+                    (i.root_origin, blk)
+                    for i in members
+                    for blk in reconstruction.schedule.block_order
+                    if (i.root_origin, blk) in placed
+                ]
+                bundling_cuts.append(cut)
+                messages.append(f"added bundling constraint: {exc}")
+
+        phase1_objective = solution.objective
+        phase1_size = {
+            "constraints": model.num_constraints,
+            "variables": model.num_variables,
+            "nodes": solution.stats.nodes,
+            "time": solution.stats.time_seconds,
+            "objective": phase1_objective,
+        }
+        final_solution = solution
+        phase2_applied = False
+        if features.two_phase:
+            phase1_lengths = {
+                name: reconstruction.schedule.block_length(name)
+                for name in reconstruction.schedule.block_order
+            }
+
+            def rebuild():
+                ilp2, groups2 = self._ilp_factory(
+                    region, lengths, bundling_cuts
+                )()
+                rebuild.groups = groups2
+                return ilp2
+
+            outcome = minimize_instruction_count(
+                rebuild,
+                phase1_lengths,
+                backend=features.backend,
+                time_limit=features.time_limit,
+                objective=features.phase2_objective,
+            )
+            if outcome is not None:
+                ilp2, solution2 = outcome
+                try:
+                    recon2 = reconstruct_schedule(
+                        ilp2, solution2, rebuild.groups
+                    )
+                    bundles2 = bundle_schedule(recon2.schedule)
+                except (BundlingError, SchedulingError) as exc:
+                    messages.append(f"phase 2 discarded: {exc}")
+                else:
+                    # keep phase-1 solver stats; swap the schedule pieces
+                    ilp = ilp2
+                    final_solution = solution2
+                    reconstruction = recon2
+                    spec_groups = rebuild.groups
+                    bundles_out = bundles2
+                    phase2_applied = True
+
+        bundles_in = bundle_schedule(input_schedule)
+        verification = None
+        if features.verify:
+            verify_edges = _verifiable_edges(ilp, final_solution)
+            verification = verify_schedule(
+                reconstruction.schedule,
+                region,
+                reconstruction,
+                machine=self.machine,
+                dep_edges=verify_edges,
+                edge_scopes={
+                    e: scope
+                    for e, scope in ilp.verify_scopes.items()
+                    if e in set(verify_edges)
+                },
+            )
+
+        result = OptimizeResult(
+            fn=work,
+            input_schedule=input_schedule,
+            output_schedule=reconstruction.schedule,
+            reconstruction=reconstruction,
+            region=region,
+            solution=final_solution,
+            spec_groups=spec_groups,
+            bundles_in=bundles_in,
+            bundles_out=bundles_out,
+            verification=verification,
+            phase2_applied=phase2_applied,
+            undo_stats=undo_stats,
+            ilp_size=phase1_size,
+            messages=messages,
+        )
+        return result
+
+    # -- construction ----------------------------------------------------------
+    def _ilp_factory(self, region, lengths, bundling_cuts):
+        features = self.features
+
+        def build():
+            ilp = SchedulingIlp(
+                region,
+                dict(lengths),
+                self.machine,
+                tight_lengths=features.tight_lengths,
+            )
+            ilp.bundling_cuts = list(bundling_cuts)
+            spec_groups = []
+            if features.speculation or features.data_speculation:
+                candidates = find_speculation_candidates(
+                    region,
+                    allow_control=features.speculation,
+                    allow_data=features.data_speculation,
+                )
+                used = _used_registers(region.fn)
+                spec_groups = attach_speculation(
+                    ilp, candidates, used, cost_weight=features.speculation_cost
+                )
+            if features.cyclic:
+                from repro.sched.cyclic import attach_cyclic_motion
+
+                attach_cyclic_motion(ilp)
+            if features.partial_ready:
+                from repro.sched.partial_ready import attach_partial_ready
+
+                attach_partial_ready(ilp, spec_groups)
+            if features.collapse_branches:
+                _mark_collapsible_branches(ilp)
+            _add_guard_dependences(ilp)
+            return ilp, spec_groups
+
+        return build
+
+
+def _verifiable_edges(ilp, solution):
+    """Dependence edges the path verifier should check.
+
+    Edges registered as verify-exempt are dropped when their controlling
+    expression is active in the solution: those encode *cross-iteration*
+    semantics (cyclic code motion) that the last-copy path rule cannot
+    express. Everything else — including partially-relaxed partial-ready
+    edges, whose compensation copies satisfy the last-copy rule — stays.
+    """
+    from repro.ilp.expr import LinExpr, Var
+
+    def active(expr):
+        if isinstance(expr, Var):
+            return solution.value_of(expr) >= 0.5
+        if isinstance(expr, LinExpr):
+            return expr.value(solution.values) >= 0.5
+        return float(expr) >= 0.5
+
+    skip = {edge for edge, expr in ilp.verify_exempt if active(expr)}
+    return [e for e in ilp.dep_edges() if e not in skip]
+
+
+def _used_registers(fn):
+    used = set(fn.live_in) | set(fn.live_out)
+    for instr in fn.all_instructions():
+        used.update(instr.regs_read())
+        used.update(instr.regs_written())
+    return used
+
+
+def _mark_collapsible_branches(ilp):
+    """Unconditional-branch-only blocks may empty and drop their branch.
+
+    Backedge branches are excluded: removing one would dissolve the loop,
+    not merely redirect a fall-through.
+    """
+    region = ilp.region
+    cfg = region.cfg
+    for block in region.fn.blocks:
+        branches = block.branches
+        if len(branches) != 1:
+            continue
+        branch = branches[0]
+        op = branch.op
+        if branch.pred is not None or op.is_return or op.is_call:
+            continue
+        if (block.name, branch.target) in cfg.back_edges:
+            continue
+        ilp.collapsible_branches.add(branch)
+
+
+def _add_guard_dependences(ilp):
+    """Predication extension: guarded copies depend on their compare."""
+    region = ilp.region
+    seen = set()
+    for (instr, _target), compare in region.guard_compare.items():
+        key = (compare, instr)
+        if key in seen:
+            continue
+        seen.add(key)
+        ilp.add_edge(DepEdge(compare, instr, DepKind.TRUE, 1))
+
+
+def optimize_function(fn, features=None, machine=ITANIUM2):
+    """One-call entry point: schedule ``fn`` and return an OptimizeResult."""
+    return IlpScheduler(machine=machine, features=features).optimize(fn)

@@ -1,0 +1,381 @@
+"""ILP-based software pipelining (modulo scheduling).
+
+The paper closes with "currently we are studying ... how [the model] can
+be modified to support software pipelining" — this module is that
+extension: optimal modulo scheduling of single-block innermost loops,
+built on the same ILP substrate.
+
+Formulation (classic time-indexed modulo scheduling):
+
+* body instructions get binaries ``x[n,t]`` over ``t ∈ 0..T_max`` with
+  ``Σ_t x[n,t] = 1``; branch instructions are excluded (the kernel's
+  backedge branch recurs implicitly every II cycles);
+* dependences carry an iteration *distance*: same-iteration edges from
+  the in-block order, loop-carried edges (distance 1) from definitions
+  reaching the next iteration and from carried anti/output pairs;
+  feasibility requires ``t_n - t_m >= lat - distance · II``, linear in
+  the start-time expressions ``Σ t·x``;
+* modulo resource constraints: for every kernel slot ``s < II`` the
+  instructions with ``t ≡ s (mod II)`` must fit one dispersal window
+  (issue width and per-unit port caps, as in eq. (6)).
+
+Search: II rises from the resource-derived lower bound (ResMII) and the
+recurrence bound (RecMII) until the ILP is feasible — the first feasible
+II is optimal. The result carries kernel, prologue and epilogue
+instruction sequences (stage-annotated copies).
+
+Restrictions: single-block loops (header == latch) without calls or
+further control flow, mirroring where production compilers apply SWP and
+exactly the loops the paper's routine selection avoided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.ilp import Model, lin_sum, solve_model
+from repro.ir.ddg import DepKind
+from repro.machine.itanium2 import ITANIUM2
+from repro.machine.units import UnitKind
+
+
+@dataclass(frozen=True)
+class ModuloEdge:
+    """A dependence with iteration distance (omega)."""
+
+    src: object
+    dst: object
+    latency: int
+    distance: int
+
+
+@dataclass
+class ModuloSchedule:
+    """Result of modulo scheduling one loop body."""
+
+    loop_header: str
+    ii: int
+    start_times: dict  # instruction -> absolute start cycle
+    stages: int
+    mii_resource: int
+    mii_recurrence: int
+    solver_stats: object = None
+
+    def kernel(self):
+        """Kernel rows: list (length II) of [(instr, stage), ...]."""
+        rows = [[] for _ in range(self.ii)]
+        for instr, start in self.start_times.items():
+            rows[start % self.ii].append((instr, start // self.ii))
+        for row in rows:
+            row.sort(key=lambda pair: (pair[1], pair[0].uid))
+        return rows
+
+    def prologue(self):
+        """Fill instructions: iterations 0..stages-2, stages not yet live."""
+        out = []
+        for fill in range(self.stages - 1):
+            for instr, start in sorted(
+                self.start_times.items(), key=lambda kv: kv[1]
+            ):
+                if start // self.ii <= fill:
+                    out.append((instr.copy(), fill))
+        return out
+
+    def epilogue(self):
+        """Drain instructions: the last stages-1 iterations finishing up."""
+        out = []
+        for drain in range(1, self.stages):
+            for instr, start in sorted(
+                self.start_times.items(), key=lambda kv: kv[1]
+            ):
+                if start // self.ii >= drain:
+                    out.append((instr.copy(), drain))
+        return out
+
+
+class ModuloScheduler:
+    """Optimal modulo scheduling via the ILP substrate."""
+
+    def __init__(self, machine=ITANIUM2, backend="highs", time_limit=30.0,
+                 max_ii=64):
+        self.machine = machine
+        self.backend = backend
+        self.time_limit = time_limit
+        self.max_ii = max_ii
+
+    # -- public ---------------------------------------------------------------
+    def schedule_loop(self, fn, cfg, ddg, loop):
+        """Modulo-schedule a single-block loop; returns ModuloSchedule."""
+        body = self._body_instructions(fn, loop)
+        edges = build_modulo_edges(fn, loop, body, ddg)
+        res_mii = self.resource_mii(body)
+        rec_mii = recurrence_mii(body, edges)
+        ii = max(res_mii, rec_mii, 1)
+        while ii <= self.max_ii:
+            schedule = self._try_ii(body, edges, ii)
+            if schedule is not None:
+                start_times, stats = schedule
+                stages = 1 + max(
+                    (t // ii for t in start_times.values()), default=0
+                )
+                return ModuloSchedule(
+                    loop_header=loop.header,
+                    ii=ii,
+                    start_times=start_times,
+                    stages=stages,
+                    mii_resource=res_mii,
+                    mii_recurrence=rec_mii,
+                    solver_stats=stats,
+                )
+            ii += 1
+        raise SchedulingError(
+            f"no feasible II up to {self.max_ii} for loop {loop.header}"
+        )
+
+    # -- pieces ---------------------------------------------------------------
+    @staticmethod
+    def _body_instructions(fn, loop):
+        if len(loop.blocks) != 1:
+            raise SchedulingError(
+                "modulo scheduling handles single-block loops only"
+            )
+        block = fn.block(loop.header)
+        body = [
+            i
+            for i in block.instructions
+            if not i.is_branch and not i.is_nop
+        ]
+        if any(i.is_call for i in block.instructions):
+            raise SchedulingError("loops with calls are not pipelined")
+        if not body:
+            raise SchedulingError("empty loop body")
+        return body
+
+    def resource_mii(self, body):
+        """ResMII: ceil(usage / capacity) over all unit classes."""
+        ports = self.machine.ports
+        counts = {kind: 0 for kind in UnitKind}
+        for instr in body:
+            counts[instr.unit] += 1
+        slots = (
+            counts[UnitKind.M]
+            + counts[UnitKind.I]
+            + counts[UnitKind.F]
+            + counts[UnitKind.B]
+            + counts[UnitKind.A]
+            + 2 * counts[UnitKind.L]
+        )
+        bounds = [
+            math.ceil(slots / ports.issue_width),
+            math.ceil(counts[UnitKind.M] / ports.m_ports),
+            math.ceil((counts[UnitKind.I] + counts[UnitKind.L]) / ports.i_ports),
+            math.ceil(counts[UnitKind.F] / ports.f_ports) if counts[UnitKind.F] else 0,
+            math.ceil(counts[UnitKind.B] / ports.b_ports) if counts[UnitKind.B] else 0,
+            math.ceil(
+                (counts[UnitKind.A] + counts[UnitKind.M] + counts[UnitKind.I])
+                / (ports.m_ports + ports.i_ports)
+            ),
+        ]
+        return max([b for b in bounds if b] + [1])
+
+    def _try_ii(self, body, edges, ii):
+        """Build and solve the time-indexed model for one candidate II."""
+        horizon = ii + _critical_path(body, edges) + 1
+        model = Model(f"swp_ii{ii}")
+        x = {}
+        for instr in body:
+            for t in range(horizon):
+                x[(instr, t)] = model.add_binary(f"x_{instr.uid}_{t}")
+            model.add_constraint(
+                lin_sum(x[(instr, t)] for t in range(horizon)) == 1,
+                name=f"assign_{instr.uid}",
+            )
+
+        start = {
+            instr: lin_sum(
+                t * x[(instr, t)] for t in range(1, horizon)
+            )
+            for instr in body
+        }
+        for index, edge in enumerate(edges):
+            if edge.src not in start or edge.dst not in start:
+                continue
+            bound = edge.latency - edge.distance * ii
+            model.add_constraint(
+                start[edge.dst] - start[edge.src] >= bound,
+                name=f"dep_{index}",
+            )
+
+        ports = self.machine.ports
+        for slot in range(ii):
+            members = [
+                (instr, x[(instr, t)])
+                for instr in body
+                for t in range(slot, horizon, ii)
+            ]
+            total = lin_sum(
+                (2.0 if i.unit is UnitKind.L else 1.0) * v for i, v in members
+            )
+            model.add_constraint(
+                total <= ports.issue_width, name=f"width_{slot}"
+            )
+            self._unit_cap(model, members, (UnitKind.M,), ports.m_ports, slot, "m")
+            self._unit_cap(
+                model, members, (UnitKind.I, UnitKind.L), ports.i_ports, slot, "i"
+            )
+            self._unit_cap(model, members, (UnitKind.F,), ports.f_ports, slot, "f")
+            self._unit_cap(model, members, (UnitKind.B,), ports.b_ports, slot, "b")
+            self._unit_cap(
+                model,
+                members,
+                (UnitKind.A, UnitKind.M, UnitKind.I),
+                ports.m_ports + ports.i_ports,
+                slot,
+                "mi",
+            )
+
+        # Prefer flat schedules (fewer stages -> less prologue/epilogue).
+        model.set_objective(lin_sum(start.values()))
+        solution = solve_model(
+            model, backend=self.backend, time_limit=self.time_limit
+        )
+        if not solution:
+            return None
+        times = {
+            instr: int(
+                round(
+                    sum(
+                        t * solution.value_of(x[(instr, t)])
+                        for t in range(horizon)
+                    )
+                )
+            )
+            for instr in body
+        }
+        return times, solution.stats
+
+    @staticmethod
+    def _unit_cap(model, members, kinds, cap, slot, tag):
+        terms = [v for i, v in members if i.unit in kinds]
+        if len(terms) > cap:
+            model.add_constraint(
+                lin_sum(terms) <= cap, name=f"cap{tag}_{slot}"
+            )
+
+
+def build_modulo_edges(fn, loop, body, ddg):
+    """Dependences with iteration distances for a single-block loop body.
+
+    Distance-0 edges come straight from the DDG (in-block, forward);
+    distance-1 edges are reconstructed from the loop-carried
+    relationships the acyclic DDG intentionally drops: a register read
+    whose in-block definition comes *later* is fed by the previous
+    iteration; symmetrically, that read constrains the definition as a
+    carried anti dependence; carried memory and output pairs get
+    conservative distance-1 ordering.
+    """
+    members = set(body)
+    edges = []
+    for edge in ddg.edges:
+        if edge.src in members and edge.dst in members:
+            edges.append(
+                ModuloEdge(edge.src, edge.dst, edge.latency, 0)
+            )
+
+    position = {instr: i for i, instr in enumerate(body)}
+    for reader in body:
+        for reg in reader.regs_read():
+            writers = [
+                w
+                for w in body
+                if reg in w.regs_written() and w is not reader
+            ]
+            for writer in writers:
+                if position[writer] >= position[reader]:
+                    # Value flows across the back edge.
+                    edges.append(
+                        ModuloEdge(writer, reader, writer.latency, 1)
+                    )
+            if reg in reader.regs_written():
+                # Self-recurrence (post-increment style).
+                edges.append(ModuloEdge(reader, reader, reader.latency, 1))
+
+    # Carried anti: a later write must not overtake this iteration's read.
+    for writer in body:
+        for reg in writer.regs_written():
+            for reader in body:
+                if reader is writer:
+                    continue
+                if reg in reader.regs_read() and position[reader] > position[writer]:
+                    edges.append(ModuloEdge(reader, writer, 0, 1))
+
+    # Carried memory ordering (conservative: any store pairs).
+    memory = [i for i in body if (i.is_load or i.is_store) and i.mem is not None]
+    from repro.ir.alias import must_order
+
+    for i, op_a in enumerate(memory):
+        for op_b in memory:
+            if op_a is op_b or not (op_a.is_store or op_b.is_store):
+                continue
+            if position[op_a] > position[op_b] and must_order(op_a.mem, op_b.mem):
+                edges.append(ModuloEdge(op_a, op_b, 0, 1))
+    return edges
+
+
+def recurrence_mii(body, edges):
+    """RecMII: smallest II with no positive-weight cycle (binary search).
+
+    For a candidate II, edge weight = latency − distance·II; a positive
+    cycle means some recurrence needs more than II cycles per iteration.
+    Detection via Bellman–Ford on the negated graph.
+    """
+    low, high = 1, max(
+        (sum(e.latency for e in edges if e.src is e.dst) or 1), 1
+    )
+    high = max(high, _critical_path(body, edges), 1)
+    while low < high:
+        mid = (low + high) // 2
+        if _has_positive_cycle(body, edges, mid):
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def _has_positive_cycle(body, edges, ii):
+    distance = {instr: 0.0 for instr in body}
+    relevant = [
+        (e.src, e.dst, e.latency - e.distance * ii) for e in edges
+    ]
+    for _ in range(len(body)):
+        changed = False
+        for src, dst, weight in relevant:
+            if distance[src] + weight > distance[dst]:
+                distance[dst] = distance[src] + weight
+                changed = True
+        if not changed:
+            return False
+    # One more pass: still-improving means a positive cycle.
+    for src, dst, weight in relevant:
+        if distance[src] + weight > distance[dst]:
+            return True
+    return False
+
+
+def _critical_path(body, edges):
+    """Longest distance-0 path (acyclic) in cycles."""
+    order = list(body)
+    height = {instr: 1 for instr in body}
+    forward = [e for e in edges if e.distance == 0]
+    for _ in range(len(body)):
+        changed = False
+        for edge in forward:
+            want = height[edge.src] + max(edge.latency, 0)
+            if want > height.get(edge.dst, 0):
+                height[edge.dst] = want
+                changed = True
+        if not changed:
+            break
+    return max(height.values(), default=1)

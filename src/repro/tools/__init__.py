@@ -1,0 +1,10 @@
+"""Command-line tools and experiment drivers.
+
+* :mod:`repro.tools.experiments` — runs the paper's experiments (one
+  routine or the full Table 1/2 and Figure 7 sweeps) and computes every
+  reported column;
+* :mod:`repro.tools.report` — ``tia-report`` CLI rendering those tables
+  next to the paper's published values;
+* :mod:`repro.tools.optimize` — ``tia-opt`` CLI: the postpass optimizer
+  over a TIA assembly file (parse → optimize → emit).
+"""

@@ -1,0 +1,153 @@
+"""``tia-opt``: the postpass optimizer as a command-line filter.
+
+Reads a TIA assembly file (see :mod:`repro.ir.parser` for the format),
+runs the ILP scheduler and writes the optimized routine — the workflow
+of paper Sec. 6.1 ("The assembly files are directly input to our
+optimizer ... a bundler generates the final assembly output").
+
+Usage::
+
+    tia-opt INPUT.tia [-o OUTPUT.tia] [--no-speculation] [--no-cyclic]
+            [--no-partial-ready] [--time-limit S] [--backend highs|bb]
+            [--schedule] [--bundles]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.ir.parser import parse_functions
+from repro.ir.printer import format_function, format_schedule
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+
+
+def _emit_function(result):
+    """Render the optimized schedule back to TIA text.
+
+    Recovery code for used speculation groups is materialized as real
+    blocks at the end of the routine (the paper added these by hand,
+    Sec. 6.1): each re-executes the faulting load (non-speculatively)
+    plus the uses that were scheduled before the check, then branches
+    back to the check's block.
+    """
+    from repro.ir.block import BasicBlock
+    from repro.ir.function import Function
+
+    fn = result.fn
+    schedule = result.output_schedule
+    out = Function(name=fn.name, live_in=set(fn.live_in), live_out=set(fn.live_out))
+    for name in schedule.block_order:
+        block = BasicBlock(name=name, freq=fn.block(name).freq)
+        for instr in schedule.instructions_in(name):
+            block.instructions.append(instr)
+        out.add_block(block)
+
+    check_blocks = {
+        p.instr.root_origin: p.block
+        for p in schedule.placements()
+        if p.instr.is_check
+    }
+    for stub, group in zip(
+        result.reconstruction.recovery_stubs,
+        result.reconstruction.selected_groups,
+    ):
+        block = BasicBlock(name=stub.label, freq=0.0)
+        reload_ = group.original.copy(
+            dests=list(group.spec_load.dests), pred=None, origin=None
+        )
+        block.instructions.append(reload_)
+        for use in stub.reexecuted_uses:
+            block.instructions.append(use.copy(origin=None))
+        resume = check_blocks.get(group.check)
+        if resume is not None:
+            from repro.ir.parser import parse_instruction
+
+            block.instructions.append(parse_instruction(f"br {resume}"))
+        out.add_block(block)
+
+    for edge in fn.edges:
+        out.add_edge(edge.src, edge.dst, edge.prob)
+    return format_function(out)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="tia-opt", description=__doc__)
+    parser.add_argument("input", help="TIA assembly file ('-' for stdin)")
+    parser.add_argument("-o", "--output", default=None)
+    parser.add_argument("--no-speculation", action="store_true")
+    parser.add_argument("--no-data-speculation", action="store_true")
+    parser.add_argument("--no-cyclic", action="store_true")
+    parser.add_argument("--no-partial-ready", action="store_true")
+    parser.add_argument("--no-verify", action="store_true")
+    parser.add_argument("--time-limit", type=float, default=120.0)
+    parser.add_argument("--backend", choices=["highs", "bb"], default="highs")
+    parser.add_argument(
+        "--schedule", action="store_true", help="print the cycle-level schedule"
+    )
+    parser.add_argument(
+        "--bundles", action="store_true", help="print the bundle encoding"
+    )
+    parser.add_argument(
+        "--dot",
+        metavar="PREFIX",
+        default=None,
+        help="write PREFIX.cfg.dot / PREFIX.ddg.dot / PREFIX.sched.dot",
+    )
+    args = parser.parse_args(argv)
+
+    if args.input == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.input) as handle:
+            text = handle.read()
+
+    features = ScheduleFeatures(
+        speculation=not args.no_speculation,
+        data_speculation=not args.no_data_speculation,
+        cyclic=not args.no_cyclic,
+        partial_ready=not args.no_partial_ready,
+        verify=not args.no_verify,
+        time_limit=args.time_limit,
+        backend=args.backend,
+    )
+
+    outputs = []
+    for fn in parse_functions(text):
+        result = optimize_function(fn, features)
+        print(result.report(), file=sys.stderr)
+        if args.schedule:
+            print(format_schedule(result.output_schedule, result.fn), file=sys.stderr)
+        if args.bundles:
+            for block in result.output_schedule.block_order:
+                for bundle in result.bundles_out.bundles_of(block):
+                    print(f"  {block}: {bundle!r}", file=sys.stderr)
+        if args.dot:
+            from repro.ir.cfg import CfgInfo
+            from repro.ir.ddg import build_dependence_graph
+            from repro.ir.dot import cfg_to_dot, ddg_to_dot, schedule_to_dot
+            from repro.ir.liveness import compute_liveness
+
+            work = result.fn
+            cfg = CfgInfo(work)
+            ddg = build_dependence_graph(work, cfg, compute_liveness(work))
+            for suffix, text_out in (
+                ("cfg", cfg_to_dot(work, cfg, result.output_schedule)),
+                ("ddg", ddg_to_dot(work, ddg)),
+                ("sched", schedule_to_dot(work, result.output_schedule)),
+            ):
+                with open(f"{args.dot}.{suffix}.dot", "w") as handle:
+                    handle.write(text_out)
+        outputs.append(_emit_function(result))
+
+    text_out = "\n".join(outputs)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text_out)
+    else:
+        print(text_out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

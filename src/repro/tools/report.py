@@ -1,0 +1,172 @@
+"""``tia-report``: render the reproduced tables next to the paper's values.
+
+Usage::
+
+    tia-report table1 [--scale S] [--routines a,b,c]
+    tia-report table2 [--scale S]
+    tia-report fig7   [--scale S]
+
+The paper's published numbers ship with the tool so every report shows
+reproduced-vs-published side by side; EXPERIMENTS.md is generated from
+the same data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.tools.experiments import run_fig7, run_table
+
+# Published values (Tables 1 and 2 of the paper), keyed by routine.
+PAPER_TABLE1 = {
+    "longest_match": dict(weight=0.68, speedup_program=0.2897, speedup_routine=0.43, static_red=0.44, ins_in=191, ins_out=230, delta_ins=0.20, delta_bundles=0.07, ipc_in=2.4, ipc_out=5.4),
+    "deflate": dict(weight=0.14, speedup_program=0.0172, speedup_routine=0.12, static_red=0.19, ins_in=226, ins_out=233, delta_ins=0.03, delta_bundles=-0.03, ipc_in=2.6, ipc_out=3.6),
+    "send_bits": dict(weight=0.15, speedup_program=0.0305, speedup_routine=0.20, static_red=0.30, ins_in=86, ins_out=95, delta_ins=0.10, delta_bundles=0.03, ipc_in=2.6, ipc_out=4.7),
+    "firstone": dict(weight=0.10, speedup_program=0.0088, speedup_routine=0.09, static_red=0.37, ins_in=37, ins_out=42, delta_ins=0.14, delta_bundles=0.00, ipc_in=2.6, ipc_out=4.8),
+    "get_heap_head": dict(weight=0.30, speedup_program=0.0425, speedup_routine=0.14, static_red=0.43, ins_in=71, ins_out=94, delta_ins=0.32, delta_bundles=0.09, ipc_in=2.3, ipc_out=4.6),
+    "add_to_heap": dict(weight=0.13, speedup_program=0.0117, speedup_routine=0.09, static_red=0.17, ins_in=108, ins_out=119, delta_ins=0.10, delta_bundles=0.04, ipc_in=2.3, ipc_out=4.1),
+    "qSort3": dict(weight=0.12, speedup_program=0.0193, speedup_routine=0.16, static_red=0.26, ins_in=241, ins_out=279, delta_ins=0.16, delta_bundles=0.04, ipc_in=2.9, ipc_out=4.5),
+    "xfree": dict(weight=0.10, speedup_program=0.0076, speedup_routine=0.07, static_red=0.22, ins_in=46, ins_out=50, delta_ins=0.09, delta_bundles=-0.05, ipc_in=2.3, ipc_out=3.6),
+    "prune_match": dict(weight=0.06, speedup_program=0.0073, speedup_routine=0.12, static_red=0.41, ins_in=69, ins_out=84, delta_ins=0.22, delta_bundles=-0.03, ipc_in=2.5, ipc_out=5.4),
+}
+
+PAPER_TABLE1_AVG = dict(
+    speedup_routine=0.16, static_red=0.31, delta_ins=0.15, delta_bundles=0.02, ipc_in=2.6, ipc_out=4.5
+)
+
+PAPER_TABLE2 = {
+    "longest_match": dict(blocks=26, loops=2, spec_in=15, spec_poss=47, spec_out=24, constraints=5619, variables=2865, nodes=500, time=141),
+    "deflate": dict(blocks=37, loops=3, spec_in=4, spec_poss=28, spec_out=7, constraints=4570, variables=2686, nodes=2, time=3),
+    "send_bits": dict(blocks=12, loops=0, spec_in=0, spec_poss=10, spec_out=1, constraints=2583, variables=1417, nodes=8, time=4),
+    "firstone": dict(blocks=8, loops=0, spec_in=0, spec_poss=7, spec_out=5, constraints=458, variables=277, nodes=0, time=0),
+    "get_heap_head": dict(blocks=9, loops=2, spec_in=3, spec_poss=23, spec_out=11, constraints=4126, variables=1673, nodes=1, time=13),
+    "add_to_heap": dict(blocks=12, loops=1, spec_in=2, spec_poss=16, spec_out=5, constraints=3248, variables=1665, nodes=0, time=2),
+    "qSort3": dict(blocks=22, loops=4, spec_in=7, spec_poss=44, spec_out=18, constraints=10723, variables=4984, nodes=914, time=179),
+    "xfree": dict(blocks=9, loops=1, spec_in=2, spec_poss=7, spec_out=4, constraints=759, variables=403, nodes=6, time=0),
+    "prune_match": dict(blocks=10, loops=1, spec_in=4, spec_poss=19, spec_out=11, constraints=1294, variables=766, nodes=2, time=1),
+}
+
+# Figure 7 (read off the bars): average reduction per extension level.
+PAPER_FIG7 = {
+    "base": 0.21,
+    "+speculation": 0.25,
+    "+cyclic": 0.28,
+    "+partial-ready": 0.31,
+}
+
+
+def render_table1(experiments):
+    header = (
+        f"{'Routine':15s} {'Wgt':>5s} {'SpdP':>7s} {'SpdR':>7s} {'Red.':>7s} "
+        f"{'InsIn':>6s} {'InsOut':>7s} {'dIns':>6s} {'dBndl':>6s} "
+        f"{'IPCi':>5s} {'IPCo':>5s}"
+    )
+    lines = ["Table 1 — measured (this reproduction)", header]
+    totals = {"speedup_routine": 0, "static_red": 0, "delta_ins": 0,
+              "delta_bundles": 0, "ipc_in": 0, "ipc_out": 0}
+    for experiment in experiments:
+        row = experiment.table1_row()
+        lines.append(
+            f"{row['routine']:15s} {row['weight']:5.0%} "
+            f"{row['speedup_program']:7.2%} {row['speedup_routine']:7.1%} "
+            f"{row['static_red']:7.1%} {row['ins_in']:6d} {row['ins_out']:7d} "
+            f"{row['delta_ins']:6.0%} {row['delta_bundles']:6.0%} "
+            f"{row['ipc_in']:5.1f} {row['ipc_out']:5.1f}"
+        )
+        for key in totals:
+            totals[key] += row[key]
+    n = len(experiments)
+    lines.append(
+        f"{'Average':15s} {'':5s} {'':7s} {totals['speedup_routine']/n:7.1%} "
+        f"{totals['static_red']/n:7.1%} {'':6s} {'':7s} "
+        f"{totals['delta_ins']/n:6.0%} {totals['delta_bundles']/n:6.0%} "
+        f"{totals['ipc_in']/n:5.1f} {totals['ipc_out']/n:5.1f}"
+    )
+    lines.append("")
+    lines.append("Table 1 — published (paper)")
+    lines.append(header)
+    for experiment in experiments:
+        name = experiment.spec.name
+        row = PAPER_TABLE1[name]
+        lines.append(
+            f"{name:15s} {row['weight']:5.0%} {row['speedup_program']:7.2%} "
+            f"{row['speedup_routine']:7.1%} {row['static_red']:7.1%} "
+            f"{row['ins_in']:6d} {row['ins_out']:7d} {row['delta_ins']:6.0%} "
+            f"{row['delta_bundles']:6.0%} {row['ipc_in']:5.1f} "
+            f"{row['ipc_out']:5.1f}"
+        )
+    avg = PAPER_TABLE1_AVG
+    lines.append(
+        f"{'Average':15s} {'':5s} {'':7s} {avg['speedup_routine']:7.1%} "
+        f"{avg['static_red']:7.1%} {'':6s} {'':7s} {avg['delta_ins']:6.0%} "
+        f"{avg['delta_bundles']:6.0%} {avg['ipc_in']:5.1f} {avg['ipc_out']:5.1f}"
+    )
+    return "\n".join(lines)
+
+
+def render_table2(experiments):
+    header = (
+        f"{'Routine':15s} {'#BB':>4s} {'#Lp':>4s} {'SpIn':>5s} {'SpPs':>5s} "
+        f"{'SpOut':>6s} {'#Cons':>7s} {'#Vars':>7s} {'#Nodes':>7s} {'Time':>7s}"
+    )
+    lines = ["Table 2 — measured (this reproduction)", header]
+    for experiment in experiments:
+        row = experiment.table2_row()
+        lines.append(
+            f"{row['routine']:15s} {row['blocks']:4d} {row['loops']:4d} "
+            f"{row['spec_in']:5d} {row['spec_poss']:5d} {row['spec_out']:6d} "
+            f"{row['constraints']:7d} {row['variables']:7d} "
+            f"{row['nodes']:7d} {row['time']:6.1f}s"
+        )
+    lines.append("")
+    lines.append("Table 2 — published (paper, CPLEX 8.0 on 900 MHz UltraSparc III+)")
+    lines.append(header)
+    for experiment in experiments:
+        name = experiment.spec.name
+        row = PAPER_TABLE2[name]
+        lines.append(
+            f"{name:15s} {row['blocks']:4d} {row['loops']:4d} "
+            f"{row['spec_in']:5d} {row['spec_poss']:5d} {row['spec_out']:6d} "
+            f"{row['constraints']:7d} {row['variables']:7d} "
+            f"{row['nodes']:7d} {row['time']:6.0f}s"
+        )
+    return "\n".join(lines)
+
+
+def render_fig7(results):
+    lines = [
+        "Figure 7 — schedule reduction as extensions are enabled",
+        f"{'Level':16s} {'measured':>10s} {'paper':>8s} {'avg solve':>10s}",
+    ]
+    for label, data in results.items():
+        lines.append(
+            f"{label:16s} {data['avg_reduction']:10.1%} "
+            f"{PAPER_FIG7[label]:8.0%} {data['avg_time']:9.1f}s"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="tia-report", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("artifact", choices=["table1", "table2", "fig7"])
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--routines", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    names = args.routines.split(",") if args.routines else None
+    if args.artifact == "fig7":
+        print(render_fig7(run_fig7(names=names, scale=args.scale)))
+        return 0
+    experiments = run_table(names=names, scale=args.scale)
+    if args.artifact == "table1":
+        print(render_table1(experiments))
+    else:
+        print(render_table2(experiments))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

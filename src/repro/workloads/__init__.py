@@ -1,0 +1,32 @@
+"""Workloads: synthetic routines calibrated to the paper's experiments.
+
+The paper optimizes nine hot SPECint2000 routines compiled by Intel's
+compiler. Neither SPEC sources nor an IA-64 toolchain are available (or
+redistributable), so :mod:`repro.workloads.generator` builds seeded
+synthetic routines with the same *problem shape* — instruction count,
+block count, loop count, operation mix, block frequency profile and
+planted input speculation — and :mod:`repro.workloads.spec_routines`
+carries one calibrated configuration per Table 1 routine.
+:mod:`repro.workloads.samples` holds the small hand-written kernels
+reproducing the situations of Figures 1 and 4–6.
+"""
+
+from repro.workloads.generator import RoutineSpec, generate_routine
+from repro.workloads.spec_routines import SPEC_ROUTINES, build_spec_routine
+from repro.workloads.samples import (
+    fig1_code_motion_sample,
+    fig4_speculation_sample,
+    fig5_cyclic_sample,
+    fig6_partial_ready_sample,
+)
+
+__all__ = [
+    "RoutineSpec",
+    "generate_routine",
+    "SPEC_ROUTINES",
+    "build_spec_routine",
+    "fig1_code_motion_sample",
+    "fig4_speculation_sample",
+    "fig5_cyclic_sample",
+    "fig6_partial_ready_sample",
+]

@@ -1,0 +1,405 @@
+"""Seeded synthetic routine generator.
+
+Routines are built in three stages:
+
+1. a structured CFG skeleton (chains, triangles, diamonds, loops) sized
+   to the requested block and loop counts — always reducible, like the
+   compiler output the paper consumes;
+2. profile annotation: branch probabilities and loop trip counts yield
+   block frequencies the way ``-prof_use`` annotations do;
+3. instruction filling: each block receives a mix of loads, stores, ALU
+   ops, shifts and compares whose operands are drawn from recently
+   defined registers (dependence depth is controlled by how far back the
+   generator reaches), with a compare feeding each conditional branch.
+   A configurable number of load+check pairs is emitted as ``ld.s``/
+   ``chk.s`` to model the input compiler's own speculation (undone by the
+   postpass driver and reported as Table 2's "Spec. in").
+
+All randomness comes from one seeded ``random.Random`` so a spec always
+produces the identical routine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, MemRef
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function
+from repro.ir.registers import reg
+
+
+@dataclass(frozen=True)
+class RoutineSpec:
+    """Recipe for one synthetic routine."""
+
+    name: str
+    instructions: int = 80
+    blocks: int = 10
+    loops: int = 1
+    seed: int = 1
+    load_fraction: float = 0.22
+    store_fraction: float = 0.10
+    shift_fraction: float = 0.12
+    input_spec_loads: int = 0  # ld.s/chk.s pairs planted in the input
+    weight: float = 0.10  # routine weight in its program (Table 1)
+    miss_rate: float = 0.03  # D-cache behaviour for the simulator
+    base_freq: float = 1000.0
+    trip_count: tuple = (4, 16)  # loop trip count range
+    alias_classes: tuple = ("heap", "stack", "glob")
+    program: str = ""  # e.g. "gzip" (report column)
+    input_set: str = ""  # e.g. "program" (report column)
+
+
+# -- CFG skeleton ------------------------------------------------------------------
+
+
+@dataclass
+class _SkelBlock:
+    name: str
+    freq: float = 0.0
+    succs: list = field(default_factory=list)  # (target, prob) pairs
+    is_latch: bool = False
+    loop_header: str | None = None
+    in_loop: str | None = None  # innermost loop header this block belongs to
+    iv: str | None = None  # loop induction register (latches update it)
+    idom: str | None = None  # immediate dominator (for operand availability)
+    init_counters: list = field(default_factory=list)  # counters to zero here
+    counter: tuple | None = None  # (reg name, trips) for the exit test
+    counter_bump: str | None = None  # latch increments this counter
+
+
+def _build_skeleton(spec, rng):
+    """Structured CFG: list of _SkelBlock in layout order."""
+    blocks = []
+    counter = [0]
+
+    def new_block():
+        name = f"B{counter[0]}"
+        counter[0] += 1
+        block = _SkelBlock(name)
+        blocks.append(block)
+        return block
+
+    budget = [spec.blocks - 2]  # entry and exit reserved
+    loops_left = [spec.loops]
+    loop_counter = [0]
+
+    def build_region(entry_freq):
+        """Emit a region; returns (first block, last block). Linear chain of
+        shapes: plain block / triangle / diamond / loop."""
+        first = new_block()
+        first.freq = entry_freq
+        current = first
+        while budget[0] > 0:
+            budget[0] -= 1
+            choice = rng.random()
+            if loops_left[0] > 0 and (choice < 0.35 or budget[0] <= loops_left[0] * 2):
+                loops_left[0] -= 1
+                current = _attach_loop(current, rng)
+            elif choice < 0.6 and budget[0] >= 2:
+                budget[0] -= 2
+                current = _attach_diamond(current, rng)
+            elif choice < 0.8 and budget[0] >= 1:
+                budget[0] -= 1
+                current = _attach_triangle(current, rng)
+            else:
+                nxt = new_block()
+                nxt.freq = current.freq
+                nxt.idom = current.name
+                current.succs.append((nxt.name, 1.0))
+                current = nxt
+            if rng.random() < 0.15 and budget[0] <= 0:
+                break
+        return first, current
+
+    def _attach_triangle(current, rng_):
+        side = new_block()
+        join = new_block()
+        side.idom = current.name
+        join.idom = current.name
+        p_side = rng_.uniform(0.2, 0.8)
+        current.succs.append((side.name, p_side))
+        current.succs.append((join.name, 1.0 - p_side))
+        side.succs.append((join.name, 1.0))
+        side.freq = current.freq * p_side
+        join.freq = current.freq
+        return join
+
+    def _attach_diamond(current, rng_):
+        left = new_block()
+        right = new_block()
+        join = new_block()
+        left.idom = current.name
+        right.idom = current.name
+        join.idom = current.name
+        p_left = rng_.uniform(0.15, 0.85)
+        current.succs.append((left.name, p_left))
+        current.succs.append((right.name, 1.0 - p_left))
+        left.succs.append((join.name, 1.0))
+        right.succs.append((join.name, 1.0))
+        left.freq = current.freq * p_left
+        right.freq = current.freq * (1.0 - p_left)
+        join.freq = current.freq
+        return join
+
+    def _attach_loop(current, rng_):
+        header = new_block()
+        body = None
+        if budget[0] > 0:
+            budget[0] -= 1
+            body = new_block()
+            body.idom = header.name
+        exit_block = new_block()
+        header.idom = current.name
+        exit_block.idom = header.name
+        trips = rng_.randint(*spec.trip_count)
+        header.freq = current.freq * trips
+        current.succs.append((header.name, 1.0))
+        p_exit = 1.0 / trips
+        # Each loop gets an induction register updated in the latch; loads
+        # inside the loop prefer it as their base, creating the loop-carried
+        # chain every real loop has (and that blocks wholesale hoisting).
+        iv = f"r{34 + (loop_counter[0] % 6)}"
+        # A dedicated trip counter makes every generated loop *counted* —
+        # like compiled for-loops — so interpreter executions terminate.
+        counter_reg = f"r{121 + (loop_counter[0] % 7)}"
+        loop_counter[0] += 1
+        current.init_counters.append(counter_reg)
+        header.in_loop = header.name
+        header.iv = iv
+        header.counter = (counter_reg, trips)
+        if body is not None:
+            body.freq = header.freq * (1.0 - p_exit)
+            header.succs.append((body.name, 1.0 - p_exit))
+            header.succs.append((exit_block.name, p_exit))
+            body.succs.append((header.name, 1.0))
+            body.is_latch = True
+            body.loop_header = header.name
+            body.in_loop = header.name
+            body.iv = iv
+            body.counter_bump = counter_reg
+        else:
+            header.succs.append((header.name, 1.0 - p_exit))
+            header.succs.append((exit_block.name, p_exit))
+            header.is_latch = True
+            header.loop_header = header.name
+            header.counter_bump = counter_reg
+        exit_block.freq = current.freq
+        return exit_block
+
+    entry_freq = spec.base_freq
+    first, last = build_region(entry_freq)
+    exit_block = new_block()
+    exit_block.freq = last.freq
+    exit_block.idom = last.name
+    last.succs.append((exit_block.name, 1.0))
+    return blocks
+
+
+# -- instruction filling -------------------------------------------------------------
+
+
+class _RegPool:
+    """Operand pool for one block: registers whose definitions dominate it.
+
+    Using only dominating definitions guarantees the generated code never
+    reads a register that is undefined on some path — exactly like
+    compiler output from a source language — which keeps differential
+    semantic testing of the scheduler meaningful (a speculated definition
+    may legally change an *undefined* value, so such reads must not
+    exist).
+    """
+
+    def __init__(self, rng, available, counters):
+        self.rng = rng
+        self.recent = list(available)
+        self.block_defs = []
+        self.counters = counters  # shared {"gr": int, "pr": int}
+
+    def fresh_gr(self):
+        name = reg(f"r{self.counters['gr']}")
+        self.counters["gr"] += 1
+        if self.counters["gr"] > 120:
+            self.counters["gr"] = 40
+        return name
+
+    def fresh_pr_pair(self):
+        a = reg(f"p{self.counters['pr']}")
+        b = reg(f"p{self.counters['pr'] + 1}")
+        self.counters["pr"] += 2
+        if self.counters["pr"] > 60:
+            self.counters["pr"] = 16
+        return a, b
+
+    def define(self, register):
+        self.recent.append(register)
+        self.block_defs.append(register)
+
+    def pick(self, depth=6):
+        """A recently available register — small depth = long dep chains."""
+        window = self.recent[-depth:] if self.recent else []
+        if not window:
+            return reg("r32")
+        return self.rng.choice(window)
+
+
+def generate_routine(spec):
+    """Build the routine for ``spec``; returns a validated Function."""
+    rng = random.Random(spec.seed)
+    skeleton = _build_skeleton(spec, rng)
+
+    live_in = [reg(f"r{i}") for i in range(32, 40)]
+    fn_lines = [f".proc {spec.name}"]
+    fn_lines.append(".livein " + ", ".join(r.name for r in live_in))
+
+    total_freq = sum(b.freq for b in skeleton) or 1.0
+    body_budget = max(spec.instructions - 2 * len(skeleton), len(skeleton))
+    counters = {"gr": 40, "pr": 16}
+    avail_entry = {}  # block name -> ordered dominating definitions
+    block_defs = {}
+    produced = []
+    spec_loads_left = spec.input_spec_loads
+
+    for index, skel in enumerate(skeleton):
+        if skel.idom is None:
+            avail_entry[skel.name] = list(live_in)
+        else:
+            avail_entry[skel.name] = avail_entry[skel.idom] + block_defs[skel.idom]
+        # Cap the operand window so dependence chains stay plausible.
+        avail_entry[skel.name] = avail_entry[skel.name][-24:]
+        pool = _RegPool(rng, avail_entry[skel.name], counters)
+        share = max(1, round(body_budget * (1.0 / len(skeleton))))
+        jitter = rng.randint(-1, 2)
+        count = max(1, share + jitter)
+        succ_text = ""
+        if skel.succs:
+            succ_text = " succ=" + ",".join(
+                f"{name}:{prob:.3f}" for name, prob in skel.succs
+            )
+        fn_lines.append(f".block {skel.name} freq={skel.freq:.6g}{succ_text}")
+
+        lines, new_spec_loads = _fill_block(
+            spec, rng, pool, count, produced, spec_loads_left, iv=skel.iv
+        )
+        spec_loads_left -= new_spec_loads
+        block_defs[skel.name] = list(pool.block_defs)
+        if skel.is_latch and skel.iv is not None:
+            lines.append(f"adds {skel.iv} = 8, {skel.iv}")
+        if skel.counter_bump is not None:
+            lines.append(f"adds {skel.counter_bump} = 1, {skel.counter_bump}")
+        for counter in skel.init_counters:
+            lines.append(f"mov {counter} = 0")
+        fn_lines.extend("    " + line for line in lines)
+
+        # Terminator. For two-way blocks the layout-next successor takes the
+        # fall-through edge; the conditional branch targets the other one.
+        next_name = skeleton[index + 1].name if index + 1 < len(skeleton) else None
+        if len(skel.succs) > 1:
+            p_true, p_false = pool.fresh_pr_pair()
+            target = next(
+                (name for name, _p in skel.succs if name != next_name),
+                skel.succs[0][0],
+            )
+            if skel.counter is not None:
+                # Counted loop exit: branch back while counter < trips, or
+                # leave once it reaches the trip count.
+                counter, trips = skel.counter
+                relation = "cmp.lt" if target == skel.name else "cmp.ge"
+                fn_lines.append(
+                    f"    {relation} {p_true.name}, {p_false.name} = "
+                    f"{counter}, {trips}"
+                )
+            else:
+                lhs = pool.pick()
+                cond = rng.choice(["cmp.eq", "cmp.lt", "cmp.ne"])
+                fn_lines.append(
+                    f"    {cond} {p_true.name}, {p_false.name} = {lhs.name}, r0"
+                )
+            fn_lines.append(f"    ({p_true.name}) br.cond {target}")
+        elif len(skel.succs) == 1:
+            target = skel.succs[0][0]
+            next_name = skeleton[index + 1].name if index + 1 < len(skeleton) else None
+            if target != next_name:
+                fn_lines.append(f"    br {target}")
+        else:
+            fn_lines.append("    br.ret b0")
+
+    # Live-outs must be defined on every path: pick from definitions that
+    # dominate the exit block (plus r8, which callers conventionally read).
+    exit_name = skeleton[-1].name
+    dominating = avail_entry[exit_name] + block_defs.get(exit_name, [])
+    candidates = [r for r in dominating if r.bank.value == "r"]
+    live_out = sorted({r.name for r in candidates[-3:]} | {"r8"})
+    fn_lines.insert(2, ".liveout " + ", ".join(live_out))
+    fn_lines.append(".endp")
+    text = "\n".join(fn_lines) + "\n"
+    fn = parse_function(text)
+    return fn
+
+
+def _fill_block(spec, rng, pool, count, produced, spec_loads_left, iv=None):
+    """Generate ``count`` instruction lines for one block.
+
+    ``iv`` is the surrounding loop's induction register: loads prefer it
+    as base so loop iterations are chained through memory addressing.
+    """
+    lines = []
+    spec_loads = 0
+    pending_check = None
+    for position in range(count):
+        draw = rng.random()
+        if draw < spec.load_fraction:
+            dest = pool.fresh_gr()
+            from repro.ir.registers import reg as _reg
+            base = _reg(iv) if (iv is not None and rng.random() < 0.6) else pool.pick(depth=10)
+            offset = rng.choice((0, 8, 16, 24, 32))
+            cls = rng.choice(spec.alias_classes)
+            if spec_loads_left - spec_loads > 0 and rng.random() < 0.5:
+                lines.append(
+                    f"ld8.s {dest.name} = [{base.name}+{offset}] cls={cls}"
+                )
+                pending_check = dest
+                spec_loads += 1
+            else:
+                lines.append(
+                    f"ld8 {dest.name} = [{base.name}+{offset}] cls={cls}"
+                )
+            pool.define(dest)
+            produced.append(dest)
+        elif draw < spec.load_fraction + spec.store_fraction:
+            base = pool.pick(depth=12)
+            value = pool.pick(depth=4)
+            offset = rng.choice((0, 8, 16))
+            cls = rng.choice(spec.alias_classes)
+            lines.append(f"st8 [{base.name}+{offset}] = {value.name} cls={cls}")
+        elif draw < spec.load_fraction + spec.store_fraction + spec.shift_fraction:
+            dest = pool.fresh_gr()
+            src = pool.pick(depth=4)
+            op = rng.choice(("shl", "shr.u", "extr.u", "zxt4", "dep.z"))
+            if op in ("shl", "shr.u", "extr.u", "dep.z"):
+                lines.append(f"{op} {dest.name} = {src.name}, {rng.randint(1, 15)}")
+            else:
+                lines.append(f"{op} {dest.name} = {src.name}")
+            pool.define(dest)
+            produced.append(dest)
+        else:
+            dest = pool.fresh_gr()
+            op = rng.choice(("add", "sub", "and", "or", "xor", "shladd", "adds"))
+            src1 = pool.pick(depth=4)
+            if op == "adds":
+                lines.append(f"{op} {dest.name} = {rng.randint(-64, 64)}, {src1.name}")
+            else:
+                src2 = pool.pick(depth=8)
+                lines.append(f"{op} {dest.name} = {src1.name}, {src2.name}")
+            pool.define(dest)
+            produced.append(dest)
+        if pending_check is not None and rng.random() < 0.6:
+            lines.append(f"chk.s {pending_check.name}, recover_{pending_check.name}")
+            pending_check = None
+    if pending_check is not None:
+        lines.append(f"chk.s {pending_check.name}, recover_{pending_check.name}")
+    return lines, spec_loads

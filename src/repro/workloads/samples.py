@@ -1,0 +1,120 @@
+"""Hand-written kernels reproducing the paper's figure situations.
+
+Each function returns TIA text whose optimization demonstrates one
+figure: the examples under ``examples/`` parse these, run the optimizer
+and print before/after schedules.
+"""
+
+from __future__ import annotations
+
+
+def fig1_code_motion_sample():
+    """Fig. 1: the four global code-motion kinds around a diamond.
+
+    Block layout: A → {B, C} → D. Upward motion from B to A is
+    speculative (kind I); motion from D up across the join needs a
+    compensation copy (kind IV).
+    """
+    return """
+.proc code_motion_tour
+.livein r32, r33, r34
+.liveout r8
+.block A freq=100
+  add r14 = r32, r33
+  cmp.eq p6, p7 = r14, r0
+  (p6) br.cond C
+.block B freq=70
+  add r15 = r32, 8
+  xor r16 = r15, r33
+  br D
+.block C freq=30
+  add r17 = r33, r34
+  and r18 = r17, r32
+.block D freq=100
+  add r19 = r14, r34
+  sub r20 = r19, r32
+  shladd r8 = r20, r14
+  br.ret b0
+.endp
+"""
+
+
+def fig4_speculation_sample():
+    """Fig. 4: a load below a conditional branch becomes an ld.s above it.
+
+    The load sits in block B guarded by the branch in A; hoisting it
+    requires control speculation, with the chk.s staying at the original
+    program point.
+    """
+    return """
+.proc speculation_demo
+.livein r32, r33, r40
+.liveout r8
+.block A freq=100
+  add r14 = r32, r33
+  cmp.eq p6, p7 = r14, r0
+  (p6) br.cond C
+.block B freq=60
+  ld8 r15 = [r14] cls=heap
+  add r16 = r15, r32
+  add r8 = r16, r40
+.block C freq=100
+  st8 [r33+8] = r8 cls=stack
+  br.ret b0
+.endp
+"""
+
+
+def fig5_cyclic_sample():
+    """Fig. 5: a loop whose critical path shrinks with cyclic motion.
+
+    The address computation ``add r20 = r15, r33`` feeds the load at the
+    top of each iteration; cyclically moving it lets iteration i compute
+    the address iteration i+1 needs.
+    """
+    return """
+.proc cyclic_demo
+.livein r32, r33
+.liveout r8
+.block PRE freq=10
+  add r15 = r32, 0
+.block LOOP freq=1000 succ=LOOP:0.99,POST:0.01
+  add r20 = r15, r33
+  ld8 r21 = [r20] cls=heap
+  add r15 = r21, r32
+  xor r23 = r21, r33
+  and r24 = r23, r21
+  or r25 = r24, r23
+  cmp.ne p6, p7 = r25, r0
+  (p6) br.cond LOOP
+.block POST freq=10
+  add r8 = r15, 0
+  br.ret b0
+.endp
+"""
+
+
+def fig6_partial_ready_sample():
+    """Fig. 6: partial-ready code motion across a join.
+
+    On the likely path A→C the load's address is ready early; on the
+    unlikely path A→B→C the mov overwrites the address register, so the
+    hoisted ld.s needs a compensation copy after the mov.
+    """
+    return """
+.proc partial_ready_demo
+.livein r32, r33, r34
+.liveout r8
+.block A freq=100 succ=B:0.1,C:0.9
+  add r20 = r32, r33
+  cmp.eq p6, p7 = r32, r0
+  (p6) br.cond C
+.block B freq=10
+  mov r20 = r34
+.block C freq=100
+  ld8 r15 = [r20] cls=heap
+  add r16 = r15, r33
+  add r8 = r16, r32
+  br.ret b0
+.endp
+"""

@@ -1,0 +1,128 @@
+"""DP bundler: templates, stops, permutation within order constraints."""
+
+import pytest
+
+from repro.bundle import bundle_schedule, group_is_bundleable, pack_groups
+from repro.bundle.bundler import Bundle, pack_groups
+from repro.errors import BundlingError
+from repro.ir.parser import parse_instruction
+
+
+def _instrs(*texts):
+    return [parse_instruction(t) for t in texts]
+
+
+def test_simple_group_one_bundle():
+    group = _instrs("add r1 = r2, r3", "ld8 r4 = [r5]", "shl r6 = r7, 2")
+    bundles = pack_groups([group], [[]])
+    assert len(bundles) == 1
+    assert bundles[0].stop_after == 2
+
+
+def test_six_wide_group_two_bundles():
+    group = _instrs(
+        "ld8 r1 = [r10]",
+        "ld8 r2 = [r11]",
+        "add r3 = r1, r2",
+        "add r4 = r3, r1",
+        "shl r5 = r4, 1",
+        "add r6 = r5, r4",
+    )
+    bundles = pack_groups([group], [[]])
+    assert len(bundles) == 2
+
+
+def test_nops_fill_empty_slots():
+    group = _instrs("add r1 = r2, r3")
+    bundles = pack_groups([group], [[]])
+    assert bundles[0].nop_count == 2
+
+
+def test_branch_lands_in_b_slot():
+    group = _instrs("add r1 = r2, r3", "br.ret b0")
+    bundles = pack_groups([group], [[]])
+    bundle = bundles[0]
+    branch_slots = [
+        i
+        for i, s in enumerate(bundle.slots)
+        if not isinstance(s, str) and s.is_branch
+    ]
+    assert branch_slots
+    assert bundle.template[branch_slots[0]] == "B"
+
+
+def test_movl_uses_mlx():
+    group = _instrs("movl r9 = 1234567", "ld8 r5 = [r6]")
+    bundles = pack_groups([group], [[]])
+    assert any(b.template == "MLX" for b in bundles)
+
+
+def test_order_constraint_respected():
+    # st after ld in the same cycle (memory ordering): slot order must hold.
+    load = parse_instruction("ld8 r5 = [r6]")
+    store = parse_instruction("st8 [r6] = r7")
+    group = [load, store]
+    bundles = pack_groups([group], [[(0, 1)]])
+    flat = [s for b in bundles for s in b.slots if not isinstance(s, str)]
+    assert flat.index(load) < flat.index(store)
+
+
+def test_free_permutation_enables_packing():
+    # (A, I, A, M, A, M) fails in given order within 2 bundles but packs
+    # with reordering when no order pairs constrain it.
+    group = _instrs(
+        "shladd r1 = r2, r3",
+        "zxt4 r4 = r5",
+        "add r6 = r7, r8",
+        "ld8 r9 = [r10]",
+        "xor r11 = r12, r13",
+        "ld8 r14 = [r15]",
+    )
+    bundles = pack_groups([group], [[]])
+    assert len(bundles) == 2
+
+
+def test_fully_ordered_group_can_fail():
+    group = _instrs(
+        "add r1 = r2, r3",
+        "ld8 r4 = [r5]",
+        "ld8 r6 = [r7]",
+        "ld8 r8 = [r9]",
+        "ld8 r10 = [r11]",
+    )
+    chain = [(0, 1), (1, 2), (2, 3), (3, 4)]
+    with pytest.raises(BundlingError):
+        pack_groups([group], [chain])
+    assert not group_is_bundleable(group, chain)
+    assert group_is_bundleable(group, [])
+
+
+def test_mid_stop_shares_bundle_across_groups():
+    # Two single-instruction cycles: with M;MI / MI;I sharing, two groups
+    # can fit one bundle instead of two.
+    g1 = _instrs("ld8 r1 = [r2]")
+    g2 = _instrs("add r3 = r4, r5")
+    bundles = pack_groups([g1, g2], [[], []])
+    assert len(bundles) == 1
+    assert bundles[0].mid_stop is not None or bundles[0].stop_after is not None
+
+
+def test_empty_cycles_cost_nothing():
+    g1 = _instrs("ld8 r1 = [r2]")
+    bundles = pack_groups([g1, [], []], [[], None, None])
+    assert len(bundles) == 1
+
+
+def test_bundle_schedule_counts(diamond_fn):
+    from repro.ir.cfg import CfgInfo
+    from repro.ir.ddg import build_dependence_graph
+    from repro.ir.liveness import compute_liveness
+    from repro.sched.list_scheduler import ListScheduler
+
+    cfg = CfgInfo(diamond_fn)
+    ddg = build_dependence_graph(diamond_fn, cfg, compute_liveness(diamond_fn))
+    schedule = ListScheduler().schedule(diamond_fn, ddg)
+    result = bundle_schedule(schedule)
+    assert result.total_bundles >= 3
+    assert result.total_nops >= 0
+    assert set(result.bundles) == {"A", "B", "C"}

@@ -1,0 +1,95 @@
+"""Property tests: every dispersal-feasible group is encodable."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bundle import pack_groups
+from repro.ir.parser import parse_instruction
+from repro.machine.itanium2 import ITANIUM2
+from repro.machine.templates import slot_accepts
+from repro.machine.units import UnitKind
+
+_SAMPLES = {
+    UnitKind.A: "add r1 = r2, r3",
+    UnitKind.M: "ld8 r4 = [r5]",
+    UnitKind.I: "shl r6 = r7, 2",
+    UnitKind.F: "fma f1 = f2, f3",
+    UnitKind.B: "br.ret b0",
+    UnitKind.L: "movl r9 = 123456",
+}
+
+
+@st.composite
+def feasible_group(draw):
+    kinds = draw(
+        st.lists(
+            st.sampled_from(list(_SAMPLES)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    counts = {}
+    for kind in kinds:
+        counts[kind] = counts.get(kind, 0) + 1
+    if not ITANIUM2.ports.feasible(counts):
+        # Trim to feasibility instead of rejecting the draw.
+        while kinds and not ITANIUM2.ports.feasible(counts):
+            removed = kinds.pop()
+            counts[removed] -= 1
+    return [parse_instruction(_SAMPLES[k]) for k in kinds]
+
+
+@given(feasible_group())
+@settings(max_examples=80, deadline=None)
+def test_unordered_feasible_groups_pack_or_raise(group):
+    """Dispersal feasibility does not imply encodability (the paper's
+    reason for bundling constraints, Sec. 4.2): e.g. two F-unit ops plus
+    a movl need three bundles. Packing must either succeed within the
+    two-bundle dispersal window with valid slots, or raise the
+    BundlingError the scheduler turns into a lazy cut."""
+    if not group:
+        return
+    from repro.errors import BundlingError
+
+    try:
+        bundles = pack_groups([group], [[]])
+    except BundlingError as exc:
+        assert getattr(exc, "instructions", None)
+        return
+    assert 1 <= len(bundles) <= 2
+    # Every placed instruction sits in a compatible slot.
+    placed = []
+    for bundle in bundles:
+        for slot_index, entry in enumerate(bundle.slots):
+            if not isinstance(entry, str):
+                slot_type = bundle.template[slot_index]
+                assert slot_accepts(slot_type, entry.unit), (
+                    f"{entry.mnemonic} in {slot_type} slot of {bundle.template}"
+                )
+                placed.append(entry)
+    assert sorted(i.uid for i in placed) == sorted(i.uid for i in group)
+    # The final bundle carries the group-ending stop.
+    assert bundles[-1].stop_after is not None
+
+
+@given(feasible_group(), feasible_group())
+@settings(max_examples=40, deadline=None)
+def test_two_groups_never_share_a_cycle_boundary_violation(g1, g2):
+    if not g1 or not g2:
+        return
+    from repro.errors import BundlingError
+
+    try:
+        bundles = pack_groups([g1, g2], [[], []])
+    except BundlingError:
+        return
+    # A stop must separate the groups: walking the slots, all of g1's
+    # instructions appear before any of g2's.
+    order = []
+    for bundle in bundles:
+        for entry in bundle.slots:
+            if not isinstance(entry, str):
+                order.append(entry.uid)
+    uids1 = {i.uid for i in g1}
+    first_g2 = next((k for k, uid in enumerate(order) if uid not in uids1), None)
+    if first_g2 is not None:
+        assert all(uid not in uids1 for uid in order[first_g2:])

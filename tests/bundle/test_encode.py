@@ -1,0 +1,78 @@
+"""Bundle encoding into 128-bit images."""
+
+import pytest
+
+from repro.bundle import pack_groups
+from repro.bundle.encode import (
+    TEMPLATE_CODES,
+    code_bytes,
+    decode_template,
+    encode_bundle,
+    encode_bundles,
+    encode_slot,
+)
+from repro.errors import BundlingError
+from repro.ir.parser import parse_instruction
+
+
+def _bundle(*texts, pairs=()):
+    group = [parse_instruction(t) for t in texts]
+    return pack_groups([group], [list(pairs)])
+
+
+def test_bundle_is_16_bytes():
+    bundles = _bundle("add r1 = r2, r3", "ld8 r4 = [r5]")
+    image = encode_bundle(bundles[0])
+    assert len(image) == 16
+
+
+def test_template_code_roundtrip():
+    bundles = _bundle("add r1 = r2, r3", "br.ret b0")
+    image = encode_bundle(bundles[0])
+    code, name = decode_template(image)
+    assert name == bundles[0].template
+    assert TEMPLATE_CODES[(name, False, True)] == code
+
+
+def test_encoding_is_deterministic():
+    a = encode_bundle(_bundle("add r1 = r2, r3")[0])
+    b = encode_bundle(_bundle("add r1 = r2, r3")[0])
+    assert a == b
+
+
+def test_different_operands_differ():
+    a = encode_bundle(_bundle("add r1 = r2, r3")[0])
+    b = encode_bundle(_bundle("add r1 = r2, r4")[0])
+    assert a != b
+
+
+def test_nop_slots_encode():
+    bundles = _bundle("add r1 = r2, r3")
+    assert bundles[0].nop_count == 2
+    assert len(encode_bundle(bundles[0])) == 16
+
+
+def test_predicated_instruction_encodes_guard():
+    a = encode_slot(parse_instruction("(p6) add r1 = r2, r3"))
+    b = encode_slot(parse_instruction("add r1 = r2, r3"))
+    assert a != b
+
+
+def test_code_bytes_counts_all_blocks(diamond_fn):
+    from repro.bundle import bundle_schedule
+    from repro.ir.cfg import CfgInfo
+    from repro.ir.ddg import build_dependence_graph
+    from repro.ir.liveness import compute_liveness
+    from repro.sched.list_scheduler import ListScheduler
+
+    cfg = CfgInfo(diamond_fn)
+    ddg = build_dependence_graph(diamond_fn, cfg, compute_liveness(diamond_fn))
+    schedule = ListScheduler().schedule(diamond_fn, ddg)
+    result = bundle_schedule(schedule)
+    assert code_bytes(result) == 16 * result.total_bundles
+
+
+def test_all_architectural_codes_unique():
+    codes = list(TEMPLATE_CODES.values())
+    assert len(codes) == len(set(codes))
+    assert all(0 <= c < 32 for c in codes)

@@ -1,0 +1,70 @@
+"""Shared fixtures: small routines exercising the full IR pipeline."""
+
+import pytest
+
+from repro.ir.parser import parse_function
+
+DIAMOND_TEXT = """
+.proc diamond
+.livein r32, r33, r40
+.liveout r8
+.block A freq=100
+  add r14 = r32, r33
+  cmp.eq p6, p7 = r14, r0
+  (p6) br.cond C
+.block B freq=60
+  ld8 r15 = [r14] cls=heap
+  add r16 = r15, r32
+  add r8 = r16, r40
+.block C freq=100
+  st8 [r33+8] = r8 cls=stack
+  br.ret b0
+.endp
+"""
+
+LOOP_TEXT = """
+.proc looper
+.livein r32, r33
+.liveout r8
+.block PRE freq=10
+  add r15 = r32, 0
+.block LOOP freq=1000 succ=LOOP:0.9,POST:0.1
+  ld8 r21 = [r15] cls=heap
+  add r22 = r21, r33
+  adds r15 = 8, r15
+  cmp.ne p6, p7 = r22, r0
+  (p6) br.cond LOOP
+.block POST freq=10
+  add r8 = r22, 0
+  br.ret b0
+.endp
+"""
+
+STRAIGHT_TEXT = """
+.proc straight
+.livein r32, r33
+.liveout r8
+.block A freq=1
+  ld8 r10 = [r32] cls=heap
+  add r11 = r10, r33
+  shl r12 = r11, 3
+  st8 [r32+8] = r12 cls=heap
+  add r8 = r12, r10
+  br.ret b0
+.endp
+"""
+
+
+@pytest.fixture
+def diamond_fn():
+    return parse_function(DIAMOND_TEXT)
+
+
+@pytest.fixture
+def loop_fn():
+    return parse_function(LOOP_TEXT)
+
+
+@pytest.fixture
+def straight_fn():
+    return parse_function(STRAIGHT_TEXT)

@@ -1,0 +1,55 @@
+"""LP export of real scheduling models (regression guard on structure)."""
+
+import pytest
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.machine.itanium2 import ITANIUM2
+from repro.sched.cycles import lengths_from_input
+from repro.sched.ilp_formulation import SchedulingIlp
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.regions import build_region
+
+
+@pytest.fixture(scope="module")
+def model(request):
+    from tests.conftest import DIAMOND_TEXT
+    from repro.ir.parser import parse_function
+
+    fn = parse_function(DIAMOND_TEXT)
+    cfg = CfgInfo(fn)
+    ddg = build_dependence_graph(fn, cfg, compute_liveness(fn))
+    schedule = ListScheduler().schedule(fn, ddg)
+    region = build_region(fn, cfg, ddg, allow_predication=False)
+    ilp = SchedulingIlp(
+        region, lengths_from_input(schedule, fn), ITANIUM2
+    )
+    return ilp.generate()
+
+
+def test_lp_text_has_all_constraint_families(model):
+    text = model.write_lp()
+    for family in ("flow_", "assign_", "gprec_", "lprec_", "width_",
+                   "len_link_", "br_last_", "onelen_"):
+        assert family in text, f"missing {family} rows in LP export"
+
+
+def test_lp_row_count_matches_model(model):
+    text = model.write_lp()
+    body = text.split("Subject To\n")[1].split("Bounds\n")[0]
+    rows = [line for line in body.splitlines() if line.strip()]
+    assert len(rows) == model.num_constraints
+
+
+def test_every_variable_bounded_binary(model):
+    arrays = model.to_arrays()
+    assert arrays["integrality"].all()
+    assert (arrays["lb"] == 0).all()
+    assert (arrays["ub"] == 1).all()
+
+
+def test_paperlike_size_ratio(model):
+    """Table 2 shows roughly 2x more constraints than variables."""
+    ratio = model.num_constraints / model.num_variables
+    assert 1.0 <= ratio <= 6.0

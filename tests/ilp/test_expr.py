@@ -1,0 +1,92 @@
+"""Linear-expression algebra."""
+
+import pytest
+
+from repro.ilp import Model, lin_sum
+from repro.ilp.expr import LinExpr
+
+
+@pytest.fixture
+def vars3():
+    model = Model()
+    return model, [model.add_var(f"v{i}") for i in range(3)]
+
+
+def test_var_addition_builds_terms(vars3):
+    _, (a, b, c) = vars3
+    expr = a + 2 * b - c
+    assert expr.terms[a] == 1.0
+    assert expr.terms[b] == 2.0
+    assert expr.terms[c] == -1.0
+    assert expr.constant == 0.0
+
+
+def test_constant_folding(vars3):
+    _, (a, _b, _c) = vars3
+    expr = a + 3 + 4 - 2
+    assert expr.constant == 5.0
+
+
+def test_zero_coefficients_are_dropped(vars3):
+    _, (a, b, _c) = vars3
+    expr = a + b - a
+    assert a not in expr.terms
+    assert expr.terms[b] == 1.0
+
+
+def test_rsub_and_neg(vars3):
+    _, (a, _b, _c) = vars3
+    expr = 5 - a
+    assert expr.constant == 5.0
+    assert expr.terms[a] == -1.0
+    neg = -expr
+    assert neg.constant == -5.0
+    assert neg.terms[a] == 1.0
+
+
+def test_scaling(vars3):
+    _, (a, b, _c) = vars3
+    expr = (a + b + 1) * 3
+    assert expr.terms[a] == 3.0
+    assert expr.constant == 3.0
+    assert (expr * 0).terms == {}
+
+
+def test_scaling_by_expression_rejected(vars3):
+    _, (a, b, _c) = vars3
+    with pytest.raises(TypeError):
+        a * b  # noqa: B018 - quadratic terms are not linear
+
+
+def test_lin_sum_matches_repeated_add(vars3):
+    _, (a, b, c) = vars3
+    items = [a, 2 * b, c, 4, a]
+    assert lin_sum(items).terms == (a + 2 * b + c + 4 + a).terms
+    assert lin_sum(items).constant == 4.0
+
+
+def test_lin_sum_empty():
+    expr = lin_sum([])
+    assert expr.terms == {}
+    assert expr.constant == 0.0
+
+
+def test_value_evaluation(vars3):
+    _, (a, b, _c) = vars3
+    expr = 2 * a - b + 7
+    assert expr.value({a: 3, b: 4}) == 9.0
+
+
+def test_expr_is_immutable_under_ops(vars3):
+    _, (a, b, _c) = vars3
+    base = a + b
+    _ = base + a
+    assert base.terms[a] == 1.0
+
+
+def test_coerce_rejects_strings(vars3):
+    _, (a, _b, _c) = vars3
+    with pytest.raises(TypeError):
+        LinExpr._coerce("nope")
+    with pytest.raises(TypeError):
+        a + "nope"

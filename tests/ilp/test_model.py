@@ -1,0 +1,91 @@
+"""Model container: constraints, normalization, matrix form, LP export."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IlpError
+from repro.ilp import Model, Sense
+
+
+def test_duplicate_names_rejected():
+    model = Model()
+    model.add_var("x")
+    with pytest.raises(IlpError):
+        model.add_var("x")
+
+
+def test_empty_domain_rejected():
+    model = Model()
+    with pytest.raises(IlpError):
+        model.add_var("x", lb=2, ub=1)
+
+
+def test_constraint_normalization_moves_constants():
+    model = Model()
+    x, y = model.add_var("x"), model.add_var("y")
+    con = model.add_constraint(x + 3 <= y + 10)
+    assert con.sense is Sense.LE
+    assert con.rhs == 7.0
+    assert con.expr.terms[x] == 1.0
+    assert con.expr.terms[y] == -1.0
+    assert con.expr.constant == 0.0
+
+
+def test_equality_constraint():
+    model = Model()
+    x = model.add_var("x")
+    con = model.add_constraint(x == 4)
+    assert con.sense is Sense.EQ
+    assert con.rhs == 4.0
+
+
+def test_add_constraint_rejects_plain_bool():
+    model = Model()
+    with pytest.raises(IlpError):
+        model.add_constraint(3 <= 4)
+
+
+def test_satisfied_by():
+    model = Model()
+    x = model.add_var("x")
+    con = model.add_constraint(2 * x >= 5)
+    assert con.satisfied_by({x: 3})
+    assert not con.satisfied_by({x: 2})
+
+
+def test_check_solution_lists_violations():
+    model = Model()
+    x = model.add_var("x")
+    c1 = model.add_constraint(x <= 1, name="cap")
+    model.add_constraint(x >= 0)
+    violated = model.check_solution({x: 2})
+    assert violated == [c1]
+
+
+def test_to_arrays_shapes_and_bounds():
+    model = Model()
+    x = model.add_binary("x")
+    y = model.add_var("y", lb=None, ub=5.0)
+    model.add_constraint(x + 2 * y <= 4)
+    model.add_constraint(x - y == 1)
+    model.set_objective(3 * x + y)
+    arrays = model.to_arrays()
+    assert arrays["c"].tolist() == [3.0, 1.0]
+    assert arrays["A"].shape == (2, 2)
+    assert arrays["b_hi"][0] == 4.0 and np.isneginf(arrays["b_lo"][0])
+    assert arrays["b_lo"][1] == arrays["b_hi"][1] == 1.0
+    assert arrays["integrality"].tolist() == [True, False]
+    assert np.isneginf(arrays["lb"][1]) and arrays["ub"][1] == 5.0
+
+
+def test_write_lp_contains_sections(tmp_path):
+    model = Model("demo")
+    x = model.add_binary("x")
+    model.add_constraint(x <= 1, name="cap")
+    model.set_objective(x)
+    path = tmp_path / "demo.lp"
+    text = model.write_lp(path)
+    assert "Minimize" in text
+    assert "cap:" in text
+    assert "Generals" in text
+    assert path.read_text() == text

@@ -1,0 +1,53 @@
+"""Bound-tightening presolve."""
+
+import numpy as np
+
+from repro.ilp import Model
+from repro.ilp.presolve import fixed_variable_count, presolve_arrays
+
+
+def test_singleton_row_fixes_variable():
+    model = Model()
+    x = model.add_var("x", lb=0, ub=10, is_integer=True)
+    y = model.add_var("y", lb=0, ub=10, is_integer=True)
+    model.add_constraint(x == 3)
+    model.add_constraint(x + y <= 5)
+    arrays, infeasible = presolve_arrays(model.to_arrays())
+    assert not infeasible
+    assert arrays["lb"][x.index] == arrays["ub"][x.index] == 3
+    assert arrays["ub"][y.index] <= 2
+
+
+def test_integer_bounds_rounded_inward():
+    model = Model()
+    x = model.add_var("x", lb=0, ub=10, is_integer=True)
+    model.add_constraint(2 * x <= 7)  # x <= 3.5 -> 3
+    arrays, infeasible = presolve_arrays(model.to_arrays())
+    assert not infeasible
+    assert arrays["ub"][x.index] == 3
+
+
+def test_detects_infeasible_row():
+    model = Model()
+    x = model.add_binary("x")
+    model.add_constraint(x >= 2)
+    _, infeasible = presolve_arrays(model.to_arrays())
+    assert infeasible
+
+
+def test_original_arrays_untouched():
+    model = Model()
+    x = model.add_var("x", lb=0, ub=10)
+    model.add_constraint(x <= 4)
+    arrays = model.to_arrays()
+    before = arrays["ub"].copy()
+    presolve_arrays(arrays)
+    assert np.array_equal(arrays["ub"], before)
+
+
+def test_fixed_variable_count():
+    model = Model()
+    x = model.add_var("x", lb=2, ub=2)
+    model.add_var("y", lb=0, ub=1)
+    assert fixed_variable_count(model.to_arrays()) == 1
+    assert x.lb == x.ub

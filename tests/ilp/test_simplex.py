@@ -1,0 +1,92 @@
+"""Own simplex vs. known optima and scipy cross-checks."""
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.ilp import Model, SimplexSolver
+
+
+def _lp(obj, constraints, bounds):
+    model = Model()
+    variables = [
+        model.add_var(f"x{i}", lb=lo, ub=hi) for i, (lo, hi) in enumerate(bounds)
+    ]
+    for coeffs, sense, rhs in constraints:
+        expr = sum(c * v for c, v in zip(coeffs, variables))
+        if sense == "<=":
+            model.add_constraint(expr <= rhs)
+        elif sense == ">=":
+            model.add_constraint(expr >= rhs)
+        else:
+            model.add_constraint(expr == rhs)
+    model.set_objective(sum(c * v for c, v in zip(obj, variables)))
+    return model, variables
+
+
+def test_textbook_maximization():
+    # max x + 2y s.t. x+y<=4, x+3y<=6 -> (3, 1), value 5
+    model, _ = _lp(
+        [-1, -2], [([1, 1], "<=", 4), ([1, 3], "<=", 6)], [(0, None), (0, None)]
+    )
+    result = SimplexSolver().solve(model)
+    assert result.status == "optimal"
+    assert result.objective == pytest.approx(-5.0)
+    assert result.x == pytest.approx([3.0, 1.0])
+
+
+def test_equality_and_free_variable():
+    model, _ = _lp(
+        [1, 0], [([1, 1], "=", 5), ([1, -1], ">=", -3)], [(None, None), (0, 10)]
+    )
+    result = SimplexSolver().solve(model)
+    assert result.status == "optimal"
+    assert result.objective == pytest.approx(1.0)
+
+
+def test_infeasible_detected():
+    model, _ = _lp([1], [([1], "<=", 1), ([1], ">=", 3)], [(0, None)])
+    assert SimplexSolver().solve(model).status == "infeasible"
+
+
+def test_unbounded_detected():
+    model, _ = _lp([-1], [([0], "<=", 1)], [(0, None)])
+    assert SimplexSolver().solve(model).status == "unbounded"
+
+
+def test_degenerate_problem_terminates():
+    # Multiple constraints active at the optimum (classic degeneracy).
+    model, _ = _lp(
+        [-1, -1],
+        [([1, 0], "<=", 1), ([0, 1], "<=", 1), ([1, 1], "<=", 2)],
+        [(0, None), (0, None)],
+    )
+    result = SimplexSolver().solve(model)
+    assert result.status == "optimal"
+    assert result.objective == pytest.approx(-2.0)
+
+
+def test_upper_bounded_variables():
+    model, _ = _lp([-1, -1], [([1, 1], "<=", 10)], [(0, 2), (0, 3)])
+    result = SimplexSolver().solve(model)
+    assert result.objective == pytest.approx(-5.0)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_lps_match_scipy(seed):
+    rng = np.random.default_rng(seed)
+    n, m = 5, 4
+    a_mat = rng.normal(size=(m, n))
+    b = rng.uniform(1, 5, size=m)
+    c = rng.normal(size=n)
+    model, _ = _lp(
+        c.tolist(),
+        [(a_mat[i].tolist(), "<=", b[i]) for i in range(m)],
+        [(0, 10)] * n,
+    )
+    ours = SimplexSolver().solve(model)
+    ref = optimize.linprog(
+        c, A_ub=a_mat, b_ub=b, bounds=[(0, 10)] * n, method="highs"
+    )
+    assert ours.status == "optimal" and ref.success
+    assert ours.objective == pytest.approx(ref.fun, abs=1e-6)

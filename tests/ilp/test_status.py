@@ -1,0 +1,37 @@
+"""Result types."""
+
+import pytest
+
+from repro.ilp import Model, SolveStatus
+from repro.ilp.status import Solution, SolverStats
+
+
+def test_has_solution_classification():
+    assert SolveStatus.OPTIMAL.has_solution
+    assert SolveStatus.FEASIBLE.has_solution
+    assert not SolveStatus.INFEASIBLE.has_solution
+    assert not SolveStatus.UNBOUNDED.has_solution
+    assert not SolveStatus.NO_SOLUTION.has_solution
+
+
+def test_solution_truthiness():
+    assert Solution(SolveStatus.OPTIMAL, 1.0)
+    assert not Solution(SolveStatus.INFEASIBLE)
+
+
+def test_value_of_rounds_integers():
+    model = Model()
+    x = model.add_binary("x")
+    y = model.add_var("y")
+    solution = Solution(
+        SolveStatus.OPTIMAL, 0.0, values={x: 0.9999999, y: 0.5}
+    )
+    assert solution.value_of(x) == 1
+    assert isinstance(solution.value_of(x), int)
+    assert solution.value_of(y) == 0.5
+
+
+def test_stats_defaults():
+    stats = SolverStats()
+    assert stats.nodes == 0
+    assert stats.gap is None

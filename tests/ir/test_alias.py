@@ -1,0 +1,50 @@
+"""Alias oracle."""
+
+from repro.ir.alias import AliasVerdict, classify_alias, data_spec_candidate, must_order
+from repro.ir.instruction import MemRef
+from repro.ir.registers import reg
+
+
+def _ref(base, offset=0, cls=None, size=8):
+    return MemRef(reg(base), offset, cls, size)
+
+
+def test_same_base_overlapping():
+    assert classify_alias(_ref("r5"), _ref("r5")) is AliasVerdict.MAY
+    assert classify_alias(_ref("r5", 0), _ref("r5", 4)) is AliasVerdict.MAY
+
+
+def test_same_base_disjoint():
+    assert classify_alias(_ref("r5", 0), _ref("r5", 8)) is AliasVerdict.NO
+    assert not must_order(_ref("r5", 0), _ref("r5", 8))
+
+
+def test_ansi_distinct_classes():
+    verdict = classify_alias(_ref("r5", cls="heap"), _ref("r6", cls="stack"))
+    assert verdict is AliasVerdict.ANSI_DISTINCT
+    # Still ordered conservatively, but a data-speculation candidate.
+    assert must_order(_ref("r5", cls="heap"), _ref("r6", cls="stack"))
+    assert data_spec_candidate(_ref("r5", cls="heap"), _ref("r6", cls="stack"))
+
+
+def test_unknown_classes_may_alias():
+    assert classify_alias(_ref("r5"), _ref("r6")) is AliasVerdict.MAY
+    assert classify_alias(_ref("r5", cls="heap"), _ref("r6")) is AliasVerdict.MAY
+    assert not data_spec_candidate(_ref("r5"), _ref("r6"))
+
+
+def test_same_class_may_alias():
+    assert (
+        classify_alias(_ref("r5", cls="heap"), _ref("r6", cls="heap"))
+        is AliasVerdict.MAY
+    )
+
+
+def test_none_refs_are_conservative():
+    assert classify_alias(None, _ref("r5")) is AliasVerdict.MAY
+
+
+def test_size_matters_for_offset_disjointness():
+    small = MemRef(reg("r5"), 0, None, 4)
+    next_word = MemRef(reg("r5"), 4, None, 4)
+    assert classify_alias(small, next_word) is AliasVerdict.NO

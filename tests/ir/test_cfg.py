@@ -1,0 +1,108 @@
+"""Dominators, postdominators, loops, DAG facts."""
+
+from repro.ir.cfg import CfgInfo
+
+
+def test_dominators_diamond(diamond_fn):
+    cfg = CfgInfo(diamond_fn)
+    assert cfg.dominates("A", "B")
+    assert cfg.dominates("A", "C")
+    assert not cfg.dominates("B", "C")
+    assert cfg.dominates("A", "A")
+
+
+def test_postdominators_diamond(diamond_fn):
+    cfg = CfgInfo(diamond_fn)
+    assert cfg.postdominates("C", "A")
+    assert cfg.postdominates("C", "B")
+    assert not cfg.postdominates("B", "A")
+
+
+def test_reaches_is_irreflexive_forward(diamond_fn):
+    cfg = CfgInfo(diamond_fn)
+    assert cfg.reaches("A", "C")
+    assert not cfg.reaches("C", "A")
+    assert not cfg.reaches("A", "A")
+
+
+def test_loop_detection(loop_fn):
+    cfg = CfgInfo(loop_fn)
+    assert len(cfg.loops) == 1
+    loop = cfg.loops[0]
+    assert loop.header == "LOOP"
+    assert loop.blocks == {"LOOP"}
+    assert loop.latches == {"LOOP"}
+    assert cfg.innermost_loop("LOOP") is loop
+    assert cfg.innermost_loop("PRE") is None
+
+
+def test_back_edges_removed_from_dag(loop_fn):
+    cfg = CfgInfo(loop_fn)
+    assert ("LOOP", "LOOP") in cfg.back_edges
+    assert "LOOP" not in cfg.successors_in_dag("LOOP")
+    assert cfg.topo_order.index("PRE") < cfg.topo_order.index("LOOP")
+
+
+def test_dag_sinks(loop_fn, diamond_fn):
+    assert CfgInfo(loop_fn).dag_sinks == ["POST"]
+    assert CfgInfo(diamond_fn).dag_sinks == ["C"]
+
+
+def test_latch_is_sink_when_body_block_exists():
+    from repro.ir.parser import parse_function
+
+    text = """
+.proc two_block_loop
+.block H freq=100
+  cmp.eq p6, p7 = r32, r0
+  (p6) br.cond E
+.block BODY freq=90
+  add r5 = r6, r7
+  br H
+.block E freq=10
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    cfg = CfgInfo(fn)
+    loop = cfg.loops[0]
+    assert loop.header == "H"
+    assert loop.blocks == {"H", "BODY"}
+    assert loop.latches == {"BODY"}
+    assert "BODY" in cfg.dag_sinks
+
+
+def test_nested_loops():
+    from repro.ir.parser import parse_function
+
+    text = """
+.proc nested
+.block H1 freq=10
+  cmp.eq p6, p7 = r32, r0
+  (p6) br.cond OUT
+.block H2 freq=100
+  cmp.lt p8, p9 = r33, r0
+  (p8) br.cond H1T
+.block B2 freq=90
+  add r5 = r6, r7
+  br H2
+.block H1T freq=10
+  br H1
+.block OUT freq=1
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    cfg = CfgInfo(fn)
+    assert len(cfg.loops) == 2
+    inner = cfg.loop_with_header("H2")
+    outer = cfg.loop_with_header("H1")
+    assert inner.parent is outer
+    assert inner.depth == 2 and outer.depth == 1
+    assert cfg.innermost_loop("B2") is inner
+
+
+def test_control_equivalence(diamond_fn):
+    cfg = CfgInfo(diamond_fn)
+    assert cfg.control_equivalent("A", "C")
+    assert not cfg.control_equivalent("A", "B")

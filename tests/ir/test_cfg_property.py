@@ -1,0 +1,82 @@
+"""Property tests: CFG analyses cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.cfg import CfgInfo
+from repro.workloads.generator import RoutineSpec, generate_routine
+
+
+def _generated(seed, blocks=9, loops=1):
+    spec = RoutineSpec(
+        name="cfgprop", seed=seed, instructions=25, blocks=blocks, loops=loops
+    )
+    return generate_routine(spec)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_dominators_match_networkx(seed):
+    fn = _generated(seed)
+    cfg = CfgInfo(fn)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(b.name for b in fn.blocks)
+    graph.add_edges_from((e.src, e.dst) for e in fn.edges)
+    entry = fn.entry_blocks[0]
+    graph.add_edge("__entry__", entry)
+    idom = nx.immediate_dominators(graph, "__entry__")
+    for block in fn.blocks:
+        if block.name not in idom:
+            continue  # unreachable
+        expected = idom[block.name]
+        ours = cfg.idom[block.name]
+        if expected in ("__entry__", block.name):
+            assert ours is None
+        else:
+            assert ours == expected
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_forward_graph_is_acyclic(seed):
+    fn = _generated(seed, loops=2)
+    cfg = CfgInfo(fn)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(cfg.block_names)
+    for src in cfg.block_names:
+        for dst in cfg.successors_in_dag(src):
+            graph.add_edge(src, dst)
+    assert nx.is_directed_acyclic_graph(graph)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_reaches_matches_networkx_reachability(seed):
+    fn = _generated(seed)
+    cfg = CfgInfo(fn)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(cfg.block_names)
+    for src in cfg.block_names:
+        for dst in cfg.successors_in_dag(src):
+            graph.add_edge(src, dst)
+    closure = {n: set(nx.descendants(graph, n)) for n in graph.nodes}
+    for src in cfg.block_names:
+        for dst in cfg.block_names:
+            if src == dst:
+                continue
+            assert cfg.reaches(src, dst) == (dst in closure[src])
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_loops_cover_all_back_edges(seed):
+    fn = _generated(seed, loops=2)
+    cfg = CfgInfo(fn)
+    natural = {
+        (src, dst) for (src, dst) in cfg.back_edges if cfg.dominates(dst, src)
+    }
+    latch_pairs = {
+        (latch, loop.header) for loop in cfg.loops for latch in loop.latches
+    }
+    assert natural == latch_pairs

@@ -1,0 +1,32 @@
+"""Graphviz exporters."""
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.dot import cfg_to_dot, ddg_to_dot, schedule_to_dot
+from repro.ir.liveness import compute_liveness
+from repro.sched.list_scheduler import ListScheduler
+
+
+def test_cfg_dot_structure(loop_fn):
+    cfg = CfgInfo(loop_fn)
+    text = cfg_to_dot(loop_fn, cfg)
+    assert text.startswith("digraph")
+    assert '"PRE" -> "LOOP"' in text
+    assert "style=dashed" in text  # the back edge
+
+
+def test_ddg_dot_kinds(diamond_fn):
+    cfg = CfgInfo(diamond_fn)
+    ddg = build_dependence_graph(diamond_fn, cfg, compute_liveness(diamond_fn))
+    text = ddg_to_dot(diamond_fn, ddg)
+    assert "->" in text and "label=" in text
+    assert text.count("n") >= diamond_fn.instruction_count
+
+
+def test_schedule_dot_tables(diamond_fn):
+    cfg = CfgInfo(diamond_fn)
+    ddg = build_dependence_graph(diamond_fn, cfg, compute_liveness(diamond_fn))
+    schedule = ListScheduler().schedule(diamond_fn, ddg)
+    text = schedule_to_dot(diamond_fn, schedule)
+    assert "<table" in text
+    assert "[1]" in text

@@ -1,0 +1,142 @@
+"""Concrete interpreter semantics."""
+
+import pytest
+
+from repro.ir.interp import Interpreter, initial_registers
+from repro.ir.parser import parse_function
+from repro.ir.registers import reg
+
+
+def test_arithmetic_and_return():
+    fn = parse_function("""
+.proc arith
+.livein r32, r33
+.liveout r8
+.block A freq=1
+  add r8 = r32, r33
+  br.ret b0
+.endp
+""")
+    interp = Interpreter()
+    state = {reg("r32"): 5, reg("r33"): 7}
+    result = interp.run_function(fn, state)
+    assert result.returned
+    assert result.register("r8") == 12
+
+
+def test_branches_follow_predicates():
+    fn = parse_function("""
+.proc branching
+.livein r32
+.liveout r8
+.block A freq=1
+  cmp.eq p6, p7 = r32, r0
+  (p6) br.cond ZERO
+.block NONZERO freq=1
+  mov r8 = 1
+  br DONE
+.block ZERO freq=1
+  mov r8 = 2
+.block DONE freq=1
+  br.ret b0
+.endp
+""")
+    interp = Interpreter()
+    taken = interp.run_function(fn, {reg("r32"): 0})
+    assert taken.register("r8") == 2
+    assert "ZERO" in taken.block_trace and "NONZERO" not in taken.block_trace
+    fallthrough = interp.run_function(fn, {reg("r32"): 3})
+    assert fallthrough.register("r8") == 1
+
+
+def test_memory_round_trip():
+    fn = parse_function("""
+.proc memrt
+.livein r32, r33
+.liveout r8
+.block A freq=1
+  st8 [r32+8] = r33
+  ld8 r8 = [r32+8]
+  br.ret b0
+.endp
+""")
+    result = Interpreter().run_function(fn, {reg("r32"): 1000, reg("r33"): 99})
+    assert result.register("r8") == 99
+
+
+def test_loop_terminates_on_counter():
+    fn = parse_function("""
+.proc counter
+.livein r32
+.liveout r8
+.block PRE freq=1
+  mov r10 = 0
+  mov r8 = 0
+.block LOOP freq=8 succ=LOOP:0.9,POST:0.1
+  adds r10 = 1, r10
+  add r8 = r8, r10
+  cmp.lt p6, p7 = r10, r32
+  (p6) br.cond LOOP
+.block POST freq=1
+  br.ret b0
+.endp
+""")
+    result = Interpreter().run_function(fn, {reg("r32"): 5})
+    assert result.returned
+    assert result.register("r8") == 1 + 2 + 3 + 4 + 5
+    assert result.block_trace.count("LOOP") == 5
+
+
+def test_predicated_skip():
+    fn = parse_function("""
+.proc predskip
+.livein r32
+.liveout r8
+.block A freq=1
+  cmp.eq p6, p7 = r32, r0
+  mov r8 = 1
+  (p6) mov r8 = 2
+  br.ret b0
+.endp
+""")
+    assert Interpreter().run_function(fn, {reg("r32"): 0}).register("r8") == 2
+    assert Interpreter().run_function(fn, {reg("r32"): 9}).register("r8") == 1
+
+
+def test_uninterpreted_ops_deterministic():
+    fn = parse_function("""
+.proc hashed
+.livein r32
+.liveout r8
+.block A freq=1
+  xor r5 = r32, r32
+  shl r8 = r5, 3
+  br.ret b0
+.endp
+""")
+    interp = Interpreter()
+    a = interp.run_function(fn, {reg("r32"): 42}).register("r8")
+    b = interp.run_function(fn, {reg("r32"): 42}).register("r8")
+    c = interp.run_function(fn, {reg("r32"): 43}).register("r8")
+    assert a == b
+    assert a != c
+
+
+def test_initial_registers_deterministic(diamond_fn):
+    assert initial_registers(diamond_fn, 3) == initial_registers(diamond_fn, 3)
+    assert initial_registers(diamond_fn, 3) != initial_registers(diamond_fn, 4)
+
+
+def test_block_budget_bounds_infinite_loops():
+    fn = parse_function("""
+.proc forever
+.livein r32
+.liveout r8
+.block LOOP freq=1 succ=LOOP:1.0
+  add r8 = r8, r32
+  br LOOP
+.endp
+""")
+    result = Interpreter(max_blocks=37).run_function(fn, {reg("r32"): 1})
+    assert not result.returned
+    assert len(result.block_trace) == 37

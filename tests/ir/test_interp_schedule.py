@@ -1,0 +1,83 @@
+"""Interpreting Schedules (cycle/slot execution order, collapse handling)."""
+
+import pytest
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.interp import Interpreter, initial_registers
+from repro.ir.liveness import compute_liveness
+from repro.ir.parser import parse_function
+from repro.ir.registers import reg
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.schedule import Schedule
+
+
+def _baseline(fn):
+    cfg = CfgInfo(fn)
+    ddg = build_dependence_graph(fn, cfg, compute_liveness(fn))
+    return ListScheduler().schedule(fn, ddg)
+
+
+def test_schedule_matches_function(diamond_fn):
+    schedule = _baseline(diamond_fn)
+    interp = Interpreter()
+    registers = initial_registers(diamond_fn, 5)
+    want = interp.run_function(diamond_fn, registers, seed=5)
+    got = interp.run_schedule(schedule, diamond_fn, registers, seed=5)
+    assert got.block_trace == want.block_trace
+    assert got.live_out_state(diamond_fn) == want.live_out_state(diamond_fn)
+    assert got.memory == want.memory
+
+
+def test_collapsed_block_follows_branch_target():
+    fn = parse_function("""
+.proc hop
+.livein r32
+.liveout r8
+.block A freq=1
+  add r8 = r32, 1
+.block B freq=1
+  br D
+.block C freq=1
+  add r8 = r32, 99
+.block D freq=1
+  br.ret b0
+.endp
+""")
+    # A schedule that empties B entirely (its br is dropped): execution
+    # must still skip C by following B's original target D.
+    schedule = Schedule([b.name for b in fn.blocks])
+    add = fn.block("A").instructions[0]
+    ret = fn.block("D").instructions[0]
+    schedule.place(add, "A", 1)
+    schedule.place(ret, "D", 1)
+    result = Interpreter().run_schedule(schedule, fn, {reg("r32"): 1})
+    assert result.register("r8") == 2
+    assert "C" not in result.block_trace
+    assert result.returned
+
+
+def test_speculative_copy_does_not_change_state(diamond_fn):
+    """An extra (speculative) exclusive-dest copy on the untaken path must
+    leave live-outs and memory untouched."""
+    schedule = _baseline(diamond_fn)
+    load = next(i for i in diamond_fn.block("B").instructions if i.is_load)
+    spec = load.copy(mnemonic="ld8.s")
+    schedule.place(spec, "A", 1)
+    interp = Interpreter()
+    registers = initial_registers(diamond_fn, 2)
+    want = interp.run_function(diamond_fn, registers, seed=2)
+    got = interp.run_schedule(schedule, diamond_fn, registers, seed=2)
+    assert got.live_out_state(diamond_fn) == want.live_out_state(diamond_fn)
+    assert got.memory == want.memory
+
+
+def test_check_is_noop(straight_fn):
+    schedule = _baseline(straight_fn)
+    from repro.ir.parser import parse_instruction
+
+    schedule.place(parse_instruction("chk.s r10, rec_x"), "A", 1)
+    result = Interpreter().run_schedule(
+        schedule, straight_fn, initial_registers(straight_fn, 0)
+    )
+    assert result.returned

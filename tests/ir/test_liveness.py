@@ -1,0 +1,76 @@
+"""Liveness and reaching definitions."""
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.liveness import LivenessInfo, compute_liveness
+from repro.ir.registers import reg
+
+
+def test_live_out_propagates_backwards(diamond_fn):
+    live = compute_liveness(diamond_fn)
+    # r8 is routine-live-out and stored in C, so it is live out of B.
+    assert reg("r8") in live.live_out["B"]
+    # r14 is used in B (address) so live out of A.
+    assert reg("r14") in live.live_out["A"]
+
+
+def test_block_local_def_not_live_in(diamond_fn):
+    live = compute_liveness(diamond_fn)
+    assert reg("r15") not in live.live_in["B"]
+    assert reg("r16") not in live.live_in["B"]
+
+
+def test_reaching_defs_link_uses(diamond_fn):
+    live = compute_liveness(diamond_fn)
+    block_b = diamond_fn.block("B")
+    load, add16, add8 = block_b.instructions
+    defs = live.reaching_uses[add16][reg("r15")]
+    assert defs == {load}
+    defs8 = live.reaching_uses[add8][reg("r16")]
+    assert defs8 == {add16}
+
+
+def test_entry_def_sentinel_for_livein(diamond_fn):
+    live = compute_liveness(diamond_fn)
+    add14 = diamond_fn.block("A").instructions[0]
+    defs = live.reaching_uses[add14][reg("r32")]
+    assert LivenessInfo.ENTRY_DEF in defs
+
+
+def test_defs_reaching_exit(diamond_fn):
+    live = compute_liveness(diamond_fn)
+    add8 = diamond_fn.block("B").instructions[2]
+    assert (add8, reg("r8")) in live.defs_reaching_exit
+
+
+def test_loop_carried_reaching_defs(loop_fn):
+    live = compute_liveness(loop_fn)
+    loop_block = loop_fn.block("LOOP")
+    load = loop_block.instructions[0]  # ld8 r21 = [r15]
+    update = loop_block.instructions[2]  # adds r15 = 8, r15
+    pre = loop_fn.block("PRE").instructions[0]
+    defs = live.reaching_uses[load][reg("r15")]
+    assert pre in defs
+    assert update in defs  # via the back edge
+
+
+def test_predicated_def_does_not_kill():
+    from repro.ir.parser import parse_function
+
+    text = """
+.proc predk
+.livein r32
+.liveout r8
+.block A freq=1
+  add r5 = r32, r32
+  cmp.eq p6, p7 = r32, r0
+  (p6) add r5 = r32, 1
+  add r8 = r5, r32
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    live = compute_liveness(fn)
+    block = fn.block("A")
+    use = block.instructions[3]
+    defs = live.reaching_uses[use][reg("r5")]
+    assert len(defs) == 2  # both the plain and the predicated definition

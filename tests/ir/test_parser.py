@@ -1,0 +1,144 @@
+"""TIA parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir.parser import parse_function, parse_instruction
+from repro.ir.registers import reg
+
+
+def test_diamond_structure(diamond_fn):
+    assert [b.name for b in diamond_fn.blocks] == ["A", "B", "C"]
+    assert diamond_fn.entry_blocks == ["A"]
+    assert diamond_fn.exit_blocks == ["C"]
+    assert set(diamond_fn.successors("A")) == {"B", "C"}
+    assert diamond_fn.successors("B") == ["C"]
+
+
+def test_livein_liveout(diamond_fn):
+    assert reg("r32") in diamond_fn.live_in
+    assert diamond_fn.live_out == {reg("r8")}
+
+
+def test_load_operands():
+    instr = parse_instruction("ld8 r15 = [r14+16] cls=heap")
+    assert instr.dests == [reg("r15")]
+    assert instr.mem.base == reg("r14")
+    assert instr.mem.offset == 16
+    assert instr.mem.alias_class == "heap"
+    assert reg("r14") in instr.srcs
+
+
+def test_store_operands():
+    instr = parse_instruction("st8 [r6] = r5")
+    assert instr.dests == []
+    assert instr.mem.base == reg("r6")
+    assert set(instr.srcs) == {reg("r5"), reg("r6")}
+
+
+def test_predicated_branch():
+    instr = parse_instruction("(p6) br.cond LOOP")
+    assert instr.pred == reg("p6")
+    assert instr.target == "LOOP"
+    assert instr.is_branch
+
+
+def test_compare_with_two_dests():
+    instr = parse_instruction("cmp.eq p6, p7 = r3, r0")
+    assert instr.dests == [reg("p6"), reg("p7")]
+    assert instr.srcs == [reg("r3"), reg("r0")]
+
+
+def test_immediates():
+    instr = parse_instruction("adds r5 = -12, r6")
+    assert instr.imms == [-12]
+    assert instr.srcs == [reg("r6")]
+
+
+def test_annotations():
+    instr = parse_instruction("ld8 r5 = [r6] cls=heap lat=3 miss=0.5")
+    assert instr.annotations["lat"] == "3"
+    assert instr.latency == 3
+    assert float(instr.annotations["miss"]) == 0.5
+
+
+def test_chk_with_recovery_label():
+    instr = parse_instruction("chk.s r5, recover_1")
+    assert instr.srcs == [reg("r5")]
+    assert instr.target == "recover_1"
+    assert instr.is_check
+
+
+def test_branch_needs_target():
+    with pytest.raises(ParseError):
+        parse_instruction("br.cond")
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(ParseError):
+        parse_function(".proc f\n.wat x\n.endp")
+
+
+def test_unterminated_proc_rejected():
+    with pytest.raises(ParseError):
+        parse_function(".proc f\n.block A\nadd r1 = r2, r3\n")
+
+
+def test_instruction_outside_block_rejected():
+    with pytest.raises(ParseError):
+        parse_function(".proc f\nadd r1 = r2, r3\n.endp")
+
+
+def test_branch_to_unknown_block_rejected():
+    bad = """
+.proc f
+.block A freq=1
+  br NOWHERE
+.endp
+"""
+    with pytest.raises(ParseError):
+        parse_function(bad)
+
+
+def test_succ_annotation_sets_probabilities(loop_fn):
+    edge = next(e for e in loop_fn.edges if e.src == "LOOP" and e.dst == "LOOP")
+    assert edge.prob == pytest.approx(0.9)
+
+
+def test_succ_annotation_on_non_successor_rejected():
+    bad = """
+.proc f
+.block A freq=1 succ=B:0.5
+  br.ret b0
+.block B freq=1
+  br.ret b0
+.endp
+"""
+    with pytest.raises(ParseError):
+        parse_function(bad)
+
+
+def test_comments_and_blank_lines():
+    text = """
+// leading comment
+.proc f
+.block A freq=1  # trailing comment
+  add r1 = r2, r3   // comment
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    assert fn.instruction_count == 2
+
+
+def test_fall_through_edge_created():
+    text = """
+.proc f
+.block A freq=1
+  add r1 = r2, r3
+.block B freq=1
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    assert fn.successors("A") == ["B"]

@@ -1,0 +1,59 @@
+"""Printer and round-trip properties."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.parser import parse_function, parse_instruction
+from repro.ir.printer import format_function, format_instruction
+from repro.workloads.generator import RoutineSpec, generate_routine
+
+
+def test_instruction_formats():
+    cases = [
+        "add r1 = r2, r3",
+        "ld8 r15 = [r14+16] cls=heap",
+        "st8 [r6] = r5",
+        "(p6) br.cond LOOP",
+        "cmp.eq p6, p7 = r3, r0",
+        "adds r5 = -12, r6",
+        "chk.s r5, recover_1",
+        "br.ret b0",
+        "movl r9 = 123456",
+    ]
+    for text in cases:
+        instr = parse_instruction(text)
+        reparsed = parse_instruction(format_instruction(instr))
+        assert format_instruction(reparsed) == format_instruction(instr)
+
+
+def test_function_roundtrip(diamond_fn):
+    text = format_function(diamond_fn)
+    fn2 = parse_function(text)
+    assert format_function(fn2) == text
+    assert fn2.instruction_count == diamond_fn.instruction_count
+    assert [b.name for b in fn2.blocks] == [b.name for b in diamond_fn.blocks]
+
+
+@given(
+    seed=st.integers(0, 10**6),
+    instructions=st.integers(10, 60),
+    blocks=st.integers(4, 12),
+    loops=st.integers(0, 2),
+)
+@settings(max_examples=25, deadline=None)
+def test_generated_routines_roundtrip(seed, instructions, blocks, loops):
+    """Print→parse→print is a fixpoint for arbitrary generated routines."""
+    spec = RoutineSpec(
+        name="prop",
+        seed=seed,
+        instructions=instructions,
+        blocks=blocks,
+        loops=loops,
+    )
+    fn = generate_routine(spec)
+    text = format_function(fn)
+    fn2 = parse_function(text)
+    assert format_function(fn2) == text
+    assert fn2.instruction_count == fn.instruction_count
+    assert {(e.src, e.dst) for e in fn2.edges} == {
+        (e.src, e.dst) for e in fn.edges
+    }

@@ -1,0 +1,59 @@
+"""Register model."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir.registers import (
+    Register,
+    RegisterBank,
+    fresh_register_allocator,
+    reg,
+)
+
+
+def test_parse_and_intern():
+    assert reg("r13") is reg("r13")
+    assert reg("p6").bank is RegisterBank.PR
+    assert reg("b0").bank is RegisterBank.BR
+    assert reg("f82").index == 82
+
+
+def test_range_checks():
+    with pytest.raises(ParseError):
+        reg("r128")
+    with pytest.raises(ParseError):
+        reg("p64")
+    with pytest.raises(ParseError):
+        reg("b8")
+
+
+def test_malformed_names():
+    for bad in ("x3", "r", "r3a", ""):
+        with pytest.raises(ParseError):
+            reg(bad)
+
+
+def test_constant_registers():
+    assert reg("r0").is_zero and reg("r0").is_constant
+    assert reg("p0").is_true_predicate
+    assert not reg("r1").is_constant
+
+
+def test_fresh_allocator_skips_used():
+    used = {reg("r1"), reg("r2"), reg("f1")}
+    allocator = fresh_register_allocator(used, RegisterBank.GR)
+    first = next(allocator)
+    assert first == reg("r3")
+    assert next(allocator) == reg("r4")
+
+
+def test_fresh_allocator_exhausts():
+    used = {Register(RegisterBank.BR, i) for i in range(1, 8)}
+    allocator = fresh_register_allocator(used, RegisterBank.BR)
+    with pytest.raises(StopIteration):
+        next(allocator)
+
+
+def test_ordering_is_stable():
+    regs = sorted([reg("r5"), reg("r3"), reg("f1")])
+    assert regs[0].bank is RegisterBank.FR or regs[0].index <= regs[1].index

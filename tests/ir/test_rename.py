@@ -1,0 +1,107 @@
+"""Register renaming."""
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import DepKind, build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.ir.parser import parse_function
+from repro.ir.registers import reg
+from repro.ir.rename import rename_registers
+
+
+def test_false_dependence_removed():
+    text = """
+.proc reuse
+.livein r32, r33
+.liveout r8
+.block A freq=1
+  add r5 = r32, r33
+  add r6 = r5, r32
+  add r5 = r33, 1
+  add r8 = r5, r6
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    stats = rename_registers(fn)
+    assert stats.renamed >= 1
+    # After renaming, the two r5 webs use distinct registers.
+    block = fn.block("A")
+    first_def = block.instructions[0].dests[0]
+    second_def = block.instructions[2].dests[0]
+    assert first_def != second_def
+    # Uses follow their webs.
+    assert block.instructions[1].srcs[0] == first_def
+    assert block.instructions[3].srcs[0] == second_def
+    # And the DDG has no anti/output edges on those registers anymore.
+    graph = build_dependence_graph(fn, CfgInfo(fn), compute_liveness(fn))
+    assert not any(e.kind.is_false_dep for e in graph.edges)
+
+
+def test_liveout_webs_keep_their_register():
+    text = """
+.proc keepout
+.livein r32
+.liveout r8
+.block A freq=1
+  add r8 = r32, 1
+  add r8 = r8, 2
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    rename_registers(fn)
+    # The def reaching the exit still writes r8.
+    last = fn.block("A").instructions[1]
+    assert last.dests == [reg("r8")]
+
+
+def test_livein_merge_pins_web():
+    text = """
+.proc pinin
+.livein r32, r40
+.liveout r8
+.block A freq=1
+  cmp.eq p6, p7 = r32, r0
+  (p6) br.cond C
+.block B freq=1
+  add r40 = r32, 1
+.block C freq=1
+  add r8 = r40, r32
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    rename_registers(fn)
+    # The use in C can see both the live-in r40 and B's def: the def must
+    # keep writing r40.
+    assert fn.block("B").instructions[0].dests == [reg("r40")]
+
+
+def test_memory_base_rewritten():
+    text = """
+.proc membase
+.livein r32, r33
+.liveout r8
+.block A freq=1
+  add r5 = r32, r33
+  ld8 r6 = [r5]
+  add r5 = r33, 4
+  ld8 r7 = [r5]
+  add r8 = r6, r7
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    stats = rename_registers(fn)
+    assert stats.renamed >= 1
+    block = fn.block("A")
+    assert block.instructions[1].mem.base == block.instructions[0].dests[0]
+    assert block.instructions[3].mem.base == block.instructions[2].dests[0]
+
+
+def test_single_def_web_untouched(diamond_fn):
+    before = [i.dests[:] for i in diamond_fn.all_instructions()]
+    stats = rename_registers(diamond_fn)
+    after = [i.dests[:] for i in diamond_fn.all_instructions()]
+    assert before == after
+    assert stats.renamed == 0

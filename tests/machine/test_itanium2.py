@@ -1,0 +1,40 @@
+"""Machine description facade."""
+
+from repro.machine.itanium2 import ITANIUM2, MachineDescription
+from repro.machine.units import UnitKind
+
+
+def test_issue_width():
+    assert ITANIUM2.issue_width == 6
+    assert ITANIUM2.ports.bundles_per_cycle == 2
+
+
+def test_unit_of_and_latency_of():
+    assert ITANIUM2.unit_of("ld8") is UnitKind.M
+    assert ITANIUM2.latency_of("fma") == 4
+
+
+def test_group_feasible_from_mnemonic_units():
+    units = [ITANIUM2.unit_of(m) for m in ("add", "ld8", "ld8", "shl", "br")]
+    assert ITANIUM2.group_feasible(units)
+    units = [ITANIUM2.unit_of("ld8")] * 5
+    assert not ITANIUM2.group_feasible(units)
+
+
+def test_with_ports_builds_variant():
+    wide = ITANIUM2.with_ports(m_ports=6, i_ports=4, issue_width=8)
+    assert wide.ports.m_ports == 6
+    assert wide.issue_width == 8
+    # original untouched (immutability)
+    assert ITANIUM2.ports.m_ports == 4
+
+
+def test_unit_capacity():
+    assert ITANIUM2.unit_capacity(UnitKind.M) == 4
+    assert ITANIUM2.unit_capacity(UnitKind.A) == 6
+    assert ITANIUM2.unit_capacity(UnitKind.B) == 3
+
+
+def test_default_is_singleton_like():
+    assert isinstance(ITANIUM2, MachineDescription)
+    assert ITANIUM2.name == "itanium2"

@@ -1,0 +1,69 @@
+"""Opcode table and completer folding."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.opcodes import lookup_opcode
+from repro.machine.units import UnitKind
+
+
+def test_basic_alu():
+    info = lookup_opcode("add")
+    assert info.unit is UnitKind.A
+    assert info.latency == 1
+    assert not info.is_load
+
+
+def test_completers_fold_to_family():
+    assert lookup_opcode("cmp.eq.unc").name == "cmp"
+    assert lookup_opcode("br.cond.dptk.few").name == "br.cond"
+    assert lookup_opcode("ld8.acq").name == "ld8"
+    assert lookup_opcode("shr.u").name == "shr.u"
+
+
+def test_speculative_loads_are_distinct():
+    plain = lookup_opcode("ld8")
+    spec = lookup_opcode("ld8.s")
+    adv = lookup_opcode("ld8.a")
+    assert plain.may_trap and not spec.may_trap and not adv.may_trap
+    assert spec.is_spec_load and adv.is_adv_load
+    assert plain.latency == spec.latency == adv.latency
+
+
+def test_checks():
+    chk = lookup_opcode("chk.s")
+    assert chk.is_check and chk.unit is UnitKind.M
+    assert lookup_opcode("chk.a").is_check
+
+
+def test_branch_family_flags():
+    assert lookup_opcode("br.call").is_call
+    assert lookup_opcode("br.ret").is_return
+    assert lookup_opcode("br.cond").is_branch
+    assert not lookup_opcode("br").multiply_executable
+
+
+def test_compare_writes_predicates():
+    assert lookup_opcode("cmp").is_compare
+    assert lookup_opcode("tbit").is_compare
+    assert lookup_opcode("fcmp").is_compare
+
+
+def test_store_has_zero_latency():
+    info = lookup_opcode("st8")
+    assert info.is_store and info.latency == 0
+
+
+def test_fp_latency():
+    assert lookup_opcode("fma").latency == 4
+    assert lookup_opcode("ldf").latency > lookup_opcode("ld8").latency
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(MachineError):
+        lookup_opcode("frobnicate")
+
+
+def test_nops():
+    for mnemonic in ("nop.m", "nop.i", "nop.f", "nop.b"):
+        assert lookup_opcode(mnemonic).is_nop

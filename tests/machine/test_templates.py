@@ -1,0 +1,63 @@
+"""Bundle templates and slot compatibility."""
+
+import pytest
+
+from repro.machine.templates import (
+    TEMPLATES,
+    TEMPLATES_BY_NAME,
+    nop_for_slot,
+    slot_accepts,
+)
+from repro.machine.units import UnitKind
+
+
+def test_all_architectural_templates_present():
+    names = {t.name for t in TEMPLATES}
+    assert names == {
+        "MII",
+        "MLX",
+        "MMI",
+        "MFI",
+        "MMF",
+        "MIB",
+        "MBB",
+        "BBB",
+        "MMB",
+        "MFB",
+    }
+
+
+def test_mid_stop_templates():
+    assert TEMPLATES_BY_NAME["MMI"].has_mid_stop  # M;MI
+    assert TEMPLATES_BY_NAME["MII"].has_mid_stop  # MI;I
+    assert not TEMPLATES_BY_NAME["MFB"].has_mid_stop
+    assert 0 in TEMPLATES_BY_NAME["MMI"].stop_options
+    assert 1 in TEMPLATES_BY_NAME["MII"].stop_options
+
+
+def test_slot_acceptance():
+    assert slot_accepts("M", UnitKind.M)
+    assert slot_accepts("M", UnitKind.A)
+    assert slot_accepts("I", UnitKind.A)
+    assert not slot_accepts("I", UnitKind.M)
+    assert not slot_accepts("M", UnitKind.F)
+    assert slot_accepts("B", UnitKind.B)
+    assert slot_accepts("L", UnitKind.L)
+    assert not slot_accepts("X", UnitKind.I)
+
+
+def test_unknown_slot_type_raises():
+    with pytest.raises(ValueError):
+        slot_accepts("Q", UnitKind.M)
+
+
+def test_nop_fillers():
+    assert nop_for_slot("M") == "nop.m"
+    assert nop_for_slot("B") == "nop.b"
+    assert nop_for_slot("X") == "nop.i"
+
+
+def test_every_template_has_end_stop_option():
+    for template in TEMPLATES:
+        assert 2 in template.stop_options
+        assert None in template.stop_options

@@ -1,0 +1,68 @@
+"""Dispersal feasibility of the Itanium 2 port model."""
+
+import pytest
+
+from repro.machine.units import Itanium2Ports, UnitKind
+
+M, I, F, B, A, L = (
+    UnitKind.M,
+    UnitKind.I,
+    UnitKind.F,
+    UnitKind.B,
+    UnitKind.A,
+    UnitKind.L,
+)
+
+
+@pytest.fixture
+def ports():
+    return Itanium2Ports()
+
+
+def _feasible(ports, *kinds):
+    counts = {}
+    for kind in kinds:
+        counts[kind] = counts.get(kind, 0) + 1
+    return ports.feasible(counts)
+
+
+def test_six_alu_ops_fit(ports):
+    assert _feasible(ports, A, A, A, A, A, A)
+
+
+def test_seven_instructions_exceed_width(ports):
+    assert not _feasible(ports, A, A, A, A, A, A, A)
+
+
+def test_memory_port_limit(ports):
+    assert _feasible(ports, M, M, M, M)
+    assert not _feasible(ports, M, M, M, M, M)
+
+
+def test_integer_port_limit(ports):
+    assert _feasible(ports, I, I)
+    assert not _feasible(ports, I, I, I)
+
+
+def test_alu_overflow_uses_spare_ports(ports):
+    # 4 M + 2 A: the As must go to the two I ports.
+    assert _feasible(ports, M, M, M, M, A, A)
+    # 4 M + 2 I + 1 A: no port left (also exceeds width).
+    assert not _feasible(ports, M, M, M, M, I, I, A)
+
+
+def test_fp_and_branch_limits(ports):
+    assert _feasible(ports, F, F, B, B, B)
+    assert not _feasible(ports, F, F, F)
+    assert not _feasible(ports, B, B, B, B)
+
+
+def test_long_immediate_counts_double(ports):
+    # movl takes two slots and one I port.
+    assert _feasible(ports, L, M, M, A, A)
+    assert not _feasible(ports, L, L, L)  # 6 slots but 3 > 2 I ports
+    assert not _feasible(ports, L, I, I)  # I ports exhausted
+
+
+def test_mixed_full_width_group(ports):
+    assert _feasible(ports, M, M, I, A, F, B)

@@ -1,0 +1,61 @@
+"""Micro-architecture variants (the Sec. 7 research-tool use case)."""
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.machine.itanium2 import ITANIUM2
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+
+WIDE_BLOCK = """
+.proc widetest
+.livein r32, r33
+.liveout r8
+.block A freq=100
+  ld8 r10 = [r32] cls=heap
+  ld8 r11 = [r32+8] cls=heap
+  ld8 r12 = [r32+16] cls=heap
+  add r13 = r33, 1
+  add r14 = r33, 2
+  add r15 = r33, 3
+  add r8 = r13, r14
+  br.ret b0
+.endp
+"""
+
+
+def test_narrow_machine_needs_more_cycles():
+    fn = parse_function(WIDE_BLOCK)
+    features = ScheduleFeatures(time_limit=30, verify=False, two_phase=False)
+    wide = optimize_function(fn, features, machine=ITANIUM2)
+    narrow = optimize_function(
+        fn,
+        features,
+        machine=ITANIUM2.with_ports(issue_width=3, m_ports=2, i_ports=1),
+    )
+    assert (
+        narrow.output_schedule.block_length("A")
+        >= wide.output_schedule.block_length("A")
+    )
+
+
+def test_wider_machine_never_worse():
+    fn = parse_function(WIDE_BLOCK)
+    features = ScheduleFeatures(time_limit=30, verify=False, two_phase=False)
+    base = optimize_function(fn, features, machine=ITANIUM2)
+    wider = optimize_function(
+        fn, features, machine=ITANIUM2.with_ports(issue_width=8, m_ports=5)
+    )
+    assert wider.weighted_length_out <= base.weighted_length_out
+
+
+def test_verification_respects_variant_machine():
+    fn = parse_function(WIDE_BLOCK)
+    narrow = ITANIUM2.with_ports(issue_width=2, m_ports=1, i_ports=1)
+    result = optimize_function(
+        fn,
+        ScheduleFeatures(time_limit=30, two_phase=False),
+        machine=narrow,
+    )
+    assert result.verification.ok
+    for cycle, group in result.output_schedule.cycles_of("A").items():
+        assert narrow.group_feasible([i.unit for i in group])

@@ -1,0 +1,95 @@
+"""In-order pipeline simulator."""
+
+import pytest
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.perf.pipeline import PipelineSimulator, _site_hash
+from repro.perf.trace import generate_trace
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.schedule import Schedule
+
+
+def _baseline(fn):
+    cfg = CfgInfo(fn)
+    ddg = build_dependence_graph(fn, cfg, compute_liveness(fn))
+    return ListScheduler().schedule(fn, ddg)
+
+
+def test_cycle_count_at_least_schedule_length(straight_fn):
+    schedule = _baseline(straight_fn)
+    trace = generate_trace(straight_fn, invocations=1)
+    sim = PipelineSimulator(miss_rate=0.0)
+    result = sim.run(schedule, straight_fn, trace)
+    assert result.cycles >= schedule.block_length("A")
+    assert result.instructions == straight_fn.instruction_count
+
+
+def test_shorter_schedule_runs_faster(diamond_fn):
+    schedule = _baseline(diamond_fn)
+    # An (illegally) flattened schedule: everything at cycle 1.
+    flat = Schedule(schedule.block_order)
+    for placement in schedule.placements():
+        flat.place(placement.instr, placement.block, 1)
+    trace = generate_trace(diamond_fn, invocations=50)
+    sim = PipelineSimulator(miss_rate=0.0)
+    slow = sim.run(schedule, diamond_fn, trace)
+    fast = sim.run(flat, diamond_fn, trace)
+    assert fast.cycles <= slow.cycles
+
+
+def test_cache_misses_add_stalls(straight_fn):
+    schedule = _baseline(straight_fn)
+    trace = generate_trace(straight_fn, invocations=200)
+    cold = PipelineSimulator(miss_rate=0.9).run(schedule, straight_fn, trace)
+    warm = PipelineSimulator(miss_rate=0.0).run(schedule, straight_fn, trace)
+    assert cold.cycles > warm.cycles
+    assert cold.memory_stall_cycles > warm.memory_stall_cycles
+
+
+def test_collapsed_blocks_cost_nothing(diamond_fn):
+    schedule = _baseline(diamond_fn)
+    empty = Schedule(schedule.block_order)
+    for placement in schedule.placements():
+        if placement.block != "B":
+            empty.place(placement.instr, placement.block, placement.cycle)
+    trace = ["A", "B", "C"]
+    sim = PipelineSimulator(miss_rate=0.0)
+    with_b = sim.run(schedule, diamond_fn, trace)
+    without_b = sim.run(empty, diamond_fn, trace)
+    assert without_b.cycles < with_b.cycles
+
+
+def test_miss_events_are_deterministic(straight_fn):
+    schedule = _baseline(straight_fn)
+    trace = generate_trace(straight_fn, invocations=100)
+    sim = PipelineSimulator(miss_rate=0.25)
+    first = sim.run(schedule, straight_fn, trace)
+    second = sim.run(schedule, straight_fn, trace)
+    assert first.cycles == second.cycles
+
+
+def test_site_hash_uniformish():
+    values = [_site_hash(i, 17, 1) for i in range(2000)]
+    assert all(0.0 <= v < 1.0 for v in values)
+    mean = sum(values) / len(values)
+    assert 0.4 < mean < 0.6
+
+
+def test_branch_mispredict_penalty(diamond_fn):
+    schedule = _baseline(diamond_fn)
+    likely = ["A", "C"] * 50
+    unlikely = ["A", "B", "C"] * 50
+    sim = PipelineSimulator(miss_rate=0.0)
+    fast = sim.run(schedule, diamond_fn, likely)
+    slow = sim.run(schedule, diamond_fn, unlikely)
+    # The unlikely path pays misprediction penalties (and executes B).
+    assert slow.branch_penalty_cycles > fast.branch_penalty_cycles
+
+
+def test_unstalled_fraction_bounds(straight_fn):
+    schedule = _baseline(straight_fn)
+    trace = generate_trace(straight_fn, invocations=50)
+    result = PipelineSimulator(miss_rate=0.1).run(schedule, straight_fn, trace)
+    assert 0.0 < result.unstalled_fraction <= 1.0

@@ -1,0 +1,42 @@
+"""Routine/program speedup arithmetic."""
+
+import pytest
+
+from repro.perf.speedup import program_speedup, routine_speedup_from_program
+
+
+def test_amdahl_basics():
+    assert program_speedup(0.0, 2.0) == pytest.approx(1.0)
+    assert program_speedup(1.0, 2.0) == pytest.approx(2.0)
+    assert program_speedup(0.5, 2.0) == pytest.approx(1.0 / 0.75)
+
+
+def test_roundtrip():
+    for weight in (0.1, 0.3, 0.68):
+        for routine in (1.1, 1.43, 2.0):
+            prog = program_speedup(weight, routine)
+            assert routine_speedup_from_program(weight, prog) == pytest.approx(
+                routine
+            )
+
+
+def test_paper_longest_match_row():
+    """Table 1: weight 68%, program speedup 28.97% -> routine ~1.43-1.5x.
+
+    The paper reports 43%; the exact Amdahl inverse gives 1.49 — the
+    difference is a rounding/weight-convention artifact, so the check
+    brackets both.
+    """
+    routine = routine_speedup_from_program(0.68, 1.2897)
+    assert 1.40 <= routine <= 1.55
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        program_speedup(0.5, 0.0)
+    with pytest.raises(ValueError):
+        program_speedup(1.5, 2.0)
+    with pytest.raises(ValueError):
+        routine_speedup_from_program(0.0, 1.2)
+    with pytest.raises(ValueError):
+        routine_speedup_from_program(0.1, 2.0)  # more than the weight allows

@@ -1,0 +1,58 @@
+"""Static schedule metrics."""
+
+import pytest
+
+from repro.bundle import bundle_schedule
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.perf.static_eval import compare_schedules, evaluate_schedule
+from repro.sched.list_scheduler import ListScheduler
+
+
+@pytest.fixture
+def scheduled(diamond_fn):
+    cfg = CfgInfo(diamond_fn)
+    ddg = build_dependence_graph(diamond_fn, cfg, compute_liveness(diamond_fn))
+    schedule = ListScheduler().schedule(diamond_fn, ddg)
+    return diamond_fn, schedule
+
+
+def test_basic_metrics(scheduled):
+    fn, schedule = scheduled
+    bundles = bundle_schedule(schedule)
+    metrics = evaluate_schedule(schedule, fn, bundles)
+    assert metrics.instructions == fn.instruction_count
+    assert metrics.weighted_length == schedule.weighted_length(fn)
+    assert metrics.bundles == bundles.total_bundles
+    assert 0 < metrics.weighted_ipc <= 6.0
+    assert 0 < metrics.unweighted_ipc <= 6.0
+
+
+def test_ipc_weighting(scheduled):
+    fn, schedule = scheduled
+    metrics = evaluate_schedule(schedule, fn)
+    manual = sum(
+        fn.block(b).freq
+        * sum(1 for i in schedule.instructions_in(b) if not i.is_nop)
+        for b in schedule.block_order
+    ) / schedule.weighted_length(fn)
+    assert metrics.weighted_ipc == pytest.approx(manual)
+
+
+def test_comparison_deltas(scheduled):
+    fn, schedule = scheduled
+    comparison = compare_schedules(fn, schedule, schedule)
+    assert comparison.static_reduction == 0.0
+    assert comparison.delta_instructions == 0.0
+
+
+def test_reduction_sign(scheduled):
+    fn, schedule = scheduled
+    from repro.sched.schedule import Schedule
+
+    shorter = Schedule(schedule.block_order)
+    for placement in schedule.placements():
+        shorter.place(placement.instr, placement.block, 1)
+    comparison = compare_schedules(fn, schedule, shorter)
+    assert comparison.static_reduction > 0

@@ -1,0 +1,43 @@
+"""Profile-directed trace generation."""
+
+import pytest
+
+from repro.perf.trace import expected_block_counts, generate_trace
+
+
+def test_trace_follows_structure(diamond_fn):
+    trace = generate_trace(diamond_fn, invocations=20, seed=3)
+    assert trace[0] == "A"
+    counts = expected_block_counts(trace)
+    assert counts["A"] == 20
+    assert counts["C"] == 20
+    assert counts.get("B", 0) <= 20
+
+
+def test_trace_is_deterministic(diamond_fn):
+    t1 = generate_trace(diamond_fn, invocations=10, seed=42)
+    t2 = generate_trace(diamond_fn, invocations=10, seed=42)
+    assert t1 == t2
+    t3 = generate_trace(diamond_fn, invocations=10, seed=43)
+    assert t1 != t3 or len(t1) == len(t3)
+
+
+def test_loop_iterations_match_probability(loop_fn):
+    trace = generate_trace(loop_fn, invocations=200, seed=7)
+    counts = expected_block_counts(trace)
+    iterations_per_visit = counts["LOOP"] / counts["PRE"]
+    # Edge annotated with 0.9 self-probability -> ~10 iterations.
+    assert 5 <= iterations_per_visit <= 20
+
+
+def test_max_blocks_guard(loop_fn):
+    trace = generate_trace(loop_fn, invocations=10**6, max_blocks=500, seed=1)
+    assert len(trace) <= 500
+
+
+def test_branch_probabilities_respected(diamond_fn):
+    trace = generate_trace(diamond_fn, invocations=500, seed=11)
+    counts = expected_block_counts(trace)
+    # freq(B)=60 vs direct edge A->C: B taken with p ~ 60/160.
+    fraction = counts.get("B", 0) / 500
+    assert 0.2 < fraction < 0.55

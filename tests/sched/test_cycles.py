@@ -1,0 +1,51 @@
+"""Cycle-range sizing G(A)."""
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.sched.cycles import grow_lengths, lengths_from_input, upper_bound_lengths
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.regions import build_region
+
+
+def _input(fn):
+    cfg = CfgInfo(fn)
+    ddg = build_dependence_graph(fn, cfg, compute_liveness(fn))
+    schedule = ListScheduler().schedule(fn, ddg)
+    region = build_region(fn, cfg, ddg)
+    return schedule, region
+
+
+def test_input_plus_reserve(diamond_fn):
+    schedule, _ = _input(diamond_fn)
+    lengths = lengths_from_input(schedule, diamond_fn, reserve=1)
+    for block in diamond_fn.blocks:
+        assert lengths[block.name] == schedule.block_length(block.name) + 1
+
+
+def test_extra_blocks_get_more_headroom(diamond_fn):
+    schedule, _ = _input(diamond_fn)
+    lengths = lengths_from_input(schedule, diamond_fn, reserve=1, extra=("B",))
+    assert lengths["B"] == schedule.block_length("B") + 2
+
+
+def test_minimum_length_is_one(diamond_fn):
+    schedule, _ = _input(diamond_fn)
+    lengths = lengths_from_input(schedule, diamond_fn, reserve=0)
+    assert all(v >= 1 for v in lengths.values())
+
+
+def test_upper_bound_covers_candidates(diamond_fn):
+    schedule, region = _input(diamond_fn)
+    bounds = upper_bound_lengths(region)
+    # Upper bound must accommodate every instruction that can move in.
+    for block in diamond_fn.blocks:
+        hosted = len(region.blocks_hosting(block.name))
+        assert bounds[block.name] * 6 >= hosted
+
+
+def test_grow_lengths(diamond_fn):
+    schedule, _ = _input(diamond_fn)
+    lengths = lengths_from_input(schedule, diamond_fn)
+    grown = grow_lengths(lengths, bump=2)
+    assert all(grown[k] == lengths[k] + 2 for k in lengths)

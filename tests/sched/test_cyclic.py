@@ -1,0 +1,88 @@
+"""Cyclic code motion (Sec. 5.2)."""
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+from repro.workloads.samples import fig5_cyclic_sample
+
+
+@pytest.fixture(scope="module")
+def fig5_with():
+    fn = parse_function(fig5_cyclic_sample())
+    return optimize_function(fn, ScheduleFeatures(time_limit=60))
+
+
+@pytest.fixture(scope="module")
+def fig5_without():
+    fn = parse_function(fig5_cyclic_sample())
+    return optimize_function(fn, ScheduleFeatures(time_limit=60, cyclic=False))
+
+
+def test_cyclic_improves_loop(fig5_with, fig5_without):
+    assert fig5_with.verification.ok
+    assert fig5_without.verification.ok
+    assert fig5_with.weighted_length_out < fig5_without.weighted_length_out
+
+
+def test_latch_copy_present(fig5_with):
+    schedule = fig5_with.output_schedule
+    loop_len = schedule.block_length("LOOP")
+    # The cyclically moved add r20 sits both above the loop and in the
+    # final (latch) cycle of the loop body.
+    def copies(block):
+        return [
+            p
+            for p in schedule.placements()
+            if p.block == block
+            and p.instr.mnemonic == "add"
+            and not p.instr.is_branch
+        ]
+
+    pre_mnemonics = [p.instr.mnemonic for p in copies("PRE")]
+    assert "add" in pre_mnemonics
+    last_group = schedule.group("LOOP", loop_len)
+    assert any(i.mnemonic == "add" for i in last_group)
+
+
+def test_loop_variant_never_escapes_without_latch_copy(fig5_without):
+    """With cyclic off, the address add must stay inside the loop."""
+    schedule = fig5_without.output_schedule
+    fn = fig5_without.fn
+    loop_instrs = list(schedule.instructions_in("LOOP"))
+    # The load's address producer is in the loop.
+    loads = [i for i in loop_instrs if i.is_load]
+    assert loads, "load must remain in the loop"
+    base = loads[0].mem.base
+    producers = [
+        i for i in loop_instrs if base in i.regs_written() and not i.is_load
+    ]
+    assert producers, "address producer must stay in the loop without cyclic"
+
+
+def test_cyclic_requires_multiply_executable():
+    # Self-overlapping update (adds r15 = 8, r15) is not multiply
+    # executable; the loop cannot be shortened by moving it cyclically.
+    text = """
+.proc selfinc
+.livein r32
+.liveout r8
+.block PRE freq=1
+  add r15 = r32, 0
+.block LOOP freq=100 succ=LOOP:0.9,POST:0.1
+  adds r15 = 8, r15
+  cmp.ne p6, p7 = r15, r0
+  (p6) br.cond LOOP
+.block POST freq=1
+  add r8 = r15, 0
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    res = optimize_function(fn, ScheduleFeatures(time_limit=30))
+    assert res.verification.ok
+    # The update stays put.
+    placements = [
+        p for p in res.output_schedule.placements() if p.instr.mnemonic == "adds"
+    ]
+    assert placements and all(p.block == "LOOP" for p in placements)

@@ -1,0 +1,99 @@
+"""The scheduling ILP: structure and basic solves."""
+
+import pytest
+
+from repro.ilp import solve_model
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.machine.itanium2 import ITANIUM2
+from repro.sched.cycles import lengths_from_input
+from repro.sched.ilp_formulation import SchedulingIlp
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.regions import build_region
+
+
+@pytest.fixture
+def built(diamond_fn):
+    cfg = CfgInfo(diamond_fn)
+    ddg = build_dependence_graph(diamond_fn, cfg, compute_liveness(diamond_fn))
+    input_schedule = ListScheduler().schedule(diamond_fn, ddg)
+    region = build_region(diamond_fn, cfg, ddg, allow_predication=False)
+    lengths = lengths_from_input(input_schedule, diamond_fn)
+    ilp = SchedulingIlp(region, lengths, ITANIUM2)
+    return ilp, input_schedule, region
+
+
+def test_variable_classes_created(built):
+    ilp, _, region = built
+    model = ilp.generate()
+    x_names = [v for v in model.variables if v.name.startswith("x_")]
+    a_names = [v for v in model.variables if v.name.startswith("a_")]
+    len_names = [v for v in model.variables if v.name.startswith("len_")]
+    assert x_names and a_names and len_names
+    assert all(v.is_binary for v in model.variables)
+
+
+def test_objective_is_weighted_lengths(built):
+    ilp, _, _ = built
+    model = ilp.generate()
+    # Every objective term is freq * t * len_var with t >= 1.
+    for var, coef in model.objective.terms.items():
+        assert var.name.startswith("len_")
+        assert coef > 0
+
+
+def test_solves_to_optimality(built):
+    ilp, input_schedule, _ = built
+    model = ilp.generate()
+    solution = solve_model(model)
+    assert solution.status.name == "OPTIMAL"
+    # Never worse than the heuristic input.
+    assert solution.objective <= input_schedule.weighted_length(ilp.region.fn)
+
+
+def test_generate_is_single_shot(built):
+    ilp, _, _ = built
+    ilp.generate()
+    with pytest.raises(Exception):
+        ilp.generate()
+
+
+def test_branch_last_cycle_constraints_exist(built):
+    ilp, _, _ = built
+    model = ilp.generate()
+    assert any(c.name.startswith("br_last") for c in model.constraints)
+
+
+def test_resource_constraints_exist(built):
+    ilp, _, _ = built
+    model = ilp.generate()
+    assert any(c.name.startswith("width_") for c in model.constraints)
+
+
+def test_bundling_cut_forbids_group(diamond_fn):
+    cfg = CfgInfo(diamond_fn)
+    ddg = build_dependence_graph(diamond_fn, cfg, compute_liveness(diamond_fn))
+    input_schedule = ListScheduler().schedule(diamond_fn, ddg)
+    region = build_region(diamond_fn, cfg, ddg, allow_predication=False)
+    lengths = lengths_from_input(input_schedule, diamond_fn)
+
+    ilp = SchedulingIlp(region, lengths, ITANIUM2)
+    pair = [
+        (i.root_origin, "A")
+        for i in region.blocks_hosting("A")
+        if not i.is_branch
+    ][:2]
+    ilp.bundling_cuts.append(pair)
+    model = ilp.generate()
+    assert any(c.name.startswith("bundle_cut") for c in model.constraints)
+    solution = solve_model(model)
+    assert solution.status.has_solution
+    # The two instructions never share (A, t).
+    for t in range(1, lengths["A"] + 1):
+        together = sum(
+            solution.value_of(ilp.x[(i, "A", t)])
+            for i, _b in pair
+            if (i, "A", t) in ilp.x
+        )
+        assert together <= 1

@@ -1,0 +1,41 @@
+"""Tight vs compact length linking produce identical optima."""
+
+import pytest
+
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+from repro.workloads.spec_routines import build_spec_routine
+
+
+@pytest.fixture(scope="module")
+def variants():
+    fn = build_spec_routine("xfree", scale=0.5)
+    tight = optimize_function(
+        fn,
+        ScheduleFeatures(
+            time_limit=45, max_hops=3, tight_lengths=True, two_phase=False
+        ),
+    )
+    compact = optimize_function(
+        fn,
+        ScheduleFeatures(
+            time_limit=45, max_hops=3, tight_lengths=False, two_phase=False
+        ),
+    )
+    return tight, compact
+
+
+def test_same_objective(variants):
+    tight, compact = variants
+    assert tight.ilp_size["objective"] == pytest.approx(
+        compact.ilp_size["objective"]
+    )
+
+
+def test_compact_model_is_smaller(variants):
+    tight, compact = variants
+    assert compact.ilp_size["constraints"] < tight.ilp_size["constraints"]
+
+
+def test_both_verify(variants):
+    tight, compact = variants
+    assert tight.verification.ok and compact.verification.ok

@@ -1,0 +1,83 @@
+"""Baseline list scheduler."""
+
+import pytest
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.machine.itanium2 import ITANIUM2
+from repro.sched.list_scheduler import ListScheduler
+
+
+def _schedule(fn):
+    cfg = CfgInfo(fn)
+    ddg = build_dependence_graph(fn, cfg, compute_liveness(fn))
+    return ListScheduler().schedule(fn, ddg), ddg
+
+
+def test_all_instructions_placed(diamond_fn):
+    schedule, _ = _schedule(diamond_fn)
+    placed = sum(1 for _ in schedule.placements())
+    assert placed == diamond_fn.instruction_count
+
+
+def test_latencies_respected(straight_fn):
+    schedule, ddg = _schedule(straight_fn)
+    cycles = {}
+    for placement in schedule.placements():
+        cycles[placement.instr] = placement.cycle
+    for edge in ddg.edges:
+        if edge.src in cycles and edge.dst in cycles:
+            assert cycles[edge.dst] - cycles[edge.src] >= edge.latency
+
+
+def test_branch_in_last_cycle(diamond_fn):
+    schedule, _ = _schedule(diamond_fn)
+    for block in diamond_fn.blocks:
+        for instr in block.instructions:
+            if instr.is_branch:
+                placement = next(
+                    p for p in schedule.placements() if p.instr is instr
+                )
+                assert placement.cycle == schedule.block_length(block.name)
+
+
+def test_groups_dispersal_feasible(loop_fn):
+    schedule, _ = _schedule(loop_fn)
+    for block in schedule.block_order:
+        for cycle, group in schedule.cycles_of(block).items():
+            assert ITANIUM2.group_feasible([i.unit for i in group])
+
+
+def test_no_global_motion(diamond_fn):
+    schedule, _ = _schedule(diamond_fn)
+    for placement in schedule.placements():
+        original_block = next(
+            b.name
+            for b in diamond_fn.blocks
+            if placement.instr in b.instructions
+        )
+        assert placement.block == original_block
+
+
+def test_order_pairs_recorded(straight_fn):
+    schedule, ddg = _schedule(straight_fn)
+    # any same-cycle zero-latency dep pair must be registered
+    for (block, cycle), pairs in schedule.order_pairs.items():
+        group = schedule.group(block, cycle)
+        for i, j in pairs:
+            assert 0 <= i < len(group) and 0 <= j < len(group)
+
+
+def test_wide_block_uses_multiple_cycles():
+    from repro.ir.parser import parse_function
+
+    lines = [".proc wide", ".block A freq=1"]
+    # 8 independent loads: only 4 M ports per cycle.
+    for i in range(8):
+        lines.append(f"  ld8 r{40 + i} = [r{32 + i}]")
+    lines.append("  br.ret b0")
+    lines.append(".endp")
+    fn = parse_function("\n".join(lines))
+    schedule, _ = _schedule(fn)
+    assert schedule.block_length("A") >= 2

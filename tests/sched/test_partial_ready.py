@@ -1,0 +1,71 @@
+"""Partial-ready code motion (Sec. 5.3)."""
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+from repro.workloads.samples import fig6_partial_ready_sample
+
+
+@pytest.fixture(scope="module")
+def fig6_with():
+    fn = parse_function(fig6_partial_ready_sample())
+    return optimize_function(fn, ScheduleFeatures(time_limit=60))
+
+
+@pytest.fixture(scope="module")
+def fig6_without():
+    fn = parse_function(fig6_partial_ready_sample())
+    return optimize_function(
+        fn, ScheduleFeatures(time_limit=60, partial_ready=False)
+    )
+
+
+def test_partial_ready_improves_likely_path(fig6_with, fig6_without):
+    assert fig6_with.verification.ok and fig6_without.verification.ok
+    assert fig6_with.weighted_length_out < fig6_without.weighted_length_out
+
+
+def test_compensation_copy_after_mov(fig6_with):
+    schedule = fig6_with.output_schedule
+    loads = [p for p in schedule.placements() if p.instr.is_load]
+    blocks = {p.block for p in loads}
+    # Two copies: one hoisted onto the likely side, one after the mov in B.
+    assert len(loads) >= 2
+    assert "B" in blocks
+    movs = [p for p in schedule.placements() if p.instr.mnemonic == "mov"]
+    assert movs
+    mov_pos = (movs[0].block, movs[0].cycle)
+    comp = next(p for p in loads if p.block == "B")
+    assert mov_pos[0] == "B"
+    assert comp.cycle > movs[0].cycle or (
+        comp.cycle == movs[0].cycle
+    )  # ordered within B
+
+
+def test_duplicate_on_one_path_only(fig6_with):
+    schedule = fig6_with.output_schedule
+    loads = [p for p in schedule.placements() if p.instr.is_load]
+    # No block holds two copies (single-copy-per-block invariant).
+    blocks = [p.block for p in loads]
+    assert len(blocks) == len(set(blocks))
+
+
+def test_without_partial_ready_single_copy(fig6_without):
+    loads = [
+        p for p in fig6_without.output_schedule.placements() if p.instr.is_load
+    ]
+    assert len(loads) == 1
+
+
+def test_phase2_trims_useless_compensation():
+    fn = parse_function(fig6_partial_ready_sample())
+    res = optimize_function(fn, ScheduleFeatures(time_limit=60, two_phase=True))
+    # Instruction count must not exceed the no-phase2 variant.
+    res_raw = optimize_function(
+        fn, ScheduleFeatures(time_limit=60, two_phase=False)
+    )
+    assert (
+        res.output_schedule.instruction_count
+        <= res_raw.output_schedule.instruction_count
+    )

@@ -1,0 +1,59 @@
+"""Phase 2: instruction-count minimization at fixed block lengths."""
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+
+# A routine where phase 1 may freely duplicate: the speculative add can be
+# placed on both sides of the diamond without hurting the length optimum.
+TEXT = """
+.proc twophase
+.livein r32, r33
+.liveout r8
+.block A freq=100
+  cmp.eq p6, p7 = r32, r0
+  (p6) br.cond C
+.block B freq=50
+  add r10 = r32, r33
+  add r11 = r10, r32
+.block C freq=100
+  add r8 = r32, r33
+  br.ret b0
+.endp
+"""
+
+
+def test_phase2_preserves_lengths():
+    fn = parse_function(TEXT)
+    one = optimize_function(fn, ScheduleFeatures(time_limit=30, two_phase=False))
+    two = optimize_function(fn, ScheduleFeatures(time_limit=30, two_phase=True))
+    for block in one.output_schedule.block_order:
+        assert one.output_schedule.block_length(
+            block
+        ) == two.output_schedule.block_length(block)
+
+
+def test_phase2_never_increases_instructions():
+    fn = parse_function(TEXT)
+    one = optimize_function(fn, ScheduleFeatures(time_limit=30, two_phase=False))
+    two = optimize_function(fn, ScheduleFeatures(time_limit=30, two_phase=True))
+    assert (
+        two.output_schedule.instruction_count
+        <= one.output_schedule.instruction_count
+    )
+
+
+def test_phase2_result_verifies():
+    fn = parse_function(TEXT)
+    result = optimize_function(fn, ScheduleFeatures(time_limit=30))
+    assert result.verification.ok
+    assert result.phase2_applied
+
+
+def test_phase2_keeps_phase1_objective_value():
+    fn = parse_function(TEXT)
+    result = optimize_function(fn, ScheduleFeatures(time_limit=30))
+    assert result.ilp_size["objective"] == pytest.approx(
+        result.output_schedule.weighted_length(result.fn)
+    )

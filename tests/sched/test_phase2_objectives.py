@@ -1,0 +1,76 @@
+"""Alternative phase-2 objectives (paper Sec. 5.5 sketches)."""
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.sched.phase2 import OBJECTIVES, minimize_instruction_count
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+
+TEXT = """
+.proc p2obj
+.livein r32, r33
+.liveout r8
+.block A freq=100
+  ld8 r10 = [r32] cls=heap
+  add r11 = r32, r33
+  xor r12 = r11, r33
+  and r13 = r12, r11
+  add r14 = r10, r13
+  add r8 = r14, r12
+  br.ret b0
+.endp
+"""
+
+
+def _run(objective):
+    fn = parse_function(TEXT)
+    return optimize_function(
+        fn, ScheduleFeatures(time_limit=30, phase2_objective=objective)
+    )
+
+
+@pytest.mark.parametrize("objective", OBJECTIVES)
+def test_all_objectives_valid_and_length_preserving(objective):
+    result = _run(objective)
+    baseline = _run("instructions")
+    assert result.verification.ok
+    for block in result.output_schedule.block_order:
+        assert result.output_schedule.block_length(
+            block
+        ) == baseline.output_schedule.block_length(block)
+
+
+def test_register_pressure_defers_definitions():
+    eager = _run("stalls")
+    lazy = _run("register_pressure")
+
+    def def_cycles(result):
+        return sum(
+            p.cycle
+            for p in result.output_schedule.placements()
+            if p.instr.regs_written() and not p.instr.is_branch
+        )
+
+    assert def_cycles(lazy) >= def_cycles(eager)
+
+
+def test_stalls_maximizes_load_use_distance():
+    spread = _run("stalls")
+    packed = _run("register_pressure")
+
+    def load_use_gap(result):
+        sched = result.output_schedule
+        load = next(p for p in sched.placements() if p.instr.is_load)
+        use = next(
+            p
+            for p in sched.placements()
+            if load.instr.dests[0] in p.instr.regs_read()
+        )
+        return use.cycle - load.cycle
+
+    assert load_use_gap(spread) >= load_use_gap(packed)
+
+
+def test_unknown_objective_rejected():
+    with pytest.raises(ValueError):
+        minimize_instruction_count(lambda: None, {}, objective="coffee")

@@ -1,0 +1,66 @@
+"""Input preparation: cloning and speculation undo."""
+
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function
+from repro.sched.prep import clone_function, undo_speculation
+
+
+def test_clone_is_deep(diamond_fn):
+    clone = clone_function(diamond_fn)
+    clone.block("A").instructions[0].mnemonic = "sub"
+    assert diamond_fn.block("A").instructions[0].mnemonic == "add"
+    assert clone.name == diamond_fn.name
+
+
+def test_undo_reverts_spec_load():
+    text = """
+.proc specin
+.livein r32
+.liveout r8
+.block A freq=10
+  ld8.s r5 = [r32] cls=heap
+  add r6 = r32, 1
+  chk.s r5, rec1
+  add r8 = r5, r6
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    stats = undo_speculation(fn)
+    assert stats.spec_loads_reverted == 1
+    assert stats.checks_removed == 1
+    mnemonics = [i.mnemonic for i in fn.all_instructions()]
+    assert "ld8" in mnemonics
+    assert "ld8.s" not in mnemonics
+    assert "chk.s" not in mnemonics
+
+
+def test_undo_rehomes_load_to_check_position():
+    text = """
+.proc rehome
+.livein r32
+.liveout r8
+.block A freq=10
+  ld8.s r5 = [r32] cls=heap
+  cmp.eq p6, p7 = r32, r0
+  (p6) br.cond C
+.block B freq=5
+  chk.s r5, rec1
+  add r8 = r5, 1
+.block C freq=10
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    undo_speculation(fn)
+    block_b = [i.mnemonic for i in fn.block("B").instructions]
+    block_a = [i.mnemonic for i in fn.block("A").instructions]
+    assert "ld8" in block_b  # moved to its non-speculative home
+    assert "ld8" not in block_a and "ld8.s" not in block_a
+
+
+def test_undo_without_speculation_is_noop(diamond_fn):
+    before = format_function(diamond_fn)
+    stats = undo_speculation(diamond_fn)
+    assert stats.total == 0
+    assert format_function(diamond_fn) == before

@@ -1,0 +1,112 @@
+"""Destination-block sets Θ(n)/Θ_spec(n) and predication extension."""
+
+import pytest
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.ir.parser import parse_function
+from repro.sched.regions import build_region
+
+
+def _region(fn, **kwargs):
+    cfg = CfgInfo(fn)
+    ddg = build_dependence_graph(fn, cfg, compute_liveness(fn))
+    return build_region(fn, cfg, ddg, **kwargs)
+
+
+def _by_mnemonic(region, mnemonic, block=None):
+    for instr in region.instructions:
+        if instr.mnemonic.startswith(mnemonic) and (
+            block is None or region.source_block[instr] == block
+        ):
+            return instr
+    raise AssertionError(f"no {mnemonic} in region")
+
+
+def test_speculative_instruction_full_range(diamond_fn):
+    region = _region(diamond_fn)
+    add14 = _by_mnemonic(region, "add", "A")  # writes exclusive r14
+    assert region.speculative[add14]
+    assert region.theta[add14] == {"A", "B", "C"}
+
+
+def test_load_is_non_speculative(diamond_fn):
+    region = _region(diamond_fn, allow_predication=False)
+    load = _by_mnemonic(region, "ld8")
+    assert not region.speculative[load]
+    # B dominates nothing else and is postdominated by nothing above it.
+    assert region.theta[load] == {"B"}
+    # The speculative candidate set still spans the related blocks.
+    assert region.theta_spec[load] == {"A", "B", "C"}
+
+
+def test_store_pinned_by_dominance(diamond_fn):
+    region = _region(diamond_fn, allow_predication=False)
+    store = _by_mnemonic(region, "st8")
+    # C is control-equivalent to A: upward motion to A is non-speculative...
+    assert "A" in region.theta[store]
+    # ...but B neither dominates nor postdominates C? B is *a* predecessor
+    # not postdominated-by-C-excluded: C postdominates B, so B qualifies.
+    assert "B" in region.theta[store]
+
+
+def test_branches_pinned(diamond_fn):
+    region = _region(diamond_fn)
+    branch = _by_mnemonic(region, "br.cond")
+    assert branch in region.pinned
+    assert region.theta[branch] == {"A"}
+    # The a-domain still spans the related set for precedence constraints.
+    assert region.theta_spec[branch] == {"A", "B", "C"}
+
+
+def test_freq_cap_limits_speculative_loads():
+    text = """
+.proc cap
+.livein r32
+.liveout r8
+.block HOT freq=1000
+  add r5 = r32, 1
+  cmp.eq p6, p7 = r5, r0
+  (p6) br.cond COLD2
+.block COLD freq=10
+  ld8 r8 = [r32]
+.block COLD2 freq=1000
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    region = _region(fn)
+    # The plain load is non-speculative anyway; check the Θ_spec-derived
+    # candidate range through the speculation module instead.
+    from repro.sched.speculation import _speculative_theta
+
+    load = _by_mnemonic(region, "ld8")
+    spec_range = _speculative_theta(region, load, "COLD")
+    assert "HOT" not in spec_range  # 1000 > 5 * 10
+    assert "COLD" in spec_range
+
+
+def test_predication_extends_theta(diamond_fn):
+    region = _region(diamond_fn, allow_predication=True)
+    load = _by_mnemonic(region, "ld8")
+    # With the branch guarded by p6 (complement p7), the load may move to A
+    # under predicate p7 (the fall-through guard).
+    if "A" in region.theta[load]:
+        guard = region.guard_for[(load, "A")]
+        assert guard.name in ("p6", "p7")
+        assert (load, "A") in region.guard_compare
+
+
+def test_backedge_variant_cannot_leave_loop(loop_fn):
+    region = _region(loop_fn)
+    # ld8 r21 = [r15]: r15 is updated by adds in the same loop.
+    load = _by_mnemonic(region, "ld8")
+    assert load in region.backedge_variant
+    assert "PRE" not in region.theta[load]
+
+
+def test_blocks_hosting_inverse(diamond_fn):
+    region = _region(diamond_fn)
+    hosted = region.blocks_hosting("A")
+    assert all("A" in region.theta[i] for i in hosted)

@@ -1,0 +1,76 @@
+"""Schedule value type."""
+
+import pytest
+
+from repro.ir.parser import parse_instruction
+from repro.sched.schedule import Schedule
+
+
+@pytest.fixture
+def schedule():
+    return Schedule(["A", "B"])
+
+
+def test_place_and_lengths(schedule):
+    i1 = parse_instruction("add r1 = r2, r3")
+    i2 = parse_instruction("sub r4 = r1, r2")
+    schedule.place(i1, "A", 1)
+    schedule.place(i2, "A", 3)
+    assert schedule.block_length("A") == 3
+    assert schedule.block_length("B") == 0
+    assert schedule.group("A", 3) == [i2]
+    assert schedule.group("A", 2) == []
+
+
+def test_invalid_placements(schedule):
+    instr = parse_instruction("add r1 = r2, r3")
+    with pytest.raises(KeyError):
+        schedule.place(instr, "Z", 1)
+    with pytest.raises(ValueError):
+        schedule.place(instr, "A", 0)
+
+
+def test_set_block_length_guards(schedule):
+    instr = parse_instruction("add r1 = r2, r3")
+    schedule.place(instr, "A", 2)
+    schedule.set_block_length("A", 4)
+    assert schedule.block_length("A") == 4
+    with pytest.raises(ValueError):
+        schedule.set_block_length("A", 1)
+
+
+def test_total_and_weighted_length(schedule, diamond_fn):
+    sched = Schedule([b.name for b in diamond_fn.blocks])
+    instr = parse_instruction("add r1 = r2, r3")
+    sched.place(instr, "A", 2)
+    sched.place(instr.copy(), "B", 1)
+    assert sched.total_length == 3
+    assert sched.weighted_length(diamond_fn) == 2 * 100 + 1 * 60
+
+
+def test_copies_of_follows_origin(schedule):
+    original = parse_instruction("add r1 = r2, r3")
+    copy = original.copy()
+    schedule.place(original, "A", 1)
+    schedule.place(copy, "B", 1)
+    assert len(schedule.copies_of(original)) == 2
+
+
+def test_instruction_count_excludes_nops(schedule):
+    schedule.place(parse_instruction("nop.m"), "A", 1)
+    schedule.place(parse_instruction("add r1 = r2, r3"), "A", 1)
+    assert schedule.instruction_count == 1
+
+
+def test_collapsed_blocks(schedule):
+    schedule.place(parse_instruction("add r1 = r2, r3"), "A", 1)
+    assert schedule.collapsed_blocks() == ["B"]
+
+
+def test_sort_groups(schedule):
+    i1 = parse_instruction("add r1 = r2, r3")
+    i2 = parse_instruction("sub r4 = r1, r2")
+    schedule.place(i2, "A", 1)
+    schedule.place(i1, "A", 1)
+    schedule.sort_groups(key=lambda i: i.uid)
+    assert schedule.group("A", 1) == sorted([i1, i2], key=lambda i: i.uid)

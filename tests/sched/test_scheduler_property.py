@@ -1,0 +1,72 @@
+"""Property tests: the optimizer's core invariants on random routines.
+
+For any generated routine the ILP postpass must produce a schedule that
+
+* the path-based verifier accepts (correctness, Theorem 1),
+* is no longer (weighted) than the heuristic input (optimality direction),
+* keeps every cycle dispersal-feasible and bundleable.
+
+These run on small routines so the whole sweep stays in seconds.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+from repro.workloads.generator import RoutineSpec, generate_routine
+
+FEATURES = ScheduleFeatures(time_limit=25, max_hops=3)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_optimizer_invariants_random_routines(seed):
+    spec = RoutineSpec(
+        name="prop",
+        seed=seed,
+        instructions=24,
+        blocks=6,
+        loops=1,
+        input_spec_loads=1,
+    )
+    fn = generate_routine(spec)
+    result = optimize_function(fn, FEATURES)
+
+    assert result.verification.ok, result.verification.problems[:3]
+    assert (
+        result.weighted_length_out <= result.weighted_length_in + 1e-9
+    )
+    # Bundling succeeded for every block (exception-free) and no group
+    # overflows the machine (verifier already checked, double-check count).
+    assert result.bundles_out.total_bundles >= 1
+
+
+@given(seed=st.integers(0, 10**5))
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_feature_monotonicity(seed):
+    """Enabling extensions never makes the optimum worse."""
+    spec = RoutineSpec(
+        name="mono", seed=seed, instructions=18, blocks=5, loops=1
+    )
+    fn = generate_routine(spec)
+    base = optimize_function(
+        fn,
+        ScheduleFeatures(
+            time_limit=25,
+            max_hops=3,
+            speculation=False,
+            data_speculation=False,
+            cyclic=False,
+            partial_ready=False,
+        ),
+    )
+    full = optimize_function(fn, FEATURES)
+    assert full.weighted_length_out <= base.weighted_length_out + 1e-9

@@ -1,0 +1,104 @@
+"""Control and data speculation groups (Sec. 5.1)."""
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+from repro.workloads.samples import fig4_speculation_sample
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    fn = parse_function(fig4_speculation_sample())
+    return optimize_function(fn, ScheduleFeatures(time_limit=30))
+
+
+def test_control_speculation_selected(fig4_result):
+    assert fig4_result.spec_possible >= 1
+    assert fig4_result.spec_used >= 1
+    group = fig4_result.reconstruction.selected_groups[0]
+    assert group.kind == "control"
+    assert group.spec_load.mnemonic == "ld8.s"
+    assert group.check.mnemonic == "chk.s"
+
+
+def test_spec_load_hoisted_above_branch(fig4_result):
+    schedule = fig4_result.output_schedule
+    spec_placements = [
+        p for p in schedule.placements() if p.instr.mnemonic == "ld8.s"
+    ]
+    assert any(p.block == "A" for p in spec_placements)
+
+
+def test_check_stays_at_home(fig4_result):
+    schedule = fig4_result.output_schedule
+    checks = [p for p in schedule.placements() if p.instr.is_check]
+    assert checks and all(p.block == "B" for p in checks)
+
+
+def test_normal_load_replaced(fig4_result):
+    schedule = fig4_result.output_schedule
+    plain_loads = [
+        p for p in schedule.placements() if p.instr.mnemonic == "ld8"
+    ]
+    assert not plain_loads
+
+
+def test_recovery_stub_recorded(fig4_result):
+    stubs = fig4_result.reconstruction.recovery_stubs
+    assert len(stubs) == len(fig4_result.reconstruction.selected_groups)
+    assert stubs[0].label.startswith("recover_")
+
+
+def test_speculation_disabled_keeps_plain_load():
+    fn = parse_function(fig4_speculation_sample())
+    res = optimize_function(
+        fn,
+        ScheduleFeatures(
+            time_limit=30, speculation=False, data_speculation=False
+        ),
+    )
+    assert res.spec_possible == 0
+    loads = [
+        p for p in res.output_schedule.placements() if p.instr.mnemonic == "ld8"
+    ]
+    assert loads and all(p.block == "B" for p in loads)
+    assert res.verification.ok
+
+
+def test_data_speculation_over_ansi_distinct_store():
+    text = """
+.proc dataspec
+.livein r32, r33, r40
+.liveout r8
+.block A freq=100
+  st8 [r32] = r40 cls=stack
+  ld8 r5 = [r33] cls=heap
+  add r6 = r5, r40
+  add r7 = r6, r5
+  add r8 = r7, r6
+  br.ret b0
+.endp
+"""
+    fn = parse_function(text)
+    res = optimize_function(
+        fn, ScheduleFeatures(time_limit=30, speculation=True)
+    )
+    assert res.verification.ok
+    kinds = {g.kind for g in res.spec_groups}
+    assert "data" in kinds
+    if res.spec_used:
+        mnems = {p.instr.mnemonic for p in res.output_schedule.placements()}
+        assert "ld8.a" in mnems and "chk.a" in mnems
+
+
+def test_speculation_improves_fig4():
+    fn = parse_function(fig4_speculation_sample())
+    with_spec = optimize_function(fn, ScheduleFeatures(time_limit=30))
+    without = optimize_function(
+        fn,
+        ScheduleFeatures(
+            time_limit=30, speculation=False, data_speculation=False
+        ),
+    )
+    assert with_spec.weighted_length_out <= without.weighted_length_out

@@ -1,0 +1,43 @@
+"""The Sec. 5.1 speculation cost model (optional extension)."""
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+from repro.workloads.samples import fig4_speculation_sample
+
+
+def test_zero_cost_is_paper_default():
+    fn = parse_function(fig4_speculation_sample())
+    result = optimize_function(fn, ScheduleFeatures(time_limit=30))
+    assert result.spec_used >= 1  # speculation freely chosen
+
+
+def test_prohibitive_cost_suppresses_speculation():
+    fn = parse_function(fig4_speculation_sample())
+    result = optimize_function(
+        fn, ScheduleFeatures(time_limit=30, speculation_cost=1e6)
+    )
+    assert result.verification.ok
+    assert result.spec_used == 0
+    # Without speculation the schedule is the longer one.
+    baseline = optimize_function(fn, ScheduleFeatures(time_limit=30))
+    assert result.weighted_length_out >= baseline.weighted_length_out
+
+
+def test_cost_uses_miss_annotation():
+    """A load annotated as frequently-missing pays a higher penalty."""
+    cheap_text = fig4_speculation_sample()
+    risky_text = cheap_text.replace("cls=heap", "cls=heap miss=0.9")
+    # With a moderate weight, the risky load's penalty outweighs the
+    # one-cycle gain while the default (miss=0.01) load's does not.
+    weight = 30.0
+    cheap = optimize_function(
+        parse_function(cheap_text),
+        ScheduleFeatures(time_limit=30, speculation_cost=weight),
+    )
+    risky = optimize_function(
+        parse_function(risky_text),
+        ScheduleFeatures(time_limit=30, speculation_cost=weight),
+    )
+    assert cheap.spec_used >= risky.spec_used

@@ -1,0 +1,93 @@
+"""The path-based schedule verifier (Theorem 1 checker, Sec. 7)."""
+
+import pytest
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.regions import build_region
+from repro.sched.schedule import Schedule
+from repro.sched.verifier import verify_schedule
+
+
+def _setup(fn):
+    cfg = CfgInfo(fn)
+    ddg = build_dependence_graph(fn, cfg, compute_liveness(fn))
+    region = build_region(fn, cfg, ddg, allow_predication=False)
+    return region, ddg
+
+
+def test_heuristic_schedule_verifies(diamond_fn):
+    """Sec. 7: the checker validates schedules produced by heuristics."""
+    region, ddg = _setup(diamond_fn)
+    schedule = ListScheduler().schedule(diamond_fn, ddg)
+    report = verify_schedule(schedule, region)
+    assert report.ok
+    assert report.exhaustive
+
+
+def test_missing_instruction_detected(diamond_fn):
+    region, ddg = _setup(diamond_fn)
+    schedule = ListScheduler().schedule(diamond_fn, ddg)
+    # Remove one placement of a non-branch instruction.
+    group = schedule.group("B", 1)
+    removed = group.pop(0)
+    report = verify_schedule(schedule, region)
+    assert not report.ok
+    assert any(f"instruction {removed.uid}" in p for p in report.problems)
+
+
+def test_latency_violation_detected(straight_fn):
+    region, ddg = _setup(straight_fn)
+    schedule = Schedule([b.name for b in straight_fn.blocks])
+    # Pack everything into consecutive cycles ignoring the load latency.
+    for idx, instr in enumerate(straight_fn.block("A").instructions):
+        schedule.place(instr, "A", idx + 1)
+    report = verify_schedule(schedule, region)
+    assert not report.ok
+    assert any("needs" in p for p in report.problems)
+
+
+def test_resource_violation_detected(diamond_fn):
+    region, ddg = _setup(diamond_fn)
+    schedule = ListScheduler().schedule(diamond_fn, ddg)
+    # Cram five extra fake loads into one cycle of A.
+    from repro.ir.parser import parse_instruction
+
+    group_cycle = 1
+    for i in range(5):
+        schedule.place(
+            parse_instruction(f"ld8 r{60 + i} = [r32]"), "A", group_cycle
+        )
+    report = verify_schedule(schedule, region)
+    assert any("dispersal" in p for p in report.problems)
+
+
+def test_branch_not_last_detected(diamond_fn):
+    region, ddg = _setup(diamond_fn)
+    schedule = ListScheduler().schedule(diamond_fn, ddg)
+    schedule.set_block_length("A", schedule.block_length("A") + 1)
+    report = verify_schedule(schedule, region)
+    assert any("block length" in p for p in report.problems)
+
+
+def test_double_copy_in_block_detected(diamond_fn):
+    region, ddg = _setup(diamond_fn)
+    schedule = ListScheduler().schedule(diamond_fn, ddg)
+    load = next(i for i in diamond_fn.block("B").instructions if i.is_load)
+    schedule.place(load.copy(), "B", schedule.block_length("B"))
+    report = verify_schedule(schedule, region)
+    assert any("twice" in p for p in report.problems)
+
+
+def test_speculative_placement_of_store_detected(diamond_fn):
+    region, ddg = _setup(diamond_fn)
+    schedule = ListScheduler().schedule(diamond_fn, ddg)
+    store = next(i for i in diamond_fn.block("C").instructions if i.is_store)
+    schedule.place(store.copy(), "B", 1)
+    report = verify_schedule(schedule, region)
+    assert any(
+        "not re-executable" in p or "speculatively" in p
+        for p in report.problems
+    )

@@ -1,0 +1,55 @@
+"""Scoped and exempted dependence edges in the verifier."""
+
+import pytest
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import DepEdge, DepKind, build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.ir.parser import parse_function
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.regions import build_region
+from repro.sched.verifier import verify_schedule
+
+
+@pytest.fixture
+def setup(loop_fn):
+    cfg = CfgInfo(loop_fn)
+    ddg = build_dependence_graph(loop_fn, cfg, compute_liveness(loop_fn))
+    region = build_region(loop_fn, cfg, ddg, allow_predication=False)
+    schedule = ListScheduler().schedule(loop_fn, ddg)
+    return loop_fn, region, ddg, schedule
+
+
+def test_scoped_edge_ignored_outside_scope(setup):
+    fn, region, ddg, schedule = setup
+    # Fabricate a backwards edge that the plain rule would flag: the POST
+    # add "depends on" the loop load. Scoped to POST only, and the load
+    # has no POST copy, so the check is skipped.
+    load = next(i for i in fn.block("LOOP").instructions if i.is_load)
+    post_add = fn.block("POST").instructions[0]
+    bogus = DepEdge(post_add, load, DepKind.TRUE, 1)
+    flagged = verify_schedule(
+        schedule, region, dep_edges=list(ddg.edges) + [bogus]
+    )
+    assert not flagged.ok
+    scoped = verify_schedule(
+        schedule,
+        region,
+        dep_edges=list(ddg.edges) + [bogus],
+        edge_scopes={bogus: frozenset({"POST"})},
+    )
+    assert scoped.ok
+
+
+def test_exhaustive_flag(setup):
+    fn, region, ddg, schedule = setup
+    tiny = verify_schedule(schedule, region, max_paths=1)
+    assert not tiny.exhaustive or tiny.paths_checked <= 1
+    full = verify_schedule(schedule, region)
+    assert full.exhaustive
+
+
+def test_verify_without_reconstruction_uses_region(setup):
+    fn, region, ddg, schedule = setup
+    report = verify_schedule(schedule, region)
+    assert report.ok

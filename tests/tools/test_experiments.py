@@ -1,0 +1,76 @@
+"""Experiment driver (small-scale smoke coverage)."""
+
+import pytest
+
+from repro.sched.scheduler import ScheduleFeatures
+from repro.tools.experiments import (
+    FIG7_LEVELS,
+    default_features,
+    run_routine,
+)
+
+
+@pytest.fixture(scope="module")
+def xfree_experiment():
+    return run_routine(
+        "xfree",
+        features=ScheduleFeatures(time_limit=30, max_hops=3),
+        scale=0.5,
+        sim_invocations=40,
+    )
+
+
+def test_table1_row_columns(xfree_experiment):
+    row = xfree_experiment.table1_row()
+    expected = {
+        "routine",
+        "program",
+        "input_set",
+        "weight",
+        "speedup_program",
+        "speedup_routine",
+        "static_red",
+        "ins_in",
+        "ins_out",
+        "delta_ins",
+        "delta_bundles",
+        "ipc_in",
+        "ipc_out",
+    }
+    assert expected <= set(row)
+    assert row["routine"] == "xfree"
+    assert 0 <= row["static_red"] <= 1
+
+
+def test_table2_row_columns(xfree_experiment):
+    row = xfree_experiment.table2_row()
+    assert row["constraints"] > 0 and row["variables"] > 0
+    assert row["spec_poss"] >= row["spec_out"] >= 0
+
+
+def test_speedups_consistent(xfree_experiment):
+    assert xfree_experiment.routine_speedup >= 1.0
+    assert 1.0 <= xfree_experiment.program_speedup <= (
+        xfree_experiment.routine_speedup + 1e-9
+    )
+
+
+def test_simulation_pairs_same_trace(xfree_experiment):
+    # Identical instruction streams executed: input vs output only differ
+    # by compensation/speculation code, so counts are close.
+    sim_in, sim_out = xfree_experiment.sim_in, xfree_experiment.sim_out
+    assert sim_in.instructions > 0 and sim_out.instructions > 0
+    assert sim_out.cycles <= sim_in.cycles
+
+
+def test_fig7_levels_ordered():
+    labels = [label for label, _ in FIG7_LEVELS]
+    assert labels == ["base", "+speculation", "+cyclic", "+partial-ready"]
+    base_overrides = dict(FIG7_LEVELS)["base"]
+    assert base_overrides["speculation"] is False
+
+
+def test_default_features_env(monkeypatch):
+    monkeypatch.setenv("REPRO_TIME_LIMIT", "7")
+    features = default_features()
+    assert features.time_limit == 7.0

@@ -1,0 +1,61 @@
+"""tia-opt CLI."""
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.tools.optimize import main
+from repro.workloads.samples import fig4_speculation_sample
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "fig4.tia"
+    path.write_text(fig4_speculation_sample())
+    return path
+
+
+def test_optimizes_to_stdout(asm_file, capsys):
+    rc = main([str(asm_file), "--time-limit", "30"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert ".proc speculation_demo" in captured.out
+    assert "verification passed" in captured.err
+    # Output parses back and preserves structure (plus recovery blocks
+    # for any used speculation groups).
+    fn = parse_function(captured.out)
+    names = [b.name for b in fn.blocks]
+    assert names[:3] == ["A", "B", "C"]
+    assert all(n.startswith("recover_") for n in names[3:])
+
+
+def test_output_file(asm_file, tmp_path, capsys):
+    out = tmp_path / "opt.tia"
+    rc = main([str(asm_file), "-o", str(out), "--time-limit", "30"])
+    assert rc == 0
+    fn = parse_function(out.read_text())
+    mnemonics = {i.mnemonic for i in fn.all_instructions()}
+    assert "ld8.s" in mnemonics  # speculation applied
+
+
+def test_feature_flags(asm_file, capsys):
+    rc = main(
+        [
+            str(asm_file),
+            "--no-speculation",
+            "--no-data-speculation",
+            "--time-limit",
+            "30",
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    fn = parse_function(captured.out)
+    mnemonics = {i.mnemonic for i in fn.all_instructions()}
+    assert "ld8.s" not in mnemonics
+
+
+def test_schedule_flag(asm_file, capsys):
+    rc = main([str(asm_file), "--schedule", "--time-limit", "30"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "length" in captured.err

@@ -1,0 +1,66 @@
+"""Report rendering and published-value tables."""
+
+import pytest
+
+from repro.sched.scheduler import ScheduleFeatures
+from repro.tools.experiments import run_routine
+from repro.tools.report import (
+    PAPER_FIG7,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    render_fig7,
+    render_table1,
+    render_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def experiments():
+    features = ScheduleFeatures(time_limit=30, max_hops=3)
+    return [
+        run_routine(name, features=features, scale=0.4, sim_invocations=30)
+        for name in ("firstone", "xfree")
+    ]
+
+
+def test_paper_tables_complete():
+    names = set(PAPER_TABLE1)
+    assert names == set(PAPER_TABLE2)
+    assert len(names) == 9
+    # Spot values from the paper.
+    assert PAPER_TABLE1["longest_match"]["static_red"] == pytest.approx(0.44)
+    assert PAPER_TABLE2["qSort3"]["nodes"] == 914
+    assert PAPER_FIG7["+partial-ready"] == pytest.approx(0.31)
+
+
+def test_render_table1_shows_both_sections(experiments):
+    text = render_table1(experiments)
+    assert "measured (this reproduction)" in text
+    assert "published (paper)" in text
+    assert "firstone" in text and "xfree" in text
+    assert "Average" in text
+
+
+def test_render_table2(experiments):
+    text = render_table2(experiments)
+    assert "#Nodes" in text
+    assert "CPLEX" in text
+
+
+def test_render_fig7_structure():
+    fake = {
+        label: {"avg_reduction": 0.2 + i * 0.03, "avg_time": float(i)}
+        for i, label in enumerate(PAPER_FIG7)
+    }
+    text = render_fig7(fake)
+    assert "base" in text and "+partial-ready" in text
+    assert "paper" in text
+
+
+def test_cli_table1(capsys):
+    from repro.tools.report import main
+
+    rc = main(["table1", "--scale", "0.4", "--routines", "firstone"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "firstone" in out

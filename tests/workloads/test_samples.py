@@ -1,0 +1,38 @@
+"""Hand-written figure samples parse and have the described structure."""
+
+from repro.ir.cfg import CfgInfo
+from repro.ir.parser import parse_function
+from repro.workloads.samples import (
+    fig1_code_motion_sample,
+    fig4_speculation_sample,
+    fig5_cyclic_sample,
+    fig6_partial_ready_sample,
+)
+
+
+def test_fig1_is_a_diamond():
+    fn = parse_function(fig1_code_motion_sample())
+    cfg = CfgInfo(fn)
+    assert set(fn.successors("A")) == {"B", "C"}
+    assert cfg.postdominates("D", "A")
+
+
+def test_fig4_load_below_branch():
+    fn = parse_function(fig4_speculation_sample())
+    loads = [i for i in fn.block("B").instructions if i.is_load]
+    assert loads and loads[0].op.may_trap
+
+
+def test_fig5_has_loop_carried_address():
+    fn = parse_function(fig5_cyclic_sample())
+    cfg = CfgInfo(fn)
+    assert cfg.loops and cfg.loops[0].header == "LOOP"
+
+
+def test_fig6_mov_on_side_path():
+    fn = parse_function(fig6_partial_ready_sample())
+    cfg = CfgInfo(fn)
+    movs = [i for i in fn.block("B").instructions if i.mnemonic == "mov"]
+    assert movs
+    assert not cfg.dominates("B", "C")
+    assert cfg.postdominates("C", "A")

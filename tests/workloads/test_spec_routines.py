@@ -1,0 +1,53 @@
+"""Calibrated Table 1/2 routine configurations."""
+
+import pytest
+
+from repro.ir.cfg import CfgInfo
+from repro.workloads.spec_routines import SPEC_BY_NAME, SPEC_ROUTINES, build_spec_routine
+
+
+def test_all_nine_routines_present():
+    names = {s.name for s in SPEC_ROUTINES}
+    assert names == {
+        "longest_match",
+        "deflate",
+        "send_bits",
+        "firstone",
+        "get_heap_head",
+        "add_to_heap",
+        "qSort3",
+        "xfree",
+        "prune_match",
+    }
+
+
+def test_weights_match_paper():
+    assert SPEC_BY_NAME["longest_match"].weight == pytest.approx(0.68)
+    assert SPEC_BY_NAME["get_heap_head"].weight == pytest.approx(0.30)
+    assert SPEC_BY_NAME["prune_match"].weight == pytest.approx(0.06)
+
+
+@pytest.mark.parametrize("name", ["firstone", "xfree", "send_bits"])
+def test_characteristics_close_to_table(name):
+    spec = SPEC_BY_NAME[name]
+    fn = build_spec_routine(name)
+    assert abs(fn.instruction_count - spec.instructions) <= 0.35 * spec.instructions
+    assert abs(len(fn.blocks) - spec.blocks) <= 3
+    cfg = CfgInfo(fn)
+    assert len(cfg.loops) == spec.loops
+    planted = sum(1 for i in fn.all_instructions() if i.op.is_spec_load)
+    assert planted == spec.input_spec_loads
+
+
+def test_scaling_shrinks_routines():
+    full = build_spec_routine("qSort3")
+    small = build_spec_routine("qSort3", scale=0.3)
+    assert small.instruction_count < full.instruction_count
+    assert len(small.blocks) < len(full.blocks)
+
+
+def test_no_spec_loads_in_table_matches():
+    # send_bits and firstone have "Spec. in" = 0 in Table 2.
+    for name in ("send_bits", "firstone"):
+        fn = build_spec_routine(name)
+        assert not any(i.op.is_spec_load for i in fn.all_instructions())
