@@ -19,7 +19,9 @@ import os
 
 import pytest
 
-from repro.tools.experiments import FIG7_LEVELS, default_features, run_routine
+from repro.tools.experiments import FIG7_LEVELS, default_features
+from repro.tools.parallel import run_routines_parallel
+from support import parallel_workers
 
 
 def fig7_scale():
@@ -36,11 +38,18 @@ def test_fig7_level(benchmark, label, overrides):
     """One bar of Figure 7: all routines at one extension level."""
 
     def sweep():
+        features = default_features(**overrides)
+        outcomes = run_routines_parallel(
+            ROUTINES,
+            features=features,
+            scale=fig7_scale(),
+            max_workers=parallel_workers(),
+        )
         rows = {}
-        for name in ROUTINES:
-            features = default_features(**overrides)
-            experiment = run_routine(name, features=features, scale=fig7_scale())
-            rows[name] = {
+        for outcome in outcomes:
+            assert outcome.ok, f"{outcome.name}: {outcome.error}"
+            experiment = outcome.experiment
+            rows[outcome.name] = {
                 "reduction": experiment.comparison.static_reduction,
                 "time": experiment.result.ilp_size["time"],
                 "ok": experiment.result.verification.ok,

@@ -1,0 +1,446 @@
+#!/usr/bin/env python
+"""Solver performance harness — before/after numbers for the ILP stack.
+
+Four sections, each a dict in ``BENCH_solver.json`` at the repo root:
+
+* ``root_lp``       — presolve + root-relaxation cost on a scheduling
+  model, seed (git-history replica) vs current vectorized presolve;
+* ``bb_throughput`` — branch-and-bound nodes/second on a fixed MILP
+  batch, seed solver replica vs the rewritten lazy/warm-started solver;
+* ``cut_resolve``   — bundling-cut loop cost on the Sec. 4.2 trigger
+  routine, rebuild-per-cut (seed behaviour) vs incremental append;
+* ``sweep``         — end-to-end nine-routine Table 2 sweep, seed code
+  path (sequential, rebuild everything) vs current (incremental model
+  reuse + process-pool fan-out). Fan-out width = CPU count, so the
+  measured ratio is hardware-dependent; ``workers`` records it.
+
+The seed baselines are materialized from the growth-seed commit via
+``git show`` so the comparison runs the *actual* old code, not a guess.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py            # full run
+    PYTHONPATH=src python benchmarks/bench_solver.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_solver.py --smoke --check
+
+``--smoke`` shrinks scales/limits for CI; ``--check`` additionally
+compares the measured smoke sweep against the committed JSON and exits
+nonzero on a >2x wall-time regression (and never rewrites the file).
+
+Run with ``PYTHONHASHSEED=0`` (CI does): model row order follows dict/set
+iteration order, and HiGHS's branch-and-cut path — hence wall time, by
+up to ~2x on the root-bound routines — follows row order. A pinned hash
+seed makes the committed baseline comparable across runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+import types
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SEED_COMMIT = "5d1fe37"
+
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.ilp import Model, solve_model  # noqa: E402
+from repro.ilp.branch_bound import BranchBoundSolver  # noqa: E402
+from repro.ilp.presolve import presolve_arrays  # noqa: E402
+from repro.ir.parser import parse_function  # noqa: E402
+from repro.sched.scheduler import ScheduleFeatures, optimize_function  # noqa: E402
+from repro.tools.experiments import default_features  # noqa: E402
+from repro.tools.parallel import run_routines_parallel  # noqa: E402
+from repro.workloads.spec_routines import SPEC_ROUTINES  # noqa: E402
+
+ROUTINES = [spec.name for spec in SPEC_ROUTINES]
+
+# Sec. 4.2 trigger: two F-unit ops plus a movl cannot be encoded in one
+# cycle's templates, so the driver must add a bundling cut and re-solve.
+CUT_TRIGGER = """
+.proc fbound
+.livein r32, f5, f6, f8, f9
+.liveout r8, f4, f7
+.block A freq=100
+  fma f4 = f5, f6
+  fma f7 = f8, f9
+  movl r10 = 99999
+  add r8 = r10, r32
+  br.ret b0
+.endp
+"""
+
+
+# -- seed replica -----------------------------------------------------------
+def load_seed_solver():
+    """Exec the seed commit's presolve/simplex/branch-and-bound modules.
+
+    The blobs come straight from git history; only their intra-package
+    imports are rewired so they bind to each *other* instead of the
+    current (rewritten) modules. Returns the seed module dict or None
+    when git history is unavailable (e.g. a shallow export).
+    """
+
+    def blob(path):
+        return subprocess.check_output(
+            ["git", "show", f"{SEED_COMMIT}:{path}"], cwd=REPO, text=True
+        )
+
+    try:
+        sources = {
+            name: blob(f"src/repro/ilp/{name}.py")
+            for name in ("presolve", "simplex", "branch_bound")
+        }
+    except (subprocess.CalledProcessError, OSError):
+        return None
+    modules = {}
+    for name in ("presolve", "simplex", "branch_bound"):
+        text = sources[name]
+        text = text.replace(
+            "from repro.ilp.presolve import", "from _seed_presolve import"
+        )
+        text = text.replace(
+            "from repro.ilp.simplex import", "from _seed_simplex import"
+        )
+        module = types.ModuleType(f"_seed_{name}")
+        sys.modules[f"_seed_{name}"] = module
+        exec(compile(text, f"<seed:{name}.py>", "exec"), module.__dict__)
+        modules[name] = module
+    return modules
+
+
+# -- model builders ---------------------------------------------------------
+def build_sched_arrays(name, scale, max_hops=4):
+    """Matrix form of one routine's (featureless) scheduling model."""
+    from repro.ir.cfg import CfgInfo
+    from repro.ir.ddg import build_dependence_graph
+    from repro.ir.liveness import compute_liveness
+    from repro.ir.rename import rename_registers
+    from repro.machine.itanium2 import ITANIUM2
+    from repro.sched.cycles import lengths_from_input
+    from repro.sched.ilp_formulation import SchedulingIlp
+    from repro.sched.list_scheduler import ListScheduler
+    from repro.sched.prep import clone_function, undo_speculation
+    from repro.sched.regions import build_region
+    from repro.workloads.spec_routines import build_spec_routine
+
+    fn = build_spec_routine(name, scale=scale)
+    work = clone_function(fn)
+    undo_speculation(work)
+    rename_registers(work)
+    cfg = CfgInfo(work)
+    ddg = build_dependence_graph(work, cfg, compute_liveness(work))
+    schedule = ListScheduler().schedule(work, ddg)
+    region = build_region(work, cfg, ddg, max_hops=max_hops)
+    lengths = lengths_from_input(schedule, work)
+    model = SchedulingIlp(region, dict(lengths), ITANIUM2).generate()
+    return model.to_arrays()
+
+
+def knapsack_batch(smoke):
+    """Deterministic multi-knapsack MILPs that force real B&B searches."""
+    rng = np.random.default_rng(7)
+    models = []
+    count, items = (4, 14) if smoke else (6, 22)
+    for k in range(count):
+        model = Model(f"knap{k}")
+        xs = [model.add_var(f"x{i}", 0, 1, is_integer=True) for i in range(items)]
+        values = rng.integers(3, 60, items)
+        model.set_objective(sum(-int(v) * x for v, x in zip(values, xs)))
+        for row in range(3):
+            weights = rng.integers(1, 40, items)
+            cap = int(weights.sum() // 3)
+            model.add_constraint(
+                sum(int(w) * x for w, x in zip(weights, xs)) <= cap
+            )
+        models.append(model)
+    return models
+
+
+# -- sections ---------------------------------------------------------------
+def bench_root_lp(seed_modules, smoke):
+    """Presolve + root LP cost on one scheduling model."""
+    name = "get_heap_head" if smoke else "longest_match"
+    scale = 0.4 if smoke else 1.0
+    arrays = build_sched_arrays(name, scale)
+
+    t0 = time.perf_counter()
+    pre, infeasible = presolve_arrays(arrays)
+    current_presolve = time.perf_counter() - t0
+    assert not infeasible
+
+    seed_presolve = None
+    if seed_modules is not None:
+        t0 = time.perf_counter()
+        seed_pre, seed_infeasible = seed_modules["presolve"].presolve_arrays(arrays)
+        seed_presolve = time.perf_counter() - t0
+        assert not seed_infeasible
+        fixed_match = int(np.sum(np.isclose(pre["lb"], pre["ub"]))) >= int(
+            np.sum(np.isclose(seed_pre["lb"], seed_pre["ub"]))
+        )
+    else:
+        fixed_match = None
+
+    from scipy import optimize
+
+    t0 = time.perf_counter()
+    res = optimize.milp(
+        arrays["c"],
+        constraints=optimize.LinearConstraint(
+            arrays["A"], arrays["b_lo"], arrays["b_hi"]
+        ),
+        bounds=optimize.Bounds(pre["lb"], pre["ub"]),
+    )
+    root_lp = time.perf_counter() - t0
+    return {
+        "model": name,
+        "scale": scale,
+        "rows": int(arrays["A"].shape[0]),
+        "cols": int(arrays["A"].shape[1]),
+        "presolve_seconds_seed": seed_presolve,
+        "presolve_seconds_current": current_presolve,
+        "presolve_speedup": (
+            seed_presolve / current_presolve if seed_presolve else None
+        ),
+        "presolve_at_least_as_tight": fixed_match,
+        "root_lp_seconds": root_lp,
+        "root_lp_status": int(res.status),
+    }
+
+
+def bench_bb_throughput(seed_modules, smoke):
+    """Nodes/second over the knapsack batch, seed vs current solver."""
+    models = knapsack_batch(smoke)
+
+    def run(solver_factory):
+        nodes = 0
+        elapsed = 0.0
+        objectives = []
+        for model in models:
+            solver = solver_factory()
+            t0 = time.perf_counter()
+            solution = solver.solve(model)
+            elapsed += time.perf_counter() - t0
+            nodes += solution.stats.nodes
+            objectives.append(round(solution.objective, 6))
+        return nodes, elapsed, objectives
+
+    cur_nodes, cur_time, cur_obj = run(lambda: BranchBoundSolver())
+    out = {
+        "models": len(models),
+        "current_nodes": cur_nodes,
+        "current_seconds": cur_time,
+        "current_nodes_per_sec": cur_nodes / cur_time if cur_time else None,
+    }
+    if seed_modules is not None:
+        seed_cls = seed_modules["branch_bound"].BranchBoundSolver
+        seed_nodes, seed_time, seed_obj = run(lambda: seed_cls())
+        out.update(
+            seed_nodes=seed_nodes,
+            seed_seconds=seed_time,
+            seed_nodes_per_sec=seed_nodes / seed_time if seed_time else None,
+            objectives_match=seed_obj == cur_obj,
+            batch_time_speedup=seed_time / cur_time if cur_time else None,
+        )
+    # Warm-start share on the simplex engine (same batch, own LP engine).
+    warm_solver = BranchBoundSolver(relaxation="simplex")
+    warm = sum(warm_solver.solve(m).stats.warm_starts for m in models)
+    out["simplex_warm_starts"] = int(warm)
+    return out
+
+
+def bench_cut_resolve(smoke):
+    """Bundling-cut loop: rebuild-per-cut vs incremental append."""
+    del smoke  # the trigger routine is tiny either way
+
+    def run(incremental):
+        fn = parse_function(CUT_TRIGGER)
+        t0 = time.perf_counter()
+        result = optimize_function(
+            fn,
+            ScheduleFeatures(time_limit=30, incremental_cuts=incremental),
+        )
+        elapsed = time.perf_counter() - t0
+        cuts = sum("bundling constraint" in m for m in result.messages)
+        placements = [
+            (blk, cycle, instr.mnemonic)
+            for blk in result.output_schedule.block_order
+            for cycle, group in result.output_schedule.cycles_of(blk).items()
+            for instr in group
+        ]
+        return elapsed, cuts, sorted(placements), result.solution.objective
+
+    rebuild_s, rebuild_cuts, rebuild_sched, rebuild_obj = run(False)
+    incr_s, incr_cuts, incr_sched, incr_obj = run(True)
+    return {
+        "routine": "fbound (Sec 4.2 trigger)",
+        "cuts_fired": incr_cuts,
+        "rebuild_seconds": rebuild_s,
+        "incremental_seconds": incr_s,
+        "speedup": rebuild_s / incr_s if incr_s else None,
+        "schedules_identical": rebuild_sched == incr_sched,
+        "objectives_identical": rebuild_obj == incr_obj,
+    }
+
+
+def bench_sweep(smoke):
+    """End-to-end nine-routine Table 2 sweep, seed path vs current path."""
+    scale = 0.25 if smoke else 0.5
+    time_limit = 20 if smoke else 60
+    workers = os.cpu_count() or 1
+
+    # Seed configuration: rebuild-everything cut loop, no incumbent
+    # carry-over, HiGHS' stock heuristic effort (the seed never set it).
+    seed_features = default_features(
+        time_limit=time_limit, incremental_cuts=False, heuristic_effort=None
+    )
+    t0 = time.perf_counter()
+    seed_out = run_routines_parallel(
+        ROUTINES, features=seed_features, scale=scale, max_workers=1
+    )
+    seed_total = time.perf_counter() - t0
+
+    cur_features = default_features(time_limit=time_limit, incremental_cuts=True)
+    t0 = time.perf_counter()
+    cur_out = run_routines_parallel(
+        ROUTINES, features=cur_features, scale=scale, max_workers=workers
+    )
+    cur_total = time.perf_counter() - t0
+
+    per_routine = {}
+    objectives_match = True
+    all_optimal = True
+    for seed_o, cur_o in zip(seed_out, cur_out):
+        seed_obj = (
+            seed_o.experiment.result.ilp_size["objective"] if seed_o.ok else None
+        )
+        cur_obj = (
+            cur_o.experiment.result.ilp_size["objective"] if cur_o.ok else None
+        )
+        status = (
+            cur_o.experiment.result.solution.status.name if cur_o.ok else "ERROR"
+        )
+        if not (seed_o.ok and cur_o.ok):
+            all_optimal = False
+        elif abs(seed_obj - cur_obj) > 1e-6:
+            objectives_match = False
+        per_routine[cur_o.name] = {
+            "seed_seconds": seed_o.elapsed,
+            "current_seconds": cur_o.elapsed,
+            "status": status,
+            "objective_seed": seed_obj,
+            "objective_current": cur_obj,
+        }
+    # Wall time with one core per routine: the pool finishes when the
+    # slowest routine does. Derived from the measured per-routine times
+    # so the hardware-dependent part of the ratio is explicit.
+    fanout_bound = max(o.elapsed for o in cur_out)
+    return {
+        "routines": len(ROUTINES),
+        "scale": scale,
+        "time_limit": time_limit,
+        "workers": workers,
+        "seed_path_seconds": seed_total,
+        "current_path_seconds": cur_total,
+        "speedup": seed_total / cur_total if cur_total else None,
+        "fanout_bound_seconds": fanout_bound,
+        "fanout_bound_speedup": seed_total / fanout_bound if fanout_bound else None,
+        "objectives_match": objectives_match,
+        "all_solved": all_optimal,
+        "per_routine": per_routine,
+    }
+
+
+# -- driver -----------------------------------------------------------------
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed JSON instead of rewriting it; "
+        "exit 1 on a >2x sweep wall-time regression",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO / "BENCH_solver.json"), help="output path"
+    )
+    parser.add_argument(
+        "--sections",
+        default="root_lp,bb_throughput,cut_resolve,sweep",
+        help="comma list of sections to run",
+    )
+    args = parser.parse_args(argv)
+    sections = set(args.sections.split(","))
+    known = {"root_lp", "bb_throughput", "cut_resolve", "sweep"}
+    unknown = sections - known
+    if unknown:
+        parser.error(
+            f"unknown sections: {', '.join(sorted(unknown))} "
+            f"(choose from {', '.join(sorted(known))})"
+        )
+    mode = "smoke" if args.smoke else "full"
+
+    seed_modules = load_seed_solver()
+    if seed_modules is None:
+        print("note: git history unavailable; seed baselines skipped")
+
+    report = {}
+    if "root_lp" in sections:
+        report["root_lp"] = bench_root_lp(seed_modules, args.smoke)
+        print(f"root_lp: {json.dumps(report['root_lp'], indent=2)}")
+    if "bb_throughput" in sections:
+        report["bb_throughput"] = bench_bb_throughput(seed_modules, args.smoke)
+        print(f"bb_throughput: {json.dumps(report['bb_throughput'], indent=2)}")
+    if "cut_resolve" in sections:
+        report["cut_resolve"] = bench_cut_resolve(args.smoke)
+        print(f"cut_resolve: {json.dumps(report['cut_resolve'], indent=2)}")
+    if "sweep" in sections:
+        report["sweep"] = bench_sweep(args.smoke)
+        summary = {
+            k: v for k, v in report["sweep"].items() if k != "per_routine"
+        }
+        print(f"sweep: {json.dumps(summary, indent=2)}")
+
+    out_path = pathlib.Path(args.out)
+    if args.check:
+        if not out_path.exists():
+            print(f"error: {out_path} missing; run without --check first")
+            return 1
+        committed = json.loads(out_path.read_text())
+        reference = committed.get(mode, {}).get("sweep", {}).get(
+            "current_path_seconds"
+        )
+        measured = report.get("sweep", {}).get("current_path_seconds")
+        if reference is None or measured is None:
+            print("check: no sweep reference/measurement; skipping gate")
+            return 0
+        print(
+            f"check: measured {measured:.1f}s vs committed {reference:.1f}s "
+            f"(gate {2 * reference:.1f}s)"
+        )
+        if measured > 2 * reference:
+            print("check FAILED: sweep wall time regressed more than 2x")
+            return 1
+        print("check passed")
+        return 0
+
+    merged = json.loads(out_path.read_text()) if out_path.exists() else {}
+    merged["seed_commit"] = SEED_COMMIT
+    existing = merged.get(mode, {})
+    existing.update(report)
+    merged[mode] = existing
+    out_path.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

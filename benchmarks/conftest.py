@@ -12,6 +12,8 @@ Environment knobs:
 * ``REPRO_TIME_LIMIT``  — per-solve ILP budget in seconds (default 90)
 * ``REPRO_FIG7_SCALE``  — size factor for the Figure 7 sweep (default 0.5;
   the sweep runs the nine routines at four feature levels)
+* ``REPRO_PARALLEL``    — worker count for the routine fan-out (default:
+  one per CPU; ``1`` forces the sequential in-process path)
 """
 
 import os

@@ -1,0 +1,30 @@
+"""Helpers shared by the benchmark files (kept out of conftest so they
+can be imported by name without colliding with other conftest modules)."""
+
+import os
+
+
+def parallel_workers():
+    """Fan-out width for multi-routine sweeps (0/unset = one per CPU)."""
+    configured = int(os.environ.get("REPRO_PARALLEL", "0"))
+    return configured if configured > 0 else (os.cpu_count() or 1)
+
+
+def fill_cache_parallel(experiment_cache, names, **kwargs):
+    """Run the missing ``names`` via the process-pool fan-out.
+
+    Failed routines are left out of the cache so callers hit the normal
+    "missing routine" path (and its error) instead of a silent stub.
+    """
+    from repro.tools.parallel import run_routines_parallel
+
+    missing = [n for n in names if n not in experiment_cache]
+    if not missing:
+        return []
+    outcomes = run_routines_parallel(
+        missing, max_workers=parallel_workers(), **kwargs
+    )
+    for outcome in outcomes:
+        if outcome.ok:
+            experiment_cache[outcome.name] = outcome.experiment
+    return outcomes

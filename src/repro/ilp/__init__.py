@@ -50,15 +50,24 @@ __all__ = [
 ]
 
 
-def solve_model(model, backend="highs", **kwargs):
+def solve_model(model, backend="highs", incumbent=None, cutoff=None, **kwargs):
     """Solve ``model`` with the named backend (``"highs"`` or ``"bb"``).
 
     Returns a :class:`Solution`. This is the convenience entry point used
     throughout the scheduler; pass ``time_limit`` / ``node_limit`` through
     ``kwargs`` to bound the search.
+
+    ``incumbent`` (a ``{Var: value}`` mapping or index-aligned array) seeds
+    the search with a known feasible point, and ``cutoff`` rejects any
+    solution not strictly better than the given objective. Both are solve-
+    time inputs, not solver configuration, so they are threaded into the
+    ``solve`` call rather than the backend constructor; the cut loop uses
+    them to hand each re-solve the previous attempt's optimum.
     """
     if backend == "highs":
-        return HighsSolver(**kwargs).solve(model)
-    if backend == "bb":
-        return BranchBoundSolver(**kwargs).solve(model)
-    raise ValueError(f"unknown ILP backend: {backend!r}")
+        solver = HighsSolver(**kwargs)
+    elif backend == "bb":
+        solver = BranchBoundSolver(**kwargs)
+    else:
+        raise ValueError(f"unknown ILP backend: {backend!r}")
+    return solver.solve(model, incumbent=incumbent, cutoff=cutoff)

@@ -1,33 +1,48 @@
 """Pure-Python branch-and-bound MILP solver.
 
-This is the stand-in for the paper's CPLEX: a best-bound branch-and-bound
-search over LP relaxations. Relaxations are solved either with scipy's
-``linprog`` (HiGHS, the default) or with the package's own dense simplex
+This is the stand-in for the paper's CPLEX: a branch-and-bound search over
+LP relaxations. Relaxations are solved either with scipy's ``linprog``
+(HiGHS, the default) or with the package's own dense simplex
 (:mod:`repro.ilp.simplex`) so the whole stack can run without scipy's C
 solvers if required.
 
-Features:
+Search architecture (the solver-throughput overhaul):
 
-* best-bound node selection (min-heap on relaxation objective) with an
-  initial depth-first *dive* to find an incumbent early,
-* most-fractional branching,
-* optional root rounding heuristic,
-* integral-objective bound strengthening (``ceil`` the node bound when all
-  objective coefficients and variables are integral),
+* a **two-policy frontier** — an initial LIFO *dive* finds an incumbent
+  fast, then the open nodes move into a best-bound min-heap; both
+  structures push and pop in O(log n), with no linear rescans or
+  ``heap.remove`` calls on the hot path,
+* **lazy node evaluation** — a node stores only the *bound deltas* along
+  its path from the root (O(depth) memory, not O(vars) bound-array
+  copies); its LP is solved once, when it is popped,
+* **pseudocost branching** seeded from most-fractional until per-variable
+  degradation history accumulates,
+* **warm-started relaxations** — with the ``"simplex"`` engine each node
+  reuses its parent's optimal basis and reoptimizes with dual simplex
+  pivots (:meth:`repro.ilp.simplex.SimplexSolver.solve_arrays`); the
+  scipy/HiGHS engine keeps cold solves but still benefits from the cheap
+  node bookkeeping,
+* **incumbent / cutoff seeding** — a caller holding a feasible assignment
+  (e.g. the scheduler's bundling-cut loop) can pass it in to start the
+  search with an upper bound,
+* relaxations that hit an iteration or numerical limit are surfaced as
+  ``"unknown"`` (counted in :attr:`SolverStats.unknown_lps`) and demote
+  the final status from OPTIMAL to FEASIBLE instead of being silently
+  pruned,
 * node / time limits with graceful ``FEASIBLE``/``NO_SOLUTION`` statuses,
-* search statistics (explored nodes, LP solves, wall time) feeding Table 2.
+  search statistics (explored nodes, LP solves, wall time) feeding Table 2.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 import time
 
 import numpy as np
 from scipy import optimize, sparse
 
+from repro.errors import IlpError
 from repro.ilp.presolve import presolve_arrays
 from repro.ilp.simplex import SimplexSolver
 from repro.ilp.status import Solution, SolveStatus, SolverStats
@@ -36,7 +51,14 @@ _INT_TOL = 1e-6
 
 
 class _Relaxation:
-    """LP relaxation oracle with per-node variable bounds."""
+    """LP relaxation oracle with per-node variable bounds.
+
+    ``solve`` returns ``(status, objective, x, basis)`` where status is one
+    of ``"optimal"``, ``"infeasible"``, ``"unbounded"`` or ``"unknown"``
+    (the relaxation hit an iteration/numerical limit and produced no
+    verdict — callers must NOT treat that as infeasible). ``basis`` is a
+    warm-start token for a later call (simplex engine only).
+    """
 
     def __init__(self, arrays, engine="scipy"):
         self.c = arrays["c"]
@@ -55,19 +77,28 @@ class _Relaxation:
             rhs.append(-b_lo[lo_rows])
         self.a_ub = sparse.vstack(blocks).tocsr() if blocks else None
         self.b_ub = np.concatenate(rhs) if rhs else None
-        self.a_eq = a_mat[eq_rows] if eq_rows.any() else None
+        self.a_eq = a_mat[eq_rows].tocsr() if eq_rows.any() else None
         self.b_eq = b_hi[eq_rows] if eq_rows.any() else None
         self.arrays = arrays
+        if engine == "simplex":
+            # The dense conversion is done once for the whole tree instead
+            # of once per node.
+            self._dense_a = np.asarray(a_mat.todense(), dtype=float)
+            self._simplex = SimplexSolver()
 
-    def solve(self, lb, ub):
-        """Solve min c'x with the given bound vectors; returns (status, obj, x)."""
+    def solve(self, lb, ub, warm_basis=None):
+        """Solve min c'x with the given bound vectors."""
         if np.any(lb > ub + 1e-12):
-            return "infeasible", None, None
+            return "infeasible", None, None, None
         if self.engine == "simplex":
             local = dict(self.arrays)
+            local["A"] = self._dense_a
             local["lb"], local["ub"] = lb, ub
-            result = SimplexSolver().solve_arrays(local)
-            return result.status, result.objective, result.x
+            try:
+                result = self._simplex.solve_arrays(local, warm_basis=warm_basis)
+            except IlpError:
+                return "unknown", None, None, None
+            return result.status, result.objective, result.x, result.basis
         bounds = np.column_stack([lb, ub])
         result = optimize.linprog(
             self.c,
@@ -79,12 +110,107 @@ class _Relaxation:
             method="highs",
         )
         if result.status == 2:
-            return "infeasible", None, None
+            return "infeasible", None, None, None
         if result.status == 3:
-            return "unbounded", None, None
+            return "unbounded", None, None, None
         if not result.success:
-            return "infeasible", None, None
-        return "optimal", float(result.fun), result.x
+            # Iteration limit (1) or numerical trouble (4): no verdict.
+            return "unknown", None, None, None
+        return "optimal", float(result.fun), result.x, None
+
+    def check_point(self, x, tol=1e-6):
+        """Feasibility of ``x`` against rows and bounds, via the cached CSR."""
+        arrays = self.arrays
+        if np.any(x < arrays["lb"] - tol) or np.any(x > arrays["ub"] + tol):
+            return False
+        if self.a_ub is not None and np.any(self.a_ub @ x > self.b_ub + tol):
+            return False
+        if self.a_eq is not None and np.any(
+            np.abs(self.a_eq @ x - self.b_eq) > tol
+        ):
+            return False
+        return True
+
+
+class _Pseudocosts:
+    """Per-variable branching degradation history (objective per unit)."""
+
+    def __init__(self, n):
+        self.sums = {"down": np.zeros(n), "up": np.zeros(n)}
+        self.counts = {"down": np.zeros(n), "up": np.zeros(n)}
+
+    def record(self, var, direction, frac, gain):
+        distance = frac if direction == "down" else 1.0 - frac
+        unit = max(gain, 0.0) / max(distance, 1e-4)
+        self.sums[direction][var] += unit
+        self.counts[direction][var] += 1.0
+
+    def select(self, x, int_idx):
+        """Pick the branch variable; returns (index, value) or None.
+
+        Product rule over down/up pseudocosts; variables without history
+        fall back to the average initialized pseudocost, and when *nothing*
+        is initialized yet the choice is seeded from most-fractional.
+        """
+        values = x[int_idx]
+        dist = np.abs(values - np.round(values))
+        mask = dist > _INT_TOL
+        if not mask.any():
+            return None
+        cand = int_idx[mask]
+        cand_vals = values[mask]
+        frac = cand_vals - np.floor(cand_vals)
+        cnt_d, cnt_u = self.counts["down"][cand], self.counts["up"][cand]
+        if not ((cnt_d > 0) | (cnt_u > 0)).any():
+            pick = int(np.argmax(dist[mask]))
+            return int(cand[pick]), float(cand_vals[pick])
+        avg_d = self._average("down")
+        avg_u = self._average("up")
+        pc_d = np.where(
+            cnt_d > 0, self.sums["down"][cand] / np.maximum(cnt_d, 1.0), avg_d
+        )
+        pc_u = np.where(
+            cnt_u > 0, self.sums["up"][cand] / np.maximum(cnt_u, 1.0), avg_u
+        )
+        score = np.maximum(pc_d * frac, 1e-6) * np.maximum(
+            pc_u * (1.0 - frac), 1e-6
+        )
+        best = np.max(score)
+        # Break near-ties toward the most fractional candidate.
+        tied = score >= best * (1.0 - 1e-9)
+        pick = int(np.flatnonzero(tied)[np.argmax(dist[mask][tied])])
+        return int(cand[pick]), float(cand_vals[pick])
+
+    def _average(self, direction):
+        counts = self.counts[direction]
+        initialized = counts > 0
+        if not initialized.any():
+            return 1.0
+        return float(
+            np.sum(self.sums[direction][initialized] / counts[initialized])
+            / np.count_nonzero(initialized)
+        )
+
+
+class _Node:
+    """An open branch-and-bound node: bound deltas, not bound arrays.
+
+    ``deltas`` is the tuple of ``(var, is_upper, value)`` bound changes
+    along the path from the root — O(depth) per node. The parent's LP
+    solution is *not* stored; the node's relaxation is solved lazily when
+    it is popped. ``basis`` is the parent's warm-start token (shared, not
+    copied).
+    """
+
+    __slots__ = ("bound", "deltas", "basis", "bvar", "bdir", "bfrac")
+
+    def __init__(self, bound, deltas, basis, bvar, bdir, bfrac):
+        self.bound = bound
+        self.deltas = deltas
+        self.basis = basis
+        self.bvar = bvar
+        self.bdir = bdir
+        self.bfrac = bfrac
 
 
 class BranchBoundSolver:
@@ -98,12 +224,13 @@ class BranchBoundSolver:
     node_limit:
         Maximum number of explored nodes.
     relaxation:
-        ``"scipy"`` (HiGHS linprog) or ``"simplex"`` (own dense simplex).
+        ``"scipy"`` (HiGHS linprog) or ``"simplex"`` (own dense simplex,
+        with parent-basis warm starts).
     rounding_heuristic:
         Try rounding the root relaxation to snatch an early incumbent.
     dive_first:
-        Explore a depth-first dive from the root before switching to
-        best-bound order, which usually finds an incumbent quickly.
+        Explore depth-first from the root until the first incumbent, then
+        switch to best-bound order.
     """
 
     def __init__(
@@ -121,7 +248,18 @@ class BranchBoundSolver:
         self.dive_first = dive_first
 
     # -- public -------------------------------------------------------------
-    def solve(self, model):
+    def solve(self, model, incumbent=None, cutoff=None):
+        """Solve ``model``; returns a :class:`Solution`.
+
+        ``incumbent`` seeds the search with a known assignment (a mapping
+        ``Var -> value`` or an index-aligned array); it is validated
+        against the model and silently discarded if infeasible — e.g. the
+        previous schedule after a bundling cut outlawed it. ``cutoff``
+        prunes all nodes with bound >= cutoff: only strictly better
+        solutions are searched for, and exhausting the tree without one
+        yields ``NO_SOLUTION`` (*not* INFEASIBLE — the caller's cutoff
+        solution still stands).
+        """
         start = time.perf_counter()
         stats = SolverStats(backend=f"bb/{self.relaxation}")
         arrays = model.to_arrays()
@@ -134,8 +272,9 @@ class BranchBoundSolver:
         int_idx = np.where(integrality)[0]
         oracle = _Relaxation(arrays, engine=self.relaxation)
         obj_integral = self._objective_is_integral(arrays)
+        root_lb, root_ub = arrays["lb"], arrays["ub"]
 
-        status, obj, x = oracle.solve(arrays["lb"], arrays["ub"])
+        status, obj, x, basis = oracle.solve(root_lb, root_ub)
         stats.lp_solves += 1
         if status == "infeasible":
             stats.time_seconds = time.perf_counter() - start
@@ -143,29 +282,56 @@ class BranchBoundSolver:
         if status == "unbounded":
             stats.time_seconds = time.perf_counter() - start
             return Solution(SolveStatus.UNBOUNDED, stats=stats)
+        if status == "unknown":
+            stats.unknown_lps += 1
+            stats.time_seconds = time.perf_counter() - start
+            return Solution(SolveStatus.NO_SOLUTION, stats=stats)
 
         incumbent_x = None
         incumbent_obj = math.inf
+        had_cutoff = cutoff is not None
+        if cutoff is not None:
+            incumbent_obj = float(cutoff)
+        seeded = self._validate_incumbent(model, incumbent, oracle, int_idx)
+        if seeded is not None and seeded[1] < incumbent_obj - 1e-9:
+            incumbent_x, incumbent_obj = seeded
 
-        frac = self._most_fractional(x, int_idx)
+        frac = _Pseudocosts(len(root_lb)).select(x, int_idx)  # integrality probe
         if frac is None:
-            return self._finish(model, arrays, x, obj, stats, start, optimal=True)
+            if obj < incumbent_obj - 1e-9:
+                return self._finish(model, x, obj, stats, start, optimal=True)
+            if incumbent_x is not None:
+                return self._finish(
+                    model, incumbent_x, incumbent_obj, stats, start, optimal=True
+                )
+            # Integral root at or above the cutoff: nothing strictly better.
+            stats.time_seconds = time.perf_counter() - start
+            return Solution(SolveStatus.NO_SOLUTION, stats=stats)
 
         if self.rounding_heuristic:
-            rounded = self._try_rounding(arrays, x, int_idx)
-            if rounded is not None:
+            rounded = self._try_rounding(oracle, x, int_idx)
+            if rounded is not None and rounded[1] < incumbent_obj - 1e-9:
                 incumbent_x, incumbent_obj = rounded
 
-        counter = itertools.count()
-        heap = []  # (bound, depth-tiebreak, lb, ub, warm x)
-        heapq.heappush(
-            heap,
-            (obj, 0, next(counter), arrays["lb"].copy(), arrays["ub"].copy(), x, obj),
-        )
-        best_bound = obj
+        pseudo = _Pseudocosts(len(root_lb))
+        dive = []  # LIFO stack: depth-first until the first incumbent
+        heap = []  # best-bound min-heap of (bound, tie, _Node)
+        tie = 0
+        proven = True  # no unknown relaxations dropped
         timed_out = False
+        diving = self.dive_first and incumbent_x is None
 
-        while heap:
+        def push(node):
+            nonlocal tie
+            if diving:
+                dive.append(node)
+            else:
+                tie += 1
+                heapq.heappush(heap, (node.bound, tie, node))
+
+        self._branch(push, x, obj, (), basis, pseudo, int_idx)
+
+        while dive or heap:
             if self.time_limit is not None and (
                 time.perf_counter() - start > self.time_limit
             ):
@@ -174,68 +340,129 @@ class BranchBoundSolver:
             if stats.nodes >= self.node_limit:
                 timed_out = True
                 break
-            if self.dive_first and incumbent_x is None:
-                # LIFO dive: take the most recently pushed node.
-                entry = max(heap, key=lambda e: e[2])
-                heap.remove(entry)
-                heapq.heapify(heap)
-            else:
-                entry = heapq.heappop(heap)
-            bound, _depth, _tie, lb, ub, node_x, node_obj = entry
-            best_bound = min([bound] + [e[0] for e in heap], default=bound)
-            if self._prune(bound, incumbent_obj, obj_integral):
+            node = dive.pop() if dive else heapq.heappop(heap)[2]
+            if self._prune(node.bound, incumbent_obj, obj_integral):
                 continue
-            frac = self._most_fractional(node_x, int_idx)
-            if frac is None:
-                if node_obj < incumbent_obj - 1e-9:
-                    incumbent_obj, incumbent_x = node_obj, node_x
-                continue
-            var, value = frac
+            lb, ub = self._materialize(root_lb, root_ub, node.deltas)
+            status, node_obj, node_x, node_basis = oracle.solve(
+                lb, ub, warm_basis=node.basis
+            )
             stats.nodes += 1
-            for branch in ("down", "up"):
-                child_lb, child_ub = lb.copy(), ub.copy()
-                if branch == "down":
-                    child_ub[var] = math.floor(value)
-                else:
-                    child_lb[var] = math.ceil(value)
-                status, child_obj, child_x = oracle.solve(child_lb, child_ub)
-                stats.lp_solves += 1
-                if status != "optimal":
-                    continue
-                if self._prune(child_obj, incumbent_obj, obj_integral):
-                    continue
-                child_frac = self._most_fractional(child_x, int_idx)
-                if child_frac is None:
-                    if child_obj < incumbent_obj - 1e-9:
-                        incumbent_obj, incumbent_x = child_obj, child_x
-                    continue
-                heapq.heappush(
-                    heap,
-                    (
-                        child_obj,
-                        _depth + 1,
-                        next(counter),
-                        child_lb,
-                        child_ub,
-                        child_x,
-                        child_obj,
-                    ),
-                )
+            stats.lp_solves += 1
+            if node.basis is not None:
+                stats.warm_starts += 1
+            if status == "unknown":
+                stats.unknown_lps += 1
+                proven = False
+                continue
+            if status != "optimal":
+                continue
+            pseudo.record(
+                node.bvar, node.bdir, node.bfrac, node_obj - node.bound
+            )
+            if self._prune(node_obj, incumbent_obj, obj_integral):
+                continue
+            frac = pseudo.select(node_x, int_idx)
+            if frac is None:
+                incumbent_obj, incumbent_x = node_obj, node_x
+                if diving:
+                    diving = False
+                    self._flush_dive(dive, heap)
+                continue
+            self._branch(
+                push, node_x, node_obj, node.deltas, node_basis, pseudo, int_idx,
+                choice=frac,
+            )
 
-        stats.best_bound = best_bound if heap or timed_out else incumbent_obj
+        if timed_out:
+            open_bounds = [n.bound for n in dive]
+            open_bounds.extend(entry[0] for entry in heap)
+            stats.best_bound = min(open_bounds, default=incumbent_obj)
+        else:
+            stats.best_bound = incumbent_obj if incumbent_x is not None else None
         if incumbent_x is None:
             stats.time_seconds = time.perf_counter() - start
-            status = SolveStatus.NO_SOLUTION if timed_out else SolveStatus.INFEASIBLE
-            return Solution(status, stats=stats)
+            if timed_out or had_cutoff or not proven:
+                return Solution(SolveStatus.NO_SOLUTION, stats=stats)
+            return Solution(SolveStatus.INFEASIBLE, stats=stats)
         return self._finish(
             model,
-            arrays,
             incumbent_x,
             incumbent_obj,
             stats,
             start,
-            optimal=not timed_out,
+            optimal=not timed_out and proven,
         )
+
+    # -- search helpers ------------------------------------------------------
+    def _branch(self, push, x, obj, deltas, basis, pseudo, int_idx, choice=None):
+        """Create the down/up children of a solved node.
+
+        During the dive phase the preferred child (the rounding direction
+        of the fractional value) is pushed last so the LIFO pops it first.
+        """
+        if choice is None:
+            choice = pseudo.select(x, int_idx)
+        var, value = choice
+        down = _Node(
+            obj, deltas + ((var, True, math.floor(value)),), basis,
+            var, "down", value - math.floor(value),
+        )
+        up = _Node(
+            obj, deltas + ((var, False, math.ceil(value)),), basis,
+            var, "up", value - math.floor(value),
+        )
+        if value - math.floor(value) >= 0.5:
+            push(down)
+            push(up)
+        else:
+            push(up)
+            push(down)
+
+    @staticmethod
+    def _materialize(root_lb, root_ub, deltas):
+        """Apply a node's bound deltas to fresh copies of the root bounds."""
+        lb, ub = root_lb.copy(), root_ub.copy()
+        for var, is_upper, value in deltas:
+            if is_upper:
+                ub[var] = value
+            else:
+                lb[var] = value
+        return lb, ub
+
+    @staticmethod
+    def _flush_dive(dive, heap):
+        """Move the dive stack into the best-bound heap (incumbent found)."""
+        tie = len(heap)
+        for node in dive:
+            tie += 1
+            heap.append((node.bound, tie, node))
+        dive.clear()
+        heapq.heapify(heap)
+
+    def _validate_incumbent(self, model, incumbent, oracle, int_idx):
+        """Turn a caller-provided assignment into (x, obj) if feasible."""
+        if incumbent is None:
+            return None
+        if isinstance(incumbent, dict):
+            x = np.zeros(len(model.variables))
+            try:
+                for var in model.variables:
+                    x[var.index] = float(incumbent[var])
+            except KeyError:
+                return None
+        else:
+            x = np.asarray(incumbent, dtype=float)
+            if x.shape != (len(model.variables),):
+                return None
+        if int_idx.size:
+            if np.any(np.abs(x[int_idx] - np.round(x[int_idx])) > 1e-4):
+                return None
+            x = x.copy()
+            x[int_idx] = np.round(x[int_idx])
+        if not oracle.check_point(x):
+            return None
+        return x, float(np.dot(oracle.arrays["c"], x))
 
     # -- helpers ------------------------------------------------------------
     @staticmethod
@@ -256,31 +483,26 @@ class BranchBoundSolver:
             return math.ceil(bound - 1e-6) >= incumbent_obj - 1e-9
         return bound >= incumbent_obj - 1e-9
 
-    @staticmethod
-    def _most_fractional(x, int_idx):
-        """Pick the integer variable farthest from integrality, or None."""
-        if x is None or int_idx.size == 0:
-            return None
-        values = x[int_idx]
-        dist = np.abs(values - np.round(values))
-        worst = int(np.argmax(dist))
-        if dist[worst] <= _INT_TOL:
-            return None
-        return int(int_idx[worst]), float(values[worst])
+    def _try_rounding(self, oracle, x, int_idx):
+        """Round the relaxation; accept only a verified-feasible incumbent.
 
-    def _try_rounding(self, arrays, x, int_idx):
-        """Round the relaxation and accept if it satisfies every row."""
+        Clip-and-round in one pass, then check feasibility through the
+        oracle's prebuilt CSR blocks instead of re-multiplying the full
+        row matrix.
+        """
+        arrays = oracle.arrays
         candidate = x.copy()
         candidate[int_idx] = np.round(candidate[int_idx])
-        candidate = np.clip(candidate, arrays["lb"], arrays["ub"])
-        row_vals = arrays["A"] @ candidate
-        if np.all(row_vals <= arrays["b_hi"] + 1e-6) and np.all(
-            row_vals >= arrays["b_lo"] - 1e-6
-        ):
-            return candidate, float(np.dot(arrays["c"], candidate))
-        return None
+        np.clip(candidate, arrays["lb"], arrays["ub"], out=candidate)
+        if int_idx.size:
+            # Clipping a rounded integer against a fractional bound could
+            # de-integralize it; re-round and reject if out of bounds.
+            candidate[int_idx] = np.round(candidate[int_idx])
+        if not oracle.check_point(candidate):
+            return None
+        return candidate, float(np.dot(arrays["c"], candidate))
 
-    def _finish(self, model, arrays, x, obj, stats, start, optimal):
+    def _finish(self, model, x, obj, stats, start, optimal):
         stats.time_seconds = time.perf_counter() - start
         if stats.best_bound is not None and obj is not None and obj != 0:
             stats.gap = abs(obj - stats.best_bound) / max(1.0, abs(obj))

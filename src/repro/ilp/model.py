@@ -69,6 +69,10 @@ class Model:
         self.constraints = []
         self.objective = LinExpr()
         self._names = set()
+        # Incremental matrix-form cache: appending constraints (the cut
+        # loop's access pattern) only converts the *new* rows and stacks
+        # them under the cached CSR instead of re-walking every term dict.
+        self._matrix_cache = None
 
     # -- construction ------------------------------------------------------
     def add_var(self, name, lb=0.0, ub=None, is_integer=False):
@@ -80,6 +84,7 @@ class Model:
         var = Var(len(self.variables), name, lb, ub, is_integer)
         self.variables.append(var)
         self._names.add(name)
+        self._matrix_cache = None  # column count changed
         return var
 
     def add_binary(self, name):
@@ -120,6 +125,28 @@ class Model:
         """Return the list of constraints violated by ``assignment``."""
         return [c for c in self.constraints if not c.satisfied_by(assignment, tol)]
 
+    # -- incremental editing ----------------------------------------------
+    def constraint_mark(self):
+        """Checkpoint the current constraint count for later truncation."""
+        return len(self.constraints)
+
+    def truncate_constraints(self, mark):
+        """Drop every constraint added after :meth:`constraint_mark`.
+
+        Together with :meth:`constraint_mark` this lets a caller reuse one
+        built model across solve variants (phase-2 length pinning, trial
+        cuts) without regenerating the base formulation.
+        """
+        if mark < 0 or mark > len(self.constraints):
+            raise IlpError(f"invalid constraint mark {mark}")
+        del self.constraints[mark:]
+        cache = self._matrix_cache
+        if cache is not None and cache["rows"] > mark:
+            cache["matrix"] = cache["matrix"][:mark]
+            cache["b_lo"] = cache["b_lo"][:mark]
+            cache["b_hi"] = cache["b_hi"][:mark]
+            cache["rows"] = mark
+
     # -- matrix form -------------------------------------------------------
     def to_arrays(self):
         """Convert to matrix form for the numeric backends.
@@ -134,10 +161,48 @@ class Model:
         for var, coef in self.objective.terms.items():
             c[var.index] = coef
 
+        cache = self._matrix_cache
+        if cache is None:
+            matrix, b_lo, b_hi = self._rows_to_csr(self.constraints)
+            cache = {
+                "matrix": matrix,
+                "b_lo": b_lo,
+                "b_hi": b_hi,
+                "rows": len(self.constraints),
+            }
+            self._matrix_cache = cache
+        elif cache["rows"] < len(self.constraints):
+            new = self.constraints[cache["rows"] :]
+            delta, d_lo, d_hi = self._rows_to_csr(new)
+            cache["matrix"] = sparse.vstack(
+                [cache["matrix"], delta], format="csr"
+            )
+            cache["b_lo"] = np.concatenate([cache["b_lo"], d_lo])
+            cache["b_hi"] = np.concatenate([cache["b_hi"], d_hi])
+            cache["rows"] = len(self.constraints)
+
+        lb = np.array([-np.inf if v.lb is None else v.lb for v in self.variables])
+        ub = np.array([np.inf if v.ub is None else v.ub for v in self.variables])
+        integrality = np.array([v.is_integer for v in self.variables])
+        # Vectors are copied so callers may edit them (the presolve does)
+        # without corrupting the cache; the CSR is shared and treated as
+        # immutable by every backend.
+        return {
+            "c": c,
+            "A": cache["matrix"],
+            "b_lo": cache["b_lo"].copy(),
+            "b_hi": cache["b_hi"].copy(),
+            "lb": lb,
+            "ub": ub,
+            "integrality": integrality,
+        }
+
+    def _rows_to_csr(self, constraints):
+        """Convert ``constraints`` to a CSR block plus row-bound vectors."""
         rows, cols, vals = [], [], []
-        b_lo = np.empty(len(self.constraints))
-        b_hi = np.empty(len(self.constraints))
-        for i, con in enumerate(self.constraints):
+        b_lo = np.empty(len(constraints))
+        b_hi = np.empty(len(constraints))
+        for i, con in enumerate(constraints):
             for var, coef in con.expr.terms.items():
                 rows.append(i)
                 cols.append(var.index)
@@ -149,21 +214,9 @@ class Model:
             else:
                 b_lo[i] = b_hi[i] = con.rhs
         matrix = sparse.csr_matrix(
-            (vals, (rows, cols)), shape=(len(self.constraints), n)
+            (vals, (rows, cols)), shape=(len(constraints), len(self.variables))
         )
-
-        lb = np.array([-np.inf if v.lb is None else v.lb for v in self.variables])
-        ub = np.array([np.inf if v.ub is None else v.ub for v in self.variables])
-        integrality = np.array([v.is_integer for v in self.variables])
-        return {
-            "c": c,
-            "A": matrix,
-            "b_lo": b_lo,
-            "b_hi": b_hi,
-            "lb": lb,
-            "ub": ub,
-            "integrality": integrality,
-        }
+        return matrix, b_lo, b_hi
 
     # -- export ------------------------------------------------------------
     def write_lp(self, path=None):

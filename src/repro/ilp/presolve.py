@@ -3,25 +3,32 @@
 The transformations are deliberately *index-stable*: no variables or rows
 are removed, only variable bounds are tightened (and integer bounds rounded
 inward), so solutions map back to the original model without bookkeeping.
-Two passes usually fix a large share of the scheduler's ``a`` variables
+A few rounds usually fix a large share of the scheduler's ``a`` variables
 whose equalities chain them to already-fixed neighbours.
+
+The tightening is fully vectorized over the CSR entries: per round it costs
+a handful of O(nnz) numpy passes, so it is cheap enough to run in front of
+every solve (the pre-overhaul row-by-row Python loop took seconds on the
+Table 2 models and dominated the branch-and-bound root).
 """
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
+_TIGHTEN_TOL = 1e-9
+_FEAS_TOL = 1e-7
 
-def presolve_arrays(arrays, max_rounds=3):
+
+def presolve_arrays(arrays, max_rounds=6):
     """Tighten variable bounds from single-row implications.
 
     Returns ``(arrays, infeasible)`` where ``arrays`` shares the matrix but
     carries new ``lb``/``ub`` vectors. For every row ``b_lo <= a'x <= b_hi``
     and every variable with nonzero coefficient the classic activity-bound
     argument tightens that variable's bound using the minimum/maximum
-    activity of the remaining terms.
+    activity of the remaining terms. Rounds apply all row implications
+    simultaneously and repeat until a fixed point (or ``max_rounds``).
     """
     a_csr = arrays["A"].tocsr()
     lb = arrays["lb"].astype(float).copy()
@@ -31,58 +38,69 @@ def presolve_arrays(arrays, max_rounds=3):
 
     # Round integer bounds inward once up front.
     _round_integer_bounds(lb, ub, integrality)
-    if np.any(lb > ub + 1e-9):
+    if np.any(lb > ub + _TIGHTEN_TOL):
         return arrays, True
 
-    indptr, indices, data = a_csr.indptr, a_csr.indices, a_csr.data
+    indptr, cols, coefs = a_csr.indptr, a_csr.indices, a_csr.data
     n_rows = a_csr.shape[0]
+    if n_rows == 0 or coefs.size == 0:
+        out = dict(arrays)
+        out["lb"], out["ub"] = lb, ub
+        return out, False
+
+    rows = np.repeat(np.arange(n_rows), np.diff(indptr))
+    positive = coefs > 0
+    finite_hi = np.isfinite(b_hi)
+    finite_lo = np.isfinite(b_lo)
+
     for _ in range(max_rounds):
-        changed = False
-        for row in range(n_rows):
-            lo_req, hi_req = b_lo[row], b_hi[row]
-            if not (np.isfinite(lo_req) or np.isfinite(hi_req)):
-                continue
-            cols = indices[indptr[row] : indptr[row + 1]]
-            coefs = data[indptr[row] : indptr[row + 1]]
-            if cols.size == 0 or cols.size > 64:
-                continue  # long rows rarely tighten anything; skip for speed
-            mins = np.where(coefs > 0, coefs * lb[cols], coefs * ub[cols])
-            maxs = np.where(coefs > 0, coefs * ub[cols], coefs * lb[cols])
-            min_total, max_total = mins.sum(), maxs.sum()
-            if min_total > hi_req + 1e-7 or max_total < lo_req - 1e-7:
-                return arrays, True
-            for k in range(cols.size):
-                j, coef = cols[k], coefs[k]
-                rest_min = min_total - mins[k]
-                rest_max = max_total - maxs[k]
-                if not (np.isfinite(rest_min) and np.isfinite(rest_max)):
-                    continue
-                if coef > 0:
-                    if np.isfinite(hi_req):
-                        new_ub = (hi_req - rest_min) / coef
-                        if new_ub < ub[j] - 1e-9:
-                            ub[j] = new_ub
-                            changed = True
-                    if np.isfinite(lo_req):
-                        new_lb = (lo_req - rest_max) / coef
-                        if new_lb > lb[j] + 1e-9:
-                            lb[j] = new_lb
-                            changed = True
-                else:
-                    if np.isfinite(hi_req):
-                        new_lb = (hi_req - rest_min) / coef
-                        if new_lb > lb[j] + 1e-9:
-                            lb[j] = new_lb
-                            changed = True
-                    if np.isfinite(lo_req):
-                        new_ub = (lo_req - rest_max) / coef
-                        if new_ub < ub[j] - 1e-9:
-                            ub[j] = new_ub
-                            changed = True
-            if changed:
-                _round_integer_bounds(lb, ub, integrality)
-                if np.any(lb > ub + 1e-9):
-                    return arrays, True
+        # Per-entry extreme contributions and per-row activity bounds.
+        contrib_min = np.where(positive, coefs * lb[cols], coefs * ub[cols])
+        contrib_max = np.where(positive, coefs * ub[cols], coefs * lb[cols])
+        row_min = np.bincount(rows, weights=contrib_min, minlength=n_rows)
+        row_max = np.bincount(rows, weights=contrib_max, minlength=n_rows)
+        if np.any(row_min[finite_hi] > b_hi[finite_hi] + _FEAS_TOL) or np.any(
+            row_max[finite_lo] < b_lo[finite_lo] - _FEAS_TOL
+        ):
+            return arrays, True
+
+        with np.errstate(invalid="ignore"):
+            rest_min = row_min[rows] - contrib_min
+            rest_max = row_max[rows] - contrib_max
+        ok_min = np.isfinite(rest_min)
+        ok_max = np.isfinite(rest_max)
+        entry_hi = b_hi[rows]
+        entry_lo = b_lo[rows]
+
+        new_ub = ub.copy()
+        new_lb = lb.copy()
+        with np.errstate(invalid="ignore", divide="ignore"):
+            # coef > 0: a_j x_j <= b_hi - rest_min  and  a_j x_j >= b_lo - rest_max
+            mask = positive & ok_min & np.isfinite(entry_hi)
+            np.minimum.at(
+                new_ub, cols[mask], (entry_hi[mask] - rest_min[mask]) / coefs[mask]
+            )
+            mask = positive & ok_max & np.isfinite(entry_lo)
+            np.maximum.at(
+                new_lb, cols[mask], (entry_lo[mask] - rest_max[mask]) / coefs[mask]
+            )
+            # coef < 0: dividing flips the side each row bound tightens.
+            mask = ~positive & ok_min & np.isfinite(entry_hi)
+            np.maximum.at(
+                new_lb, cols[mask], (entry_hi[mask] - rest_min[mask]) / coefs[mask]
+            )
+            mask = ~positive & ok_max & np.isfinite(entry_lo)
+            np.minimum.at(
+                new_ub, cols[mask], (entry_lo[mask] - rest_max[mask]) / coefs[mask]
+            )
+
+        _round_integer_bounds(new_lb, new_ub, integrality)
+        if np.any(new_lb > new_ub + _TIGHTEN_TOL):
+            return arrays, True
+        changed = np.any(new_ub < ub - _TIGHTEN_TOL) or np.any(
+            new_lb > lb + _TIGHTEN_TOL
+        )
+        lb, ub = new_lb, new_ub
         if not changed:
             break
 

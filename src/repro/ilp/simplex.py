@@ -29,12 +29,21 @@ from repro.errors import IlpError
 
 @dataclass
 class LpResult:
-    """Outcome of an LP solve: status, objective and primal point."""
+    """Outcome of an LP solve: status, objective and primal point.
+
+    ``basis`` is the list of basic column indices of the internal standard
+    form at the optimum. It can be fed back to
+    :meth:`SimplexSolver.solve_arrays` as ``warm_basis`` for a later solve
+    of a program with the *same shape* (same variables, same rows, same
+    bound-finiteness pattern) but different bound values — exactly the
+    situation branch-and-bound creates.
+    """
 
     status: str  # "optimal" | "infeasible" | "unbounded"
     objective: float | None = None
     x: np.ndarray | None = None
     iterations: int = 0
+    basis: list | None = None
 
 
 @dataclass
@@ -56,7 +65,11 @@ _TOL = 1e-9
 
 def _to_standard_form(arrays):
     """Convert the Model matrix form to ``min c'y, Ay = b, y >= 0``."""
-    a_mat = np.asarray(arrays["A"].todense(), dtype=float)
+    raw = arrays["A"]
+    if hasattr(raw, "todense"):
+        a_mat = np.asarray(raw.todense(), dtype=float)
+    else:
+        a_mat = np.asarray(raw, dtype=float)
     m, n = a_mat.shape
     c = np.asarray(arrays["c"], dtype=float)
     lb, ub = arrays["lb"], arrays["ub"]
@@ -172,10 +185,25 @@ class SimplexSolver:
         """Solve the LP relaxation of a :class:`~repro.ilp.model.Model`."""
         return self.solve_arrays(model.to_arrays())
 
-    def solve_arrays(self, arrays):
-        """Solve from matrix form; integrality flags are ignored."""
+    def solve_arrays(self, arrays, warm_basis=None):
+        """Solve from matrix form; integrality flags are ignored.
+
+        ``warm_basis`` is the ``basis`` of an earlier :class:`LpResult` for
+        a program of identical shape (same variables and rows, same bound
+        finiteness) whose bound *values* may differ — the branch-and-bound
+        parent/child situation. The basis is re-factorized against the new
+        data; if it is dual feasible the solve continues with dual simplex
+        pivots from there (usually a handful), otherwise it falls back to
+        the cold two-phase method. Warm solves are always safe: any
+        mismatch or numerical failure silently degrades to a cold solve.
+        """
         std = _to_standard_form(arrays)
-        status, y, iters = self._two_phase(std)
+        outcome = None
+        if warm_basis is not None:
+            outcome = self._warm_solve(std, warm_basis)
+        if outcome is None:
+            outcome = self._two_phase(std)
+        status, y, iters, basis = outcome
         if status != "optimal":
             return LpResult(status=status, iterations=iters)
         x = np.empty(len(std.recover))
@@ -190,7 +218,84 @@ class SimplexSolver:
                 pos, neg = data
                 x[j] = y[pos] - y[neg]
         objective = float(np.dot(arrays["c"], x))
-        return LpResult("optimal", objective, x, iters)
+        return LpResult("optimal", objective, x, iters, basis=basis)
+
+    # -- warm start ----------------------------------------------------------
+    def _warm_solve(self, std, warm_basis):
+        """Reoptimize from a previous basis; ``None`` means "fall back cold".
+
+        The basis is refactorized against the (possibly changed) data. From
+        there: dual simplex while the basis is dual feasible but primal
+        infeasible (the textbook warm start after a bound change), else a
+        primal restart from the basis if it is primal feasible. Any
+        structural mismatch, singular basis or iteration blow-up aborts the
+        warm path so correctness never depends on it.
+        """
+        a_mat, b_vec, c_vec = std.A, std.b, std.c
+        m, n = a_mat.shape
+        basis = list(warm_basis)
+        if m == 0 or len(basis) != m or any(j < 0 or j >= n for j in basis):
+            return None
+        try:
+            solved = np.linalg.solve(
+                a_mat[:, basis], np.column_stack([a_mat, b_vec])
+            )
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(solved)):
+            return None
+        tableau = np.zeros((m + 1, n + 1))
+        tableau[:m, :n] = solved[:, :n]
+        tableau[:m, -1] = solved[:, -1]
+        c_basis = c_vec[basis]
+        tableau[m, :n] = c_vec - c_basis @ tableau[:m, :n]
+        tableau[m, -1] = -float(c_basis @ tableau[:m, -1])
+
+        dual_feasible = float(np.min(tableau[m, :n])) >= -1e-7
+        primal_feasible = float(np.min(tableau[:m, -1])) >= -1e-7
+        if dual_feasible:
+            status, dual_iters = self._dual_iterate(tableau, basis)
+            if status == "infeasible":
+                return "infeasible", None, dual_iters, None
+            if status != "ok":
+                return None  # iteration cap: retry cold
+        elif not primal_feasible:
+            return None  # neither side usable: retry cold
+        else:
+            dual_iters = 0
+        phase2 = self._iterate(tableau, basis, restrict=n)
+        if phase2 < 0:
+            return "unbounded", None, dual_iters - phase2, None
+        y = np.zeros(n)
+        for i, var in enumerate(basis):
+            y[var] = tableau[i, -1]
+        return "optimal", y, dual_iters + phase2, list(basis)
+
+    def _dual_iterate(self, tableau, basis):
+        """Dual simplex pivots until primal feasible; returns (status, iters).
+
+        Requires a dual-feasible objective row. Status is ``"ok"``,
+        ``"infeasible"`` (a row proves emptiness) or ``"limit"``.
+        """
+        m = len(basis)
+        n = tableau.shape[1] - 1
+        iters = 0
+        while True:
+            if iters > self.max_iterations:
+                return "limit", iters
+            rhs = tableau[:m, -1]
+            row = int(np.argmin(rhs))
+            if rhs[row] >= -1e-9:
+                return "ok", iters
+            entries = tableau[row, :n]
+            negative = entries < -_TOL
+            if not negative.any():
+                return "infeasible", iters
+            ratios = np.full(n, np.inf)
+            ratios[negative] = tableau[m, :n][negative] / -entries[negative]
+            col = int(np.argmin(ratios))
+            self._pivot(tableau, basis, row, col)
+            iters += 1
 
     # -- core ----------------------------------------------------------------
     def _two_phase(self, std):
@@ -199,8 +304,8 @@ class SimplexSolver:
         if m == 0:
             # Unconstrained: optimum at y = 0 unless some cost is negative.
             if np.any(c_vec < -_TOL):
-                return "unbounded", None, 0
-            return "optimal", np.zeros(n), 0
+                return "unbounded", None, 0, None
+            return "optimal", np.zeros(n), 0, []
 
         # Phase 1 with artificials on every row (simple and robust; rows
         # whose slack can serve as basis start there instead).
@@ -217,7 +322,7 @@ class SimplexSolver:
         iters = self._iterate(tableau, basis, restrict=n + m)
         phase1_obj = -tableau[m, -1]
         if phase1_obj > 1e-7:
-            return "infeasible", None, iters
+            return "infeasible", None, iters, None
 
         # Drive artificials out of the basis where possible.
         for i in range(m):
@@ -245,13 +350,17 @@ class SimplexSolver:
 
         phase2 = self._iterate(tableau, basis, restrict=n)
         if phase2 < 0:
-            return "unbounded", None, iters - phase2
+            return "unbounded", None, iters - phase2, None
         iters += phase2
         y = np.zeros(n)
         for i, var in enumerate(basis):
             if var < n:
                 y[var] = tableau[i, -1]
-        return "optimal", y, iters
+        # A basis still containing an artificial (redundant row) cannot be
+        # refactorized against the structural columns alone; report no
+        # warm-startable basis in that case.
+        usable = all(var < n for var in basis)
+        return "optimal", y, iters, (list(basis) if usable else None)
 
     def _iterate(self, tableau, basis, restrict):
         """Run simplex pivots until optimal; returns iteration count.

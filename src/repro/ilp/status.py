@@ -36,6 +36,13 @@ class SolverStats:
     best_bound: float | None = None
     gap: float | None = None
     backend: str = ""
+    # Relaxations that hit an iteration/numerical limit and returned no
+    # verdict. Any nonzero count demotes a finished search from OPTIMAL to
+    # FEASIBLE: an undecided subtree may hide the true optimum, and
+    # silently pruning it (the pre-overhaul behaviour) could discard it.
+    unknown_lps: int = 0
+    # LP relaxations answered from a warm-started basis (simplex engine).
+    warm_starts: int = 0
 
 
 @dataclass

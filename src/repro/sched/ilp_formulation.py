@@ -465,23 +465,42 @@ class SchedulingIlp:
     def _bundling_constraints(self):
         """Forbid instruction sets no template sequence can encode (4.2)."""
         for idx, members in enumerate(self.bundling_cuts):
-            by_block = {}
-            for instr, block in members:
-                by_block.setdefault(block, []).append(instr)
-            for block, instrs in by_block.items():
-                if len(instrs) < 2:
-                    continue
-                for t in self._grange(block):
-                    terms = [
-                        self.x[(i, block, t)]
-                        for i in instrs
-                        if (i, block, t) in self.x
-                    ]
-                    if len(terms) == len(instrs):
-                        self.model.add_constraint(
-                            lin_sum(terms) <= len(terms) - 1,
-                            name=f"bundle_cut{idx}_{block}_{t}",
-                        )
+            self._emit_bundling_cut(idx, members)
+
+    def append_bundling_cut(self, members):
+        """Add one Sec. 4.2 cut to an already-generated model.
+
+        The cut loop only discovers violated instruction sets after a
+        solve, so re-solves append the few new rows to the built model
+        (and its cached matrix form) instead of regenerating the whole
+        formulation from scratch.
+        """
+        if not self._generated:
+            raise SchedulingError(
+                "append_bundling_cut requires a generated model"
+            )
+        idx = len(self.bundling_cuts)
+        self.bundling_cuts.append(list(members))
+        self._emit_bundling_cut(idx, members)
+
+    def _emit_bundling_cut(self, idx, members):
+        by_block = {}
+        for instr, block in members:
+            by_block.setdefault(block, []).append(instr)
+        for block, instrs in by_block.items():
+            if len(instrs) < 2:
+                continue
+            for t in self._grange(block):
+                terms = [
+                    self.x[(i, block, t)]
+                    for i in instrs
+                    if (i, block, t) in self.x
+                ]
+                if len(terms) == len(instrs):
+                    self.model.add_constraint(
+                        lin_sum(terms) <= len(terms) - 1,
+                        name=f"bundle_cut{idx}_{block}_{t}",
+                    )
 
     def _objective(self):
         """Equation (7): frequency-weighted sum of block lengths.

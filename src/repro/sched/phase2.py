@@ -37,21 +37,39 @@ def minimize_instruction_count(
     backend="highs",
     time_limit=None,
     objective="instructions",
+    ilp=None,
+    incumbent=None,
+    heuristic_effort=0.5,
 ):
     """Run phase 2; returns ``(ilp, solution)`` or ``None`` on failure.
 
     ``phase1_lengths`` maps block name -> optimal length from phase 1.
+
+    Passing an already-generated ``ilp`` reuses its model — the length
+    pins are appended and the objective swapped in place, skipping the
+    full rebuild (``build_ilp`` is then never called). The phase-1 optimum
+    is a feasible point of the pinned model, so callers pass it as
+    ``incumbent`` to hand the solver an immediate upper bound.
     """
     if objective not in OBJECTIVES:
         raise ValueError(f"unknown phase-2 objective {objective!r}")
-    ilp = build_ilp()
-    model = ilp.generate()
+    if ilp is None:
+        ilp = build_ilp()
+        model = ilp.generate()
+    else:
+        model = ilp.model
     for block, length in phase1_lengths.items():
         model.add_constraint(
             ilp.blen[(block, length)].to_expr() == 1, name=f"fixlen_{block}"
         )
     model.set_objective(_objective_expr(ilp, objective))
-    solution = solve_model(model, backend=backend, time_limit=time_limit)
+    solution = solve_model(
+        model,
+        backend=backend,
+        time_limit=time_limit,
+        incumbent=incumbent,
+        **({"heuristic_effort": heuristic_effort} if backend == "highs" else {}),
+    )
     if not solution:
         return None
     return ilp, solution

@@ -49,12 +49,16 @@ class ScheduleFeatures:
     predication: bool = True  # predication via code motion (Sec. 4)
     collapse_branches: bool = True  # block-collapse modeling (5.4)
     two_phase: bool = True  # instruction-count cleanup (5.5)
+    incremental_cuts: bool = True  # append cut rows / reuse built model
     phase2_objective: str = "instructions"  # | "register_pressure" | "stalls"
     baseline: str = "local"  # input-schedule heuristic: "local" | "greedy"
     tight_lengths: bool = True  # OASIC-grade length linking vs compact rows
     verify: bool = True
     backend: str = "highs"
     time_limit: float | None = 120.0
+    # Share of solve time HiGHS spends on primal heuristics (None = the
+    # HiGHS default). Ignored by the "bb" backend. See HighsSolver.
+    heuristic_effort: float | None = 0.5
     reserve: int = 1  # G_A head-room (Sec. 6.1, k)
     freq_cap: float = 5.0  # speculation frequency factor (5.1)
     speculation_cost: float = 0.0  # Sec. 5.1 cost model weight (paper: unused)
@@ -184,13 +188,30 @@ class IlpScheduler:
         messages = []
         bundling_cuts = []
         attempt = 0
+        # The built (ilp, model) pair is cached across cut-loop re-solves:
+        # a violated bundle only appends its cut rows to the existing model
+        # (and its cached matrix form) instead of regenerating the whole
+        # formulation. A cycle-range growth changes the variable set, so it
+        # invalidates the cache and rebuilds.
+        ilp = model = None
+        spec_groups = []
+        prev_values = None
         while True:
             attempt += 1
-            build = self._ilp_factory(region, lengths, bundling_cuts)
-            ilp, spec_groups = build()
-            model = ilp.generate()
+            if ilp is None:
+                build = self._ilp_factory(region, lengths, bundling_cuts)
+                ilp, spec_groups = build()
+                model = ilp.generate()
             solution = solve_model(
-                model, backend=features.backend, time_limit=features.time_limit
+                model,
+                backend=features.backend,
+                time_limit=features.time_limit,
+                incumbent=prev_values,
+                **(
+                    {"heuristic_effort": features.heuristic_effort}
+                    if features.backend == "highs"
+                    else {}
+                ),
             )
             if solution.status.name == "INFEASIBLE":
                 if attempt > features.max_resize_attempts:
@@ -199,6 +220,8 @@ class IlpScheduler:
                         f"{attempt} cycle-range growths"
                     )
                 lengths = grow_lengths(lengths)
+                ilp = model = None
+                prev_values = None
                 messages.append("grew cycle ranges after infeasibility")
                 continue
             if not solution:
@@ -226,6 +249,14 @@ class IlpScheduler:
                     if (i.root_origin, blk) in placed
                 ]
                 bundling_cuts.append(cut)
+                if features.incremental_cuts:
+                    ilp.append_bundling_cut(cut)
+                    # The previous optimum seeds the re-solve; it violates
+                    # the cut just added, so validation drops it then — but
+                    # a re-solve after several stacked cuts can reuse it.
+                    prev_values = solution.values
+                else:
+                    ilp = model = None
                 messages.append(f"added bundling constraint: {exc}")
 
         phase1_objective = solution.objective
@@ -251,13 +282,30 @@ class IlpScheduler:
                 rebuild.groups = groups2
                 return ilp2
 
-            outcome = minimize_instruction_count(
-                rebuild,
-                phase1_lengths,
-                backend=features.backend,
-                time_limit=features.time_limit,
-                objective=features.phase2_objective,
-            )
+            if features.incremental_cuts:
+                # Reuse the phase-1 model: pin lengths / swap the objective
+                # in place and seed with the phase-1 optimum (feasible for
+                # the pinned model by construction).
+                rebuild.groups = spec_groups
+                outcome = minimize_instruction_count(
+                    rebuild,
+                    phase1_lengths,
+                    backend=features.backend,
+                    time_limit=features.time_limit,
+                    objective=features.phase2_objective,
+                    ilp=ilp,
+                    incumbent=solution.values,
+                    heuristic_effort=features.heuristic_effort,
+                )
+            else:
+                outcome = minimize_instruction_count(
+                    rebuild,
+                    phase1_lengths,
+                    backend=features.backend,
+                    time_limit=features.time_limit,
+                    objective=features.phase2_objective,
+                    heuristic_effort=features.heuristic_effort,
+                )
             if outcome is not None:
                 ilp2, solution2 = outcome
                 try:

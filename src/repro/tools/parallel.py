@@ -1,0 +1,173 @@
+"""Parallel routine fan-out for the Table 1/2 and Figure 7 sweeps.
+
+The nine SPEC routines are independent end-to-end pipeline runs, so the
+sweeps fan them out across a :class:`~concurrent.futures.ProcessPoolExecutor`
+— one routine per worker process, results shipped back as pickled
+:class:`~repro.tools.experiments.RoutineExperiment` objects (~tens of KB
+each). On a single-core host the runner degrades to an in-process loop
+with identical outcomes and no pool overhead, so callers never need to
+special-case the machine.
+
+Each routine gets a wall-clock budget measured from batch start; a
+routine that exceeds it is reported as a failed :class:`RoutineOutcome`
+instead of stalling the whole sweep. Outcomes always carry a
+JSON-serializable :meth:`~RoutineOutcome.summary`, so drivers that only
+need the Table 2 columns never have to unpickle full experiments.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+
+from repro.tools.experiments import run_routine
+
+
+@dataclass
+class RoutineOutcome:
+    """Result envelope for one routine of a fan-out batch."""
+
+    name: str
+    ok: bool
+    elapsed: float
+    experiment: object | None = None  # RoutineExperiment when ok
+    error: str | None = None
+
+    def summary(self):
+        """JSON-serializable digest (the Table 1/2 columns plus status)."""
+        base = {"routine": self.name, "ok": self.ok, "elapsed": self.elapsed}
+        if not self.ok:
+            base["error"] = self.error
+            return base
+        base["table1"] = self.experiment.table1_row()
+        base["table2"] = self.experiment.table2_row()
+        return base
+
+
+def _run_one(args):
+    """Pool entry point; must stay module-level for pickling."""
+    name, features, scale, sim_invocations, sim_seed = args
+    start = time.perf_counter()
+    experiment = run_routine(
+        name,
+        features=features,
+        scale=scale,
+        sim_invocations=sim_invocations,
+        sim_seed=sim_seed,
+    )
+    return experiment, time.perf_counter() - start
+
+
+def run_routines_parallel(
+    names,
+    features=None,
+    scale=None,
+    sim_invocations=120,
+    sim_seed=1,
+    max_workers=None,
+    timeout=None,
+):
+    """Run the named routines concurrently; returns ``[RoutineOutcome]``.
+
+    ``max_workers`` defaults to ``min(len(names), cpu_count)``; with one
+    worker the batch runs in-process. ``timeout`` (seconds) bounds every
+    routine's wall clock measured from batch start — size it for the
+    whole batch when workers are fewer than routines, since queued
+    routines consume their budget while waiting. Failures (including
+    timeouts) become ``ok=False`` outcomes; the batch always returns one
+    outcome per requested routine, in input order.
+    """
+    names = list(names)
+    if not names:
+        return []
+    if max_workers is None:
+        max_workers = min(len(names), os.cpu_count() or 1)
+    max_workers = max(1, min(max_workers, len(names)))
+
+    if max_workers == 1:
+        return [
+            _sequential_outcome(
+                name, features, scale, sim_invocations, sim_seed, timeout
+            )
+            for name in names
+        ]
+
+    outcomes = []
+    start = time.monotonic()
+    executor = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        futures = {
+            name: executor.submit(
+                _run_one, (name, features, scale, sim_invocations, sim_seed)
+            )
+            for name in names
+        }
+        for name in names:
+            future = futures[name]
+            remaining = None
+            if timeout is not None:
+                remaining = max(0.0, start + timeout - time.monotonic())
+            try:
+                experiment, elapsed = future.result(timeout=remaining)
+            except FutureTimeout:
+                future.cancel()
+                outcomes.append(
+                    RoutineOutcome(
+                        name,
+                        False,
+                        time.monotonic() - start,
+                        error=f"timed out after {timeout:g}s",
+                    )
+                )
+            except Exception as exc:  # worker raised; keep the batch going
+                outcomes.append(
+                    RoutineOutcome(
+                        name,
+                        False,
+                        time.monotonic() - start,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            else:
+                outcomes.append(RoutineOutcome(name, True, elapsed, experiment))
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return outcomes
+
+
+def _sequential_outcome(name, features, scale, sim_invocations, sim_seed, timeout):
+    """In-process fallback used when the pool would have one worker.
+
+    ``timeout`` cannot interrupt an in-process solve; it is checked after
+    the fact so over-budget routines are at least *reported* the same way
+    the pool path reports them.
+    """
+    start = time.perf_counter()
+    try:
+        experiment = run_routine(
+            name,
+            features=features,
+            scale=scale,
+            sim_invocations=sim_invocations,
+            sim_seed=sim_seed,
+        )
+    except Exception as exc:
+        return RoutineOutcome(
+            name,
+            False,
+            time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    elapsed = time.perf_counter() - start
+    if timeout is not None and elapsed > timeout:
+        return RoutineOutcome(
+            name,
+            False,
+            elapsed,
+            experiment=experiment,
+            error=f"finished but exceeded {timeout:g}s budget",
+        )
+    return RoutineOutcome(name, True, elapsed, experiment)
