@@ -1,0 +1,140 @@
+"""Seeded chaos smoke run: the routine sweep under random-site faults.
+
+Picks a deterministic (seeded) set of fault injections, installs them via
+``REPRO_FAULTS``, runs the nine-routine sweep through
+:func:`repro.tools.parallel.run_routines_parallel`, and asserts the
+graceful-degradation contract: every :class:`RoutineOutcome` is ``ok``
+and carries a valid schedule summary (Table 1/2 columns plus a truthful
+``quality`` tier) — no fault may fail a routine, only degrade it.
+
+Usage::
+
+    python benchmarks/chaos_smoke.py [--seed N] [--rounds N]
+        [--routines a,b,c] [--scale S] [--max-workers N] [--timeout S]
+
+Exit status 0 when every outcome in every round passes, 1 otherwise.
+CI runs this as the fault-injection smoke job; locally it doubles as a
+quick chaos sanity check after touching the degradation ladder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.tools import faults  # noqa: E402
+from repro.tools.parallel import run_routines_parallel  # noqa: E402
+from repro.workloads.spec_routines import SPEC_ROUTINES  # noqa: E402
+
+QUALITIES = ("optimal", "incumbent", "phase1", "fallback_input")
+
+# Kinds that make sense per site. ``worker`` only gets ``crash``: a
+# generic worker *error* is (by design) reported as a failed outcome,
+# while a crash exercises the pool-rebuild + in-process-retry recovery
+# that must converge to a valid batch.
+SITE_KINDS = {
+    "solve.phase1": ("timeout", "infeasible", "incumbent", "corrupt"),
+    "solve.cut_resolve": ("timeout", "incumbent", "corrupt"),
+    "solve.phase2": ("timeout", "infeasible", "incumbent", "corrupt"),
+    "bundle": ("error",),
+    "verify": ("error",),
+    "worker": ("crash",),
+}
+
+
+def pick_faults(rng, count):
+    """``count`` random (site, kind) injections, one per chosen site."""
+    sites = rng.sample(sorted(SITE_KINDS), k=min(count, len(SITE_KINDS)))
+    parts = []
+    for site in sites:
+        kind = rng.choice(SITE_KINDS[site])
+        times = rng.choice(("", ":1", ":2"))
+        parts.append(f"{site}={kind}{times}")
+    return ",".join(parts)
+
+
+def run_round(spec, names, args):
+    os.environ[faults.ENV_VAR] = spec
+    faults.reset_env_cache()
+    try:
+        outcomes = run_routines_parallel(
+            names,
+            scale=args.scale,
+            sim_invocations=args.sim_invocations,
+            max_workers=args.max_workers,
+            timeout=args.timeout,
+        )
+    finally:
+        os.environ.pop(faults.ENV_VAR, None)
+        faults.reset_env_cache()
+
+    failures = []
+    for outcome in outcomes:
+        summary = outcome.summary()
+        problems = []
+        if not outcome.ok:
+            problems.append(f"outcome not ok: {summary.get('error')}")
+        else:
+            if "table1" not in summary or "table2" not in summary:
+                problems.append("summary missing table rows")
+            elif summary["table2"]["constraints"] < 0:
+                problems.append("nonsense table2 row")
+            if summary.get("quality") not in QUALITIES:
+                problems.append(f"invalid quality {summary.get('quality')!r}")
+        status = "ok" if not problems else "FAIL"
+        print(
+            f"  {status:4s} {outcome.name:15s} "
+            f"quality={summary.get('quality', '-'):15s} "
+            f"retried={summary.get('retried', False)!s:5s} "
+            f"{summary.get('fallback_reason', '')}"
+        )
+        if problems:
+            failures.append((outcome.name, problems, summary))
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--faults", type=int, default=3, help="injections per round"
+    )
+    parser.add_argument("--routines", type=str, default=None)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--sim-invocations", type=int, default=40)
+    parser.add_argument("--max-workers", type=int, default=None)
+    parser.add_argument("--timeout", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    names = (
+        args.routines.split(",")
+        if args.routines
+        else [s.name for s in SPEC_ROUTINES]
+    )
+    rng = random.Random(args.seed)
+    all_failures = []
+    for round_no in range(args.rounds):
+        spec = pick_faults(rng, args.faults)
+        print(f"round {round_no}: REPRO_FAULTS={spec}")
+        all_failures.extend(run_round(spec, names, args))
+
+    if all_failures:
+        print(f"\n{len(all_failures)} outcome(s) violated the contract:")
+        for name, problems, summary in all_failures:
+            print(f"  {name}: {problems}")
+            print(f"    {json.dumps(summary, default=str)}")
+        return 1
+    print(f"\nchaos smoke passed: {args.rounds} round(s), no contract violations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,7 +50,15 @@ __all__ = [
 ]
 
 
-def solve_model(model, backend="highs", incumbent=None, cutoff=None, **kwargs):
+def solve_model(
+    model,
+    backend="highs",
+    incumbent=None,
+    cutoff=None,
+    deadline=None,
+    fault_site=None,
+    **kwargs,
+):
     """Solve ``model`` with the named backend (``"highs"`` or ``"bb"``).
 
     Returns a :class:`Solution`. This is the convenience entry point used
@@ -63,11 +71,22 @@ def solve_model(model, backend="highs", incumbent=None, cutoff=None, **kwargs):
     time inputs, not solver configuration, so they are threaded into the
     ``solve`` call rather than the backend constructor; the cut loop uses
     them to hand each re-solve the previous attempt's optimum.
+
+    ``deadline`` (a :class:`repro.tools.deadline.Deadline`) clips the
+    effective ``time_limit`` to the budget's *remaining* seconds, so a
+    chain of solves (phase 1, cut re-solves, phase 2) shares one clock
+    instead of each starting a fresh limit. ``fault_site`` names this
+    solve for :mod:`repro.tools.faults` injection; ``None`` (the default)
+    is never faulted.
     """
+    if deadline is not None:
+        kwargs["time_limit"] = deadline.bound(kwargs.get("time_limit"))
     if backend == "highs":
         solver = HighsSolver(**kwargs)
     elif backend == "bb":
         solver = BranchBoundSolver(**kwargs)
     else:
         raise ValueError(f"unknown ILP backend: {backend!r}")
-    return solver.solve(model, incumbent=incumbent, cutoff=cutoff)
+    return solver.solve(
+        model, incumbent=incumbent, cutoff=cutoff, fault_site=fault_site
+    )

@@ -46,6 +46,7 @@ from repro.errors import IlpError
 from repro.ilp.presolve import presolve_arrays
 from repro.ilp.simplex import SimplexSolver
 from repro.ilp.status import Solution, SolveStatus, SolverStats
+from repro.tools import faults
 
 _INT_TOL = 1e-6
 
@@ -248,7 +249,7 @@ class BranchBoundSolver:
         self.dive_first = dive_first
 
     # -- public -------------------------------------------------------------
-    def solve(self, model, incumbent=None, cutoff=None):
+    def solve(self, model, incumbent=None, cutoff=None, fault_site=None):
         """Solve ``model``; returns a :class:`Solution`.
 
         ``incumbent`` seeds the search with a known assignment (a mapping
@@ -259,7 +260,45 @@ class BranchBoundSolver:
         solutions are searched for, and exhausting the tree without one
         yields ``NO_SOLUTION`` (*not* INFEASIBLE — the caller's cutoff
         solution still stands).
+
+        ``fault_site`` enables deterministic fault injection
+        (:mod:`repro.tools.faults`) with the same status semantics as the
+        HiGHS backend: ``timeout`` returns the validated incumbent as
+        FEASIBLE (else NO_SOLUTION), ``infeasible`` the INFEASIBLE
+        verdict; ``incumbent``/``corrupt`` mangle a completed solve.
         """
+        fault = faults.fire(fault_site)
+        stats_name = f"bb/{self.relaxation}"
+        if fault == "infeasible":
+            return Solution(
+                SolveStatus.INFEASIBLE, stats=SolverStats(backend=stats_name)
+            )
+        if fault == "timeout":
+            stats = SolverStats(backend=stats_name)
+            if incumbent is not None:
+                oracle = _Relaxation(model.to_arrays())
+                int_idx = np.where(oracle.arrays["integrality"])[0]
+                seeded = self._validate_incumbent(
+                    model, incumbent, oracle, int_idx
+                )
+                if seeded is not None:
+                    x, obj = seeded
+                    values = {}
+                    for var in model.variables:
+                        raw = float(x[var.index])
+                        values[var] = (
+                            float(round(raw)) if var.is_integer else raw
+                        )
+                    return Solution(SolveStatus.FEASIBLE, obj, values, stats)
+            return Solution(SolveStatus.NO_SOLUTION, stats=stats)
+        solution = self._solve_impl(model, incumbent, cutoff)
+        if fault == "incumbent":
+            return faults.demote_to_feasible(solution)
+        if fault == "corrupt" and solution.status.has_solution:
+            faults.corrupt_solution(solution)
+        return solution
+
+    def _solve_impl(self, model, incumbent, cutoff):
         start = time.perf_counter()
         stats = SolverStats(backend=f"bb/{self.relaxation}")
         arrays = model.to_arrays()

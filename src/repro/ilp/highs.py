@@ -15,6 +15,7 @@ import numpy as np
 from scipy import optimize
 
 from repro.ilp.status import Solution, SolveStatus, SolverStats
+from repro.tools import faults
 
 
 class HighsSolver:
@@ -52,7 +53,7 @@ class HighsSolver:
         self.mip_rel_gap = mip_rel_gap
         self.heuristic_effort = heuristic_effort
 
-    def solve(self, model, incumbent=None, cutoff=None):
+    def solve(self, model, incumbent=None, cutoff=None, fault_site=None):
         """Solve ``model``; see :func:`repro.ilp.solve_model` for the API.
 
         scipy's ``milp`` wrapper offers no way to inject a starting
@@ -62,7 +63,35 @@ class HighsSolver:
         NO_SOLUTION, and any result not strictly better than ``cutoff`` is
         reported as NO_SOLUTION — matching the branch-and-bound backend's
         semantics so callers can treat backends interchangeably.
+
+        ``fault_site`` names this solve for deterministic fault injection
+        (:mod:`repro.tools.faults`); an injected ``timeout`` reproduces
+        exactly the limits-hit path (incumbent fallback included) and an
+        injected ``infeasible`` the INFEASIBLE verdict, so the degradation
+        ladder above sees the same statuses a real failure would produce.
         """
+        fault = faults.fire(fault_site)
+        if fault == "infeasible":
+            return Solution(
+                SolveStatus.INFEASIBLE, stats=SolverStats(backend="highs")
+            )
+        if fault == "timeout":
+            stats = SolverStats(backend="highs")
+            if incumbent is not None:
+                fallback = self._incumbent_solution(
+                    model, model.to_arrays(), incumbent, stats
+                )
+                if fallback is not None:
+                    return fallback
+            return Solution(SolveStatus.NO_SOLUTION, stats=stats)
+        solution = self._solve_impl(model, incumbent, cutoff)
+        if fault == "incumbent":
+            return faults.demote_to_feasible(solution)
+        if fault == "corrupt" and solution.status.has_solution:
+            faults.corrupt_solution(solution)
+        return solution
+
+    def _solve_impl(self, model, incumbent, cutoff):
         start = time.perf_counter()
         arrays = model.to_arrays()
         constraints = optimize.LinearConstraint(

@@ -40,6 +40,7 @@ def minimize_instruction_count(
     ilp=None,
     incumbent=None,
     heuristic_effort=0.5,
+    deadline=None,
 ):
     """Run phase 2; returns ``(ilp, solution)`` or ``None`` on failure.
 
@@ -50,6 +51,14 @@ def minimize_instruction_count(
     full rebuild (``build_ilp`` is then never called). The phase-1 optimum
     is a feasible point of the pinned model, so callers pass it as
     ``incumbent`` to hand the solver an immediate upper bound.
+
+    ``deadline`` is the routine's shared wall-clock budget
+    (:class:`repro.tools.deadline.Deadline`): phase 2 only gets whatever
+    phase 1 and the bundling-cut loop left over. A ``None`` return —
+    whether from an exhausted budget, an injected ``solve.phase2`` fault,
+    or a genuinely failed solve — tells the scheduler to keep the
+    (already bundled) phase-1 schedule, degrading quality to ``phase1``
+    instead of failing the routine.
     """
     if objective not in OBJECTIVES:
         raise ValueError(f"unknown phase-2 objective {objective!r}")
@@ -68,6 +77,8 @@ def minimize_instruction_count(
         backend=backend,
         time_limit=time_limit,
         incumbent=incumbent,
+        deadline=deadline,
+        fault_site="solve.phase2",
         **({"heuristic_effort": heuristic_effort} if backend == "highs" else {}),
     )
     if not solution:

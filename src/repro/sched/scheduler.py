@@ -9,6 +9,31 @@ solve → reconstruct → bundling-cut loop → optional phase 2 → verify.
 speculation, cyclic code motion and partial-ready code motion can be
 switched individually; predication, branch-collapse modeling and the
 phase-2 instruction-count cleanup are part of the base configuration.
+
+Graceful degradation: rescheduling is a *postpass*, so it is optional by
+contract — when the solver cannot deliver, the compiler's input schedule
+is always a valid answer. ``optimize`` therefore never fails a routine;
+it walks a fallback ladder instead, recorded in ``OptimizeResult.quality``:
+
+``"optimal"``
+    every solve contributing to the emitted schedule proved optimality;
+``"incumbent"``
+    the schedule comes from the ILP but at least one contributing solve
+    hit a limit and returned its best incumbent unproven;
+``"phase1"``
+    phase 2 was requested but failed (timeout without a usable solution,
+    infeasibility, or a discarded reconstruction); the bundled phase-1
+    schedule is emitted;
+``"fallback_input"``
+    the ILP pipeline could not produce a verified schedule at all (no
+    incumbent, cycle-range or bundling-cut budgets exhausted, wall-clock
+    budget spent, or the verifier rejected the ILP schedule); the input
+    list schedule is returned unchanged.
+
+``OptimizeResult.fallback_reason`` carries the structured cause, and one
+wall-clock :class:`~repro.tools.deadline.Deadline` built from
+``ScheduleFeatures.time_limit`` is shared by phase 1, every bundling-cut
+re-solve and phase 2, so each solve gets only the *remaining* budget.
 """
 
 from __future__ import annotations
@@ -17,7 +42,7 @@ import time
 from dataclasses import dataclass, field, replace
 
 from repro.errors import BundlingError, SchedulingError
-from repro.ilp import solve_model
+from repro.ilp import SolveStatus, solve_model
 from repro.ir.cfg import CfgInfo
 from repro.ir.ddg import DepEdge, DepKind, build_dependence_graph
 from repro.ir.liveness import compute_liveness
@@ -35,7 +60,55 @@ from repro.sched.speculation import (
     attach_speculation,
     find_speculation_candidates,
 )
-from repro.sched.verifier import verify_schedule
+from repro.sched.verifier import VerificationReport, verify_schedule
+from repro.tools import faults
+from repro.tools.deadline import Deadline
+
+QUALITY_TIERS = ("optimal", "incumbent", "phase1", "fallback_input")
+
+
+@dataclass(frozen=True)
+class FallbackReason:
+    """Why the result sits below ``"optimal"`` on the fallback ladder.
+
+    ``site`` is a :data:`repro.tools.faults.SITES` name (or ``"pipeline"``
+    for an unexpected error), ``kind`` the failure class (``"timeout"``,
+    ``"infeasible"``, ``"no_incumbent"``, ``"deadline"``,
+    ``"retries_exhausted"``, ``"no_solution"``, ``"discarded"``,
+    ``"unproven"``, ``"rejected"``, ``"error"``), ``detail`` free text.
+    """
+
+    site: str
+    kind: str
+    detail: str = ""
+
+    def __str__(self):
+        base = f"{self.site}:{self.kind}"
+        return f"{base} ({self.detail})" if self.detail else base
+
+
+class _Degrade(Exception):
+    """Internal control flow: abandon the ILP pipeline, keep the input."""
+
+    def __init__(self, reason):
+        super().__init__(str(reason))
+        self.reason = reason
+
+
+@dataclass
+class _PipelineResult:
+    """What a successful ILP pipeline run hands back to ``optimize``."""
+
+    ilp: object
+    final_solution: object
+    reconstruction: object
+    spec_groups: list
+    bundles_out: object
+    phase1_size: dict
+    phase2_applied: bool
+    phase2_failure: FallbackReason | None
+    statuses: list  # SolveStatus of solves contributing to the schedule
+    unproven_site: str | None
 
 
 @dataclass(frozen=True)
@@ -65,6 +138,10 @@ class ScheduleFeatures:
     max_hops: int | None = None  # optional code-motion distance bound
     max_resize_attempts: int = 3
     max_bundle_retries: int = 4
+    # Verified rollback: when the path verifier rejects the ILP schedule,
+    # return the input schedule (quality "fallback_input") instead of the
+    # unproven ILP one. Disable only for debugging the verifier itself.
+    rollback_on_verify_failure: bool = True
 
     @classmethod
     def baseline_ilp(cls):
@@ -95,6 +172,10 @@ class OptimizeResult:
     undo_stats: object = None
     ilp_size: dict = field(default_factory=dict)
     messages: list = field(default_factory=list)
+    # Fallback-ladder tier ("optimal" | "incumbent" | "phase1" |
+    # "fallback_input") and the structured cause when below "optimal".
+    quality: str = "optimal"
+    fallback_reason: FallbackReason | None = None
 
     # -- headline metrics -------------------------------------------------------
     @property
@@ -118,6 +199,8 @@ class OptimizeResult:
 
     @property
     def spec_used(self):
+        if self.solution is None:
+            return 0
         return sum(
             1
             for g in self.spec_groups
@@ -146,6 +229,9 @@ class OptimizeResult:
                 f"  verification {status} "
                 f"({self.verification.paths_checked} paths)"
             )
+        lines.append(f"  quality: {self.quality}")
+        if self.fallback_reason is not None:
+            lines.append(f"  fallback reason: {self.fallback_reason}")
         lines.extend(f"  note: {m}" for m in self.messages)
         return "\n".join(lines)
 
@@ -159,7 +245,10 @@ class IlpScheduler:
 
     # -- public -----------------------------------------------------------------
     def optimize(self, fn):
+        """Schedule ``fn``; never raises — degrades along the fallback
+        ladder (see the module docstring) when any stage fails."""
         features = self.features
+        deadline = Deadline(features.time_limit)
         work = clone_function(fn)
         undo_stats = undo_speculation(work)
         rename_registers(work)
@@ -183,11 +272,103 @@ class IlpScheduler:
             )
         else:
             input_schedule = ListScheduler(self.machine).schedule(work, ddg)
-        lengths = lengths_from_input(input_schedule, work, reserve=features.reserve)
+        bundles_in = bundle_schedule(input_schedule)
 
         messages = []
+        try:
+            pieces = self._run_pipeline(
+                work, region, input_schedule, deadline, messages
+            )
+        except _Degrade as exc:
+            return self._input_fallback(
+                work, region, input_schedule, bundles_in, undo_stats,
+                deadline, messages, exc.reason,
+            )
+        except Exception as exc:  # graceful floor: a routine never fails
+            return self._input_fallback(
+                work, region, input_schedule, bundles_in, undo_stats,
+                deadline, messages,
+                FallbackReason(
+                    "pipeline", "error", f"{type(exc).__name__}: {exc}"
+                ),
+            )
+
+        quality, fallback_reason = self._grade(pieces)
+
+        verification = None
+        if features.verify:
+            verify_edges = _verifiable_edges(pieces.ilp, pieces.final_solution)
+            verification = verify_schedule(
+                pieces.reconstruction.schedule,
+                region,
+                pieces.reconstruction,
+                machine=self.machine,
+                dep_edges=verify_edges,
+                edge_scopes={
+                    e: scope
+                    for e, scope in pieces.ilp.verify_scopes.items()
+                    if e in set(verify_edges)
+                },
+            )
+            injected = faults.fire("verify")
+            if injected is not None:
+                verification = VerificationReport(
+                    ok=False,
+                    problems=[f"injected verification fault ({injected})"],
+                    paths_checked=verification.paths_checked,
+                    exhaustive=verification.exhaustive,
+                )
+            if not verification.ok and features.rollback_on_verify_failure:
+                # Verified rollback: an unproven schedule is never emitted.
+                messages.append(
+                    "verification rejected the ILP schedule; "
+                    "rolled back to the input schedule"
+                )
+                problem = (
+                    verification.problems[0]
+                    if verification.problems
+                    else "schedule failed path verification"
+                )
+                return self._input_fallback(
+                    work, region, input_schedule, bundles_in, undo_stats,
+                    deadline, messages,
+                    FallbackReason("verify", "rejected", problem),
+                    ilp_size=pieces.phase1_size,
+                )
+
+        return OptimizeResult(
+            fn=work,
+            input_schedule=input_schedule,
+            output_schedule=pieces.reconstruction.schedule,
+            reconstruction=pieces.reconstruction,
+            region=region,
+            solution=pieces.final_solution,
+            spec_groups=pieces.spec_groups,
+            bundles_in=bundles_in,
+            bundles_out=pieces.bundles_out,
+            verification=verification,
+            phase2_applied=pieces.phase2_applied,
+            undo_stats=undo_stats,
+            ilp_size=pieces.phase1_size,
+            messages=messages,
+            quality=quality,
+            fallback_reason=fallback_reason,
+        )
+
+    # -- pipeline ---------------------------------------------------------------
+    def _run_pipeline(self, work, region, input_schedule, deadline, messages):
+        """Phase 1 + bundling-cut loop + phase 2; raises ``_Degrade`` when
+        no ILP schedule can be produced within the budgets."""
+        features = self.features
+        lengths = lengths_from_input(
+            input_schedule, work, reserve=features.reserve
+        )
         bundling_cuts = []
-        attempt = 0
+        # Decoupled retry budgets: cycle-range growths are counted per
+        # INFEASIBLE verdict and bundling retries per BundlingError, so cut
+        # re-solves no longer consume ``max_resize_attempts``.
+        resize_attempts = 0
+        bundle_retries = 0
         # The built (ilp, model) pair is cached across cut-loop re-solves:
         # a violated bundle only appends its cut rows to the existing model
         # (and its cached matrix form) instead of regenerating the whole
@@ -196,8 +377,18 @@ class IlpScheduler:
         ilp = model = None
         spec_groups = []
         prev_values = None
+        solve_extra = (
+            {"heuristic_effort": features.heuristic_effort}
+            if features.backend == "highs"
+            else {}
+        )
         while True:
-            attempt += 1
+            site = "solve.cut_resolve" if bundle_retries else "solve.phase1"
+            if deadline.expired:
+                raise _Degrade(FallbackReason(
+                    site, "deadline",
+                    f"wall-clock budget ({deadline.budget:g}s) exhausted",
+                ))
             if ilp is None:
                 build = self._ilp_factory(region, lengths, bundling_cuts)
                 ilp, spec_groups = build()
@@ -205,37 +396,45 @@ class IlpScheduler:
             solution = solve_model(
                 model,
                 backend=features.backend,
-                time_limit=features.time_limit,
+                deadline=deadline,
                 incumbent=prev_values,
-                **(
-                    {"heuristic_effort": features.heuristic_effort}
-                    if features.backend == "highs"
-                    else {}
-                ),
+                fault_site=site,
+                **solve_extra,
             )
-            if solution.status.name == "INFEASIBLE":
-                if attempt > features.max_resize_attempts:
-                    raise SchedulingError(
+            if solution.status is SolveStatus.INFEASIBLE:
+                resize_attempts += 1
+                if resize_attempts > features.max_resize_attempts:
+                    raise _Degrade(FallbackReason(
+                        site, "infeasible",
                         f"{work.name}: model stays infeasible after "
-                        f"{attempt} cycle-range growths"
-                    )
+                        f"{features.max_resize_attempts} cycle-range growths",
+                    ))
                 lengths = grow_lengths(lengths)
                 ilp = model = None
                 prev_values = None
                 messages.append("grew cycle ranges after infeasibility")
                 continue
             if not solution:
-                raise SchedulingError(
-                    f"{work.name}: solver returned {solution.status} "
-                    "without an incumbent; raise time_limit"
-                )
+                raise _Degrade(FallbackReason(
+                    site, "no_incumbent",
+                    f"{work.name}: solver returned {solution.status.name} "
+                    "without an incumbent",
+                ))
             reconstruction = reconstruct_schedule(ilp, solution, spec_groups)
+            injected = faults.fire("bundle")
             try:
+                if injected is not None:
+                    raise BundlingError(f"injected bundle fault ({injected})")
                 bundles_out = bundle_schedule(reconstruction.schedule)
                 break
             except BundlingError as exc:
-                if len(bundling_cuts) >= features.max_bundle_retries:
-                    raise
+                bundle_retries += 1
+                if bundle_retries > features.max_bundle_retries:
+                    raise _Degrade(FallbackReason(
+                        "bundle", "retries_exhausted",
+                        f"bundling still failing after "
+                        f"{features.max_bundle_retries} retries: {exc}",
+                    ))
                 members = getattr(exc, "instructions", [])
                 placed = {
                     (p.root_origin, blk)
@@ -248,17 +447,28 @@ class IlpScheduler:
                     for blk in reconstruction.schedule.block_order
                     if (i.root_origin, blk) in placed
                 ]
-                bundling_cuts.append(cut)
-                if features.incremental_cuts:
-                    ilp.append_bundling_cut(cut)
-                    # The previous optimum seeds the re-solve; it violates
-                    # the cut just added, so validation drops it then — but
-                    # a re-solve after several stacked cuts can reuse it.
-                    prev_values = solution.values
+                if cut:
+                    bundling_cuts.append(cut)
+                    if features.incremental_cuts:
+                        ilp.append_bundling_cut(cut)
+                        # The previous optimum seeds the re-solve; it violates
+                        # the cut just added, so validation drops it then — but
+                        # a re-solve after several stacked cuts can reuse it.
+                        prev_values = solution.values
+                    else:
+                        ilp = model = None
+                    messages.append(f"added bundling constraint: {exc}")
                 else:
-                    ilp = model = None
-                messages.append(f"added bundling constraint: {exc}")
+                    # No offending group attached (an injected fault): retry
+                    # the unchanged model, seeded with its own optimum.
+                    if features.incremental_cuts:
+                        prev_values = solution.values
+                    messages.append(f"bundling failed without a cut: {exc}")
 
+        statuses = [solution.status]
+        unproven_site = (
+            site if solution.status is not SolveStatus.OPTIMAL else None
+        )
         phase1_objective = solution.objective
         phase1_size = {
             "constraints": model.num_constraints,
@@ -269,7 +479,13 @@ class IlpScheduler:
         }
         final_solution = solution
         phase2_applied = False
-        if features.two_phase:
+        phase2_failure = None
+        if features.two_phase and deadline.expired:
+            phase2_failure = FallbackReason(
+                "solve.phase2", "deadline", "no budget left for phase 2"
+            )
+            messages.append("phase 2 skipped: wall-clock budget exhausted")
+        elif features.two_phase:
             phase1_lengths = {
                 name: reconstruction.schedule.block_length(name)
                 for name in reconstruction.schedule.block_order
@@ -291,22 +507,28 @@ class IlpScheduler:
                     rebuild,
                     phase1_lengths,
                     backend=features.backend,
-                    time_limit=features.time_limit,
                     objective=features.phase2_objective,
                     ilp=ilp,
                     incumbent=solution.values,
                     heuristic_effort=features.heuristic_effort,
+                    deadline=deadline,
                 )
             else:
                 outcome = minimize_instruction_count(
                     rebuild,
                     phase1_lengths,
                     backend=features.backend,
-                    time_limit=features.time_limit,
                     objective=features.phase2_objective,
                     heuristic_effort=features.heuristic_effort,
+                    deadline=deadline,
                 )
-            if outcome is not None:
+            if outcome is None:
+                phase2_failure = FallbackReason(
+                    "solve.phase2", "no_solution",
+                    "phase-2 solve returned no usable solution",
+                )
+                messages.append("phase 2 failed: no usable solution")
+            else:
                 ilp2, solution2 = outcome
                 try:
                     recon2 = reconstruct_schedule(
@@ -314,6 +536,9 @@ class IlpScheduler:
                     )
                     bundles2 = bundle_schedule(recon2.schedule)
                 except (BundlingError, SchedulingError) as exc:
+                    phase2_failure = FallbackReason(
+                        "solve.phase2", "discarded", str(exc)
+                    )
                     messages.append(f"phase 2 discarded: {exc}")
                 else:
                     # keep phase-1 solver stats; swap the schedule pieces
@@ -323,41 +548,78 @@ class IlpScheduler:
                     spec_groups = rebuild.groups
                     bundles_out = bundles2
                     phase2_applied = True
+                    statuses.append(solution2.status)
+                    if (
+                        solution2.status is not SolveStatus.OPTIMAL
+                        and unproven_site is None
+                    ):
+                        unproven_site = "solve.phase2"
 
-        bundles_in = bundle_schedule(input_schedule)
+        return _PipelineResult(
+            ilp=ilp,
+            final_solution=final_solution,
+            reconstruction=reconstruction,
+            spec_groups=spec_groups,
+            bundles_out=bundles_out,
+            phase1_size=phase1_size,
+            phase2_applied=phase2_applied,
+            phase2_failure=phase2_failure,
+            statuses=statuses,
+            unproven_site=unproven_site,
+        )
+
+    def _grade(self, pieces):
+        """Map pipeline outcomes to (quality tier, fallback reason)."""
+        if self.features.two_phase and not pieces.phase2_applied:
+            return "phase1", pieces.phase2_failure
+        if all(s is SolveStatus.OPTIMAL for s in pieces.statuses):
+            return "optimal", None
+        return "incumbent", FallbackReason(
+            pieces.unproven_site or "solve.phase1",
+            "unproven",
+            "accepted best incumbent; optimality not proven within budget",
+        )
+
+    def _input_fallback(
+        self, work, region, input_schedule, bundles_in, undo_stats,
+        deadline, messages, reason, ilp_size=None,
+    ):
+        """The ladder's floor: return the (verified) input list schedule."""
+        features = self.features
+        messages = list(messages)
+        messages.append(f"degraded to the input schedule ({reason})")
         verification = None
         if features.verify:
-            verify_edges = _verifiable_edges(ilp, final_solution)
             verification = verify_schedule(
-                reconstruction.schedule,
-                region,
-                reconstruction,
-                machine=self.machine,
-                dep_edges=verify_edges,
-                edge_scopes={
-                    e: scope
-                    for e, scope in ilp.verify_scopes.items()
-                    if e in set(verify_edges)
-                },
+                input_schedule, region, machine=self.machine
             )
-
-        result = OptimizeResult(
+        size = {
+            "constraints": 0,
+            "variables": 0,
+            "nodes": 0,
+            "time": deadline.elapsed(),
+            "objective": None,
+        }
+        if ilp_size:
+            size.update(ilp_size)
+        return OptimizeResult(
             fn=work,
             input_schedule=input_schedule,
-            output_schedule=reconstruction.schedule,
-            reconstruction=reconstruction,
+            output_schedule=input_schedule,
+            reconstruction=None,
             region=region,
-            solution=final_solution,
-            spec_groups=spec_groups,
+            solution=None,
+            spec_groups=[],
             bundles_in=bundles_in,
-            bundles_out=bundles_out,
+            bundles_out=bundles_in,
             verification=verification,
-            phase2_applied=phase2_applied,
+            phase2_applied=False,
             undo_stats=undo_stats,
-            ilp_size=phase1_size,
+            ilp_size=size,
             messages=messages,
+            quality="fallback_input",
+            fallback_reason=reason,
         )
-        return result
 
     # -- construction ----------------------------------------------------------
     def _ilp_factory(self, region, lengths, bundling_cuts):

@@ -1,0 +1,253 @@
+"""Deterministic fault injection for the graceful-degradation pipeline.
+
+The fallback ladder in :mod:`repro.sched.scheduler` promises that every
+routine yields a valid schedule no matter which stage fails.  Testing
+that promise requires *making* stages fail on demand, deterministically,
+without monkeypatching internals — so the pipeline carries named
+injection sites and this module decides, per site, whether a fault fires
+there.
+
+Sites (``SITES``):
+
+``solve.phase1``
+    The first ILP solve of a routine (and re-solves after a cycle-range
+    growth).
+``solve.cut_resolve``
+    Re-solves inside the bundling-cut loop.
+``solve.phase2``
+    The phase-2 instruction-count cleanup solve.
+``bundle``
+    Template bundling of a reconstructed schedule.
+``verify``
+    The path-based schedule verifier.
+``worker``
+    A routine worker process in :mod:`repro.tools.parallel`.
+
+Kinds (``KINDS``):
+
+``timeout``
+    The solver behaves as if its time limit expired before finding
+    anything new: the caller-provided incumbent (if feasible) is
+    returned as ``FEASIBLE``, otherwise ``NO_SOLUTION``.
+``infeasible``
+    The solve reports ``INFEASIBLE``.
+``incumbent``
+    The solve runs normally but its proof is discarded: ``OPTIMAL`` is
+    demoted to ``FEASIBLE`` (a timeout that happened to find the
+    optimum without proving it).
+``corrupt``
+    The solve runs normally, then a few set binaries are cleared — a
+    corrupted solution that reconstruction or verification must catch.
+``error``
+    Site-appropriate failure: ``bundle`` raises ``BundlingError``,
+    ``verify`` reports a failed check, ``worker`` raises in the worker.
+``crash``
+    ``worker`` only: the worker process dies hard (``os._exit``),
+    breaking the process pool.
+
+Activation is either lexical (the :func:`inject` context manager) or
+ambient via the ``REPRO_FAULTS`` environment variable, e.g.::
+
+    REPRO_FAULTS="solve.phase1=timeout,bundle=error:2"
+
+``:N`` bounds an injection to its first ``N`` firings (default:
+unlimited). Firing counters live in the installed plan, so env-driven
+plans count per process — every pool worker starts fresh.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+SITES = (
+    "solve.phase1",
+    "solve.cut_resolve",
+    "solve.phase2",
+    "bundle",
+    "verify",
+    "worker",
+)
+
+KINDS = ("timeout", "infeasible", "incumbent", "corrupt", "error", "crash")
+
+ENV_VAR = "REPRO_FAULTS"
+
+
+@dataclass
+class _Injection:
+    site: str
+    kind: str
+    remaining: int | None  # firings left; None = unlimited
+
+    def fire(self):
+        if self.remaining is None:
+            return True
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+class FaultPlan:
+    """A parsed set of injections, with per-site firing state."""
+
+    def __init__(self, injections):
+        self._by_site = {}
+        for injection in injections:
+            self._by_site.setdefault(injection.site, []).append(injection)
+
+    @classmethod
+    def parse(cls, spec):
+        """Parse ``"site=kind[:times][,...]"``; empty spec -> ``None``."""
+        spec = (spec or "").strip()
+        if not spec:
+            return None
+        injections = []
+        for entry in spec.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            site, _, rhs = entry.partition("=")
+            site = site.strip()
+            if site not in SITES:
+                raise ValueError(
+                    f"unknown fault site {site!r} (expected one of {SITES})"
+                )
+            kind, _, times = rhs.partition(":")
+            kind = kind.strip()
+            if kind not in KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} (expected one of {KINDS})"
+                )
+            remaining = None
+            if times.strip():
+                remaining = int(times)
+                if remaining <= 0:
+                    raise ValueError(f"fault count must be positive: {entry!r}")
+            injections.append(_Injection(site, kind, remaining))
+        return cls(injections) if injections else None
+
+    def fire(self, site):
+        """Kind of the first live injection at ``site``, consuming one
+        firing; ``None`` when nothing fires."""
+        for injection in self._by_site.get(site, ()):
+            if injection.fire():
+                return injection.kind
+        return None
+
+    def __repr__(self):
+        parts = [
+            f"{i.site}={i.kind}"
+            + ("" if i.remaining is None else f":{i.remaining}")
+            for entries in self._by_site.values()
+            for i in entries
+        ]
+        return f"FaultPlan({', '.join(parts)})"
+
+
+# Installed plans (innermost last) take precedence over the environment.
+_installed: list = []
+# Env plans cache: one parse (and one firing-counter set) per spec string
+# per process, so ``:N``-bounded env injections count across calls.
+_env_plans: dict = {}
+
+
+def install(plan):
+    """Push ``plan`` as the active fault plan; pair with :func:`uninstall`."""
+    _installed.append(plan)
+    return plan
+
+
+def uninstall(plan):
+    if _installed and _installed[-1] is plan:
+        _installed.pop()
+    elif plan in _installed:  # tolerate out-of-order teardown
+        _installed.remove(plan)
+
+
+@contextmanager
+def inject(spec):
+    """Activate the fault spec for the dynamic extent of the block.
+
+    ``spec`` is a string (``"bundle=error:1"``) or an already-built
+    :class:`FaultPlan`. Yields the plan (``None`` for an empty spec).
+    """
+    plan = spec if isinstance(spec, FaultPlan) else FaultPlan.parse(spec)
+    if plan is None:
+        yield None
+        return
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall(plan)
+
+
+def active_plan():
+    """The innermost installed plan, else the ``REPRO_FAULTS`` plan."""
+    if _installed:
+        return _installed[-1]
+    spec = os.environ.get(ENV_VAR, "")
+    if not spec.strip():
+        return None
+    if spec not in _env_plans:
+        _env_plans[spec] = FaultPlan.parse(spec)
+    return _env_plans[spec]
+
+
+def fire(site):
+    """Kind of the fault firing at ``site`` right now, or ``None``.
+
+    ``site=None`` (a solve with no site attached, e.g. unit tests
+    calling backends directly) never fires.
+    """
+    if site is None:
+        return None
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.fire(site)
+
+
+def reset_env_cache():
+    """Drop cached env plans (restores their firing budgets); test hook."""
+    _env_plans.clear()
+
+
+# -- solution mangling (used by the solver backends) -------------------------
+
+
+def demote_to_feasible(solution):
+    """An ``incumbent`` fault: keep the assignment, drop the proof."""
+    from repro.ilp.status import Solution, SolveStatus
+
+    if solution.status is SolveStatus.OPTIMAL:
+        return Solution(
+            SolveStatus.FEASIBLE,
+            solution.objective,
+            solution.values,
+            solution.stats,
+        )
+    return solution
+
+
+def corrupt_solution(solution, flips=3):
+    """A ``corrupt`` fault: clear the first ``flips`` set integer vars.
+
+    Deterministic (lowest variable index first) so a corrupted solve is
+    reproducible. Clearing set binaries knocks placements/length
+    indicators out of the solution, which reconstruction or the verifier
+    must then reject.
+    """
+    if not solution.values:
+        return solution
+    flipped = 0
+    for var in sorted(solution.values, key=lambda v: v.index):
+        if getattr(var, "is_integer", False) and solution.values[var] >= 0.5:
+            solution.values[var] = 0.0
+            flipped += 1
+            if flipped >= flips:
+                break
+    return solution

@@ -48,9 +48,13 @@ def _emit_function(result):
         for p in schedule.placements()
         if p.instr.is_check
     }
+    # A degraded result (quality "fallback_input") carries the untouched
+    # input schedule and no reconstruction — there are no speculation
+    # groups and hence no recovery blocks to materialize.
+    recon = result.reconstruction
     for stub, group in zip(
-        result.reconstruction.recovery_stubs,
-        result.reconstruction.selected_groups,
+        recon.recovery_stubs if recon is not None else (),
+        recon.selected_groups if recon is not None else (),
     ):
         block = BasicBlock(name=stub.label, freq=0.0)
         reload_ = group.original.copy(

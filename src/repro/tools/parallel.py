@@ -8,11 +8,22 @@ each). On a single-core host the runner degrades to an in-process loop
 with identical outcomes and no pool overhead, so callers never need to
 special-case the machine.
 
-Each routine gets a wall-clock budget measured from batch start; a
-routine that exceeds it is reported as a failed :class:`RoutineOutcome`
-instead of stalling the whole sweep. Outcomes always carry a
-JSON-serializable :meth:`~RoutineOutcome.summary`, so drivers that only
-need the Table 2 columns never have to unpickle full experiments.
+Each routine gets a wall-clock budget measured from batch start. The
+budget is *enforced*, not just reported: the remaining batch time is
+folded into ``ScheduleFeatures.time_limit``, so the optimizer's shared
+:class:`~repro.tools.deadline.Deadline` bounds the solves and an
+over-budget routine degrades to its input schedule instead of stalling
+the sweep. Outcomes always carry a JSON-serializable
+:meth:`~RoutineOutcome.summary`, so drivers that only need the Table 2
+columns never have to unpickle full experiments.
+
+Crashed workers do not poison the batch: a ``BrokenProcessPool`` rebuilds
+the pool once for the unfinished routines, and routines that still cannot
+complete in a pool are retried in-process (``retried=True`` on their
+outcomes). The ``worker`` fault-injection site (:mod:`repro.tools.faults`)
+fires only inside pool worker processes — ``crash`` kills the worker hard
+to exercise exactly this recovery path; the in-process retry is exempt by
+construction, so an injected crash always converges to a valid batch.
 """
 
 from __future__ import annotations
@@ -21,8 +32,10 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 
+from repro.tools import faults
 from repro.tools.experiments import run_routine
 
 
@@ -35,21 +48,39 @@ class RoutineOutcome:
     elapsed: float
     experiment: object | None = None  # RoutineExperiment when ok
     error: str | None = None
+    retried: bool = False  # recovered from a broken pool / crashed worker
 
     def summary(self):
         """JSON-serializable digest (the Table 1/2 columns plus status)."""
         base = {"routine": self.name, "ok": self.ok, "elapsed": self.elapsed}
+        if self.retried:
+            base["retried"] = True
         if not self.ok:
             base["error"] = self.error
             return base
         base["table1"] = self.experiment.table1_row()
         base["table2"] = self.experiment.table2_row()
+        result = self.experiment.result
+        base["quality"] = getattr(result, "quality", None)
+        reason = getattr(result, "fallback_reason", None)
+        if reason is not None:
+            base["fallback_reason"] = str(reason)
         return base
 
 
 def _run_one(args):
-    """Pool entry point; must stay module-level for pickling."""
+    """Pool entry point; must stay module-level for pickling.
+
+    The ``worker`` fault site fires here — i.e. only inside pool worker
+    processes, never on the in-process retry/sequential paths — so an
+    injected ``crash`` breaks the pool without ever killing the driver.
+    """
     name, features, scale, sim_invocations, sim_seed = args
+    fault = faults.fire("worker")
+    if fault == "crash":
+        os._exit(17)  # hard worker death -> BrokenProcessPool in the parent
+    if fault is not None:
+        raise RuntimeError(f"injected worker fault ({fault})")
     start = time.perf_counter()
     experiment = run_routine(
         name,
@@ -77,8 +108,9 @@ def run_routines_parallel(
     routine's wall clock measured from batch start — size it for the
     whole batch when workers are fewer than routines, since queued
     routines consume their budget while waiting. Failures (including
-    timeouts) become ``ok=False`` outcomes; the batch always returns one
-    outcome per requested routine, in input order.
+    timeouts) become ``ok=False`` outcomes; a broken pool is rebuilt once
+    and stragglers finish in-process with ``retried=True``. The batch
+    always returns one outcome per requested routine, in input order.
     """
     names = list(names)
     if not names:
@@ -87,69 +119,132 @@ def run_routines_parallel(
         max_workers = min(len(names), os.cpu_count() or 1)
     max_workers = max(1, min(max_workers, len(names)))
 
+    start = time.monotonic()
+
+    def remaining_budget():
+        if timeout is None:
+            return None
+        return max(0.0, start + timeout - time.monotonic())
+
     if max_workers == 1:
         return [
             _sequential_outcome(
-                name, features, scale, sim_invocations, sim_seed, timeout
+                name, features, scale, sim_invocations, sim_seed,
+                remaining_budget(),
             )
             for name in names
         ]
 
-    outcomes = []
-    start = time.monotonic()
-    executor = ProcessPoolExecutor(max_workers=max_workers)
-    try:
-        futures = {
-            name: executor.submit(
-                _run_one, (name, features, scale, sim_invocations, sim_seed)
-            )
-            for name in names
-        }
-        for name in names:
-            future = futures[name]
-            remaining = None
-            if timeout is not None:
-                remaining = max(0.0, start + timeout - time.monotonic())
-            try:
-                experiment, elapsed = future.result(timeout=remaining)
-            except FutureTimeout:
-                future.cancel()
-                outcomes.append(
-                    RoutineOutcome(
+    outcomes = {}
+    pending = names
+    # The initial pool plus at most one rebuild after a BrokenProcessPool;
+    # whatever still cannot finish in a pool is retried in-process below.
+    for pool_round in range(2):
+        if not pending:
+            break
+        retried = pool_round > 0
+        executor = ProcessPoolExecutor(
+            max_workers=min(max_workers, len(pending))
+        )
+        broken = False
+        still_pending = []
+        try:
+            futures = {
+                name: executor.submit(
+                    _run_one,
+                    (name, features, scale, sim_invocations, sim_seed),
+                )
+                for name in pending
+            }
+            for name in pending:
+                future = futures[name]
+                try:
+                    experiment, elapsed = future.result(
+                        timeout=remaining_budget()
+                    )
+                except FutureTimeout:
+                    future.cancel()
+                    outcomes[name] = RoutineOutcome(
                         name,
                         False,
                         time.monotonic() - start,
                         error=f"timed out after {timeout:g}s",
+                        retried=retried,
                     )
-                )
-            except Exception as exc:  # worker raised; keep the batch going
-                outcomes.append(
-                    RoutineOutcome(
+                except BrokenProcessPool:
+                    # One crash poisons every unfinished future; collect
+                    # the stragglers and re-run them instead of failing.
+                    broken = True
+                    still_pending.append(name)
+                except Exception as exc:  # worker raised; keep the batch going
+                    outcomes[name] = RoutineOutcome(
                         name,
                         False,
                         time.monotonic() - start,
                         error=f"{type(exc).__name__}: {exc}",
+                        retried=retried,
                     )
-                )
-            else:
-                outcomes.append(RoutineOutcome(name, True, elapsed, experiment))
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
-    return outcomes
+                else:
+                    outcomes[name] = RoutineOutcome(
+                        name, True, elapsed, experiment, retried=retried
+                    )
+        except BrokenProcessPool:
+            # The pool died during submission; everything not yet
+            # collected is still pending.
+            broken = True
+            still_pending = [n for n in pending if n not in outcomes]
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        pending = still_pending if broken else []
+
+    # Two broken pools in a row: finish the stragglers in-process, where
+    # a crashing-worker fault (or a crash-prone environment) cannot reach.
+    for name in pending:
+        outcomes[name] = _sequential_outcome(
+            name, features, scale, sim_invocations, sim_seed,
+            remaining_budget(), retried=True,
+        )
+    return [outcomes[name] for name in names]
 
 
-def _sequential_outcome(name, features, scale, sim_invocations, sim_seed, timeout):
-    """In-process fallback used when the pool would have one worker.
+def _bound_features(features, timeout):
+    """Fold the remaining batch budget into ``ScheduleFeatures.time_limit``.
 
-    ``timeout`` cannot interrupt an in-process solve; it is checked after
-    the fact so over-budget routines are at least *reported* the same way
-    the pool path reports them.
+    The optimizer turns ``time_limit`` into its shared solve
+    :class:`~repro.tools.deadline.Deadline`, so this is what makes an
+    in-process ``timeout`` actually *bound* a solve (degrading the
+    routine to its input schedule) instead of only reporting the overrun
+    after the fact.
+    """
+    if timeout is None:
+        return features
+    if features is None:
+        from repro.tools.experiments import default_features
+
+        features = default_features()
+    limit = (
+        timeout
+        if features.time_limit is None
+        else min(features.time_limit, timeout)
+    )
+    return replace(features, time_limit=limit)
+
+
+def _sequential_outcome(
+    name, features, scale, sim_invocations, sim_seed, timeout, retried=False
+):
+    """In-process path: the single-worker batch and broken-pool retries.
+
+    ``timeout`` (the routine's remaining batch budget) is enforced through
+    ``ScheduleFeatures.time_limit`` — see :func:`_bound_features`; the
+    post-hoc check only reports overruns from the non-solve stages
+    (analysis, bundling, simulation) that the deadline cannot interrupt.
     """
     start = time.perf_counter()
     try:
         experiment = run_routine(
             name,
-            features=features,
+            features=_bound_features(features, timeout),
             scale=scale,
             sim_invocations=sim_invocations,
             sim_seed=sim_seed,
@@ -160,6 +255,7 @@ def _sequential_outcome(name, features, scale, sim_invocations, sim_seed, timeou
             False,
             time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
+            retried=retried,
         )
     elapsed = time.perf_counter() - start
     if timeout is not None and elapsed > timeout:
@@ -169,5 +265,6 @@ def _sequential_outcome(name, features, scale, sim_invocations, sim_seed, timeou
             elapsed,
             experiment=experiment,
             error=f"finished but exceeded {timeout:g}s budget",
+            retried=retried,
         )
-    return RoutineOutcome(name, True, elapsed, experiment)
+    return RoutineOutcome(name, True, elapsed, experiment, retried=retried)

@@ -1,0 +1,64 @@
+"""Deadline: the shared wall-clock budget for the optimize pipeline."""
+
+import pytest
+
+from repro.tools.deadline import Deadline
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_unlimited_deadline_never_expires():
+    clock = FakeClock()
+    deadline = Deadline(None, clock=clock)
+    clock.advance(1e9)
+    assert deadline.budget is None
+    assert deadline.remaining() is None
+    assert not deadline.expired
+    assert deadline.bound(None) is None
+    assert deadline.bound(42.0) == 42.0
+
+
+def test_remaining_counts_down_and_clips_at_zero():
+    clock = FakeClock()
+    deadline = Deadline(10.0, clock=clock)
+    assert deadline.remaining() == 10.0
+    clock.advance(4.0)
+    assert deadline.remaining() == pytest.approx(6.0)
+    assert deadline.elapsed() == pytest.approx(4.0)
+    assert not deadline.expired
+    clock.advance(7.0)
+    assert deadline.remaining() == 0.0
+    assert deadline.expired
+
+
+def test_bound_returns_the_tighter_limit():
+    clock = FakeClock()
+    deadline = Deadline(10.0, clock=clock)
+    # remaining (10) is looser than the explicit limit
+    assert deadline.bound(3.0) == 3.0
+    clock.advance(9.0)
+    # remaining (1) is now the tighter one
+    assert deadline.bound(3.0) == pytest.approx(1.0)
+    # an unlimited explicit limit still gets clipped to the budget
+    assert deadline.bound(None) == pytest.approx(1.0)
+
+
+def test_start_alias_and_negative_budget_clamped():
+    clock = FakeClock()
+    deadline = Deadline.start(-5.0, clock=clock)
+    assert deadline.budget == 0.0
+    assert deadline.expired
+
+
+def test_repr_mentions_budget():
+    assert "unlimited" in repr(Deadline(None))
+    assert "budget=5" in repr(Deadline(5.0, clock=FakeClock()))

@@ -1,0 +1,138 @@
+"""Fault-injection harness: spec parsing, activation, and mangling."""
+
+import pytest
+
+from repro.ilp.expr import Var
+from repro.ilp.status import Solution, SolveStatus
+from repro.tools import faults
+
+
+# -- parsing ------------------------------------------------------------------
+
+
+def test_parse_empty_spec_is_none():
+    assert faults.FaultPlan.parse("") is None
+    assert faults.FaultPlan.parse("   ") is None
+    assert faults.FaultPlan.parse(None) is None
+    assert faults.FaultPlan.parse(" , ,") is None
+
+
+def test_parse_multiple_entries_with_counts():
+    plan = faults.FaultPlan.parse("solve.phase1=timeout, bundle=error:2")
+    assert plan.fire("solve.phase1") == "timeout"
+    assert plan.fire("bundle") == "error"
+    assert plan.fire("bundle") == "error"
+    assert plan.fire("bundle") is None  # the :2 budget is spent
+    assert plan.fire("solve.phase1") == "timeout"  # unlimited keeps firing
+    assert plan.fire("verify") is None  # unlisted site never fires
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "nosuchsite=timeout",
+        "solve.phase1=nosuchkind",
+        "solve.phase1=timeout:0",
+        "solve.phase1=timeout:-1",
+    ],
+)
+def test_parse_rejects_bad_specs(spec):
+    with pytest.raises(ValueError):
+        faults.FaultPlan.parse(spec)
+
+
+# -- activation ---------------------------------------------------------------
+
+
+def test_no_active_plan_means_no_fault():
+    assert faults.active_plan() is None
+    assert faults.fire("solve.phase1") is None
+
+
+def test_fire_with_no_site_never_fires():
+    with faults.inject("solve.phase1=timeout"):
+        assert faults.fire(None) is None
+        assert faults.fire("solve.phase1") == "timeout"
+
+
+def test_inject_context_manager_installs_and_uninstalls():
+    with faults.inject("verify=error:1") as plan:
+        assert faults.active_plan() is plan
+        assert faults.fire("verify") == "error"
+        assert faults.fire("verify") is None
+    assert faults.active_plan() is None
+
+
+def test_inject_empty_spec_yields_none():
+    with faults.inject("") as plan:
+        assert plan is None
+        assert faults.fire("verify") is None
+
+
+def test_nested_injection_innermost_wins():
+    with faults.inject("solve.phase1=timeout"):
+        with faults.inject("solve.phase1=infeasible") as inner:
+            assert faults.active_plan() is inner
+            assert faults.fire("solve.phase1") == "infeasible"
+        assert faults.fire("solve.phase1") == "timeout"
+
+
+def test_env_plan_counts_across_calls(monkeypatch):
+    monkeypatch.setenv(faults.ENV_VAR, "bundle=error:1")
+    faults.reset_env_cache()
+    try:
+        assert faults.fire("bundle") == "error"
+        # Same cached plan: the single firing is spent for this process.
+        assert faults.fire("bundle") is None
+        faults.reset_env_cache()
+        # A fresh parse restores the budget.
+        assert faults.fire("bundle") == "error"
+    finally:
+        faults.reset_env_cache()
+
+
+def test_installed_plan_shadows_env(monkeypatch):
+    monkeypatch.setenv(faults.ENV_VAR, "bundle=error")
+    faults.reset_env_cache()
+    try:
+        with faults.inject("verify=error"):
+            assert faults.fire("bundle") is None
+            assert faults.fire("verify") == "error"
+        assert faults.fire("bundle") == "error"
+    finally:
+        faults.reset_env_cache()
+
+
+# -- solution mangling --------------------------------------------------------
+
+
+def _solution(status, values=None):
+    return Solution(status, objective=1.0, values=values or {})
+
+
+def test_demote_to_feasible_drops_only_the_proof():
+    v = Var(0, "x", ub=1, is_integer=True)
+    optimal = _solution(SolveStatus.OPTIMAL, {v: 1.0})
+    demoted = faults.demote_to_feasible(optimal)
+    assert demoted.status is SolveStatus.FEASIBLE
+    assert demoted.objective == optimal.objective
+    assert demoted.values is optimal.values
+    # Anything below OPTIMAL passes through untouched.
+    feasible = _solution(SolveStatus.FEASIBLE)
+    assert faults.demote_to_feasible(feasible) is feasible
+
+
+def test_corrupt_solution_clears_lowest_set_integers():
+    ints = [Var(i, f"x{i}", ub=1, is_integer=True) for i in range(5)]
+    cont = Var(5, "y", is_integer=False)
+    values = {var: 1.0 for var in ints}
+    values[cont] = 3.5
+    solution = _solution(SolveStatus.OPTIMAL, values)
+    corrupted = faults.corrupt_solution(solution, flips=3)
+    assert [corrupted.values[v] for v in ints] == [0.0, 0.0, 0.0, 1.0, 1.0]
+    assert corrupted.values[cont] == 3.5  # continuous vars untouched
+
+
+def test_corrupt_solution_tolerates_empty_values():
+    empty = _solution(SolveStatus.NO_SOLUTION, {})
+    assert faults.corrupt_solution(empty) is empty

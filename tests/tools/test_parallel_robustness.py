@@ -1,0 +1,151 @@
+"""Robustness of the parallel routine fan-out.
+
+Covers the crash-recovery ladder (broken pool -> rebuilt pool ->
+in-process retry), the budget-to-``time_limit`` wiring that lets an
+over-budget routine degrade instead of stalling, and the
+quality-carrying outcome summaries.
+"""
+
+import os
+
+import pytest
+
+from repro.sched.scheduler import ScheduleFeatures
+from repro.tools import faults
+from repro.tools.parallel import (
+    RoutineOutcome,
+    _bound_features,
+    run_routines_parallel,
+)
+
+FAST = dict(scale=0.4, sim_invocations=30)
+FEATURES = ScheduleFeatures(time_limit=30)
+
+
+@pytest.fixture
+def fault_env():
+    """Set REPRO_FAULTS for the test (inherited by pool workers)."""
+
+    def setenv(spec):
+        os.environ[faults.ENV_VAR] = spec
+        faults.reset_env_cache()
+
+    yield setenv
+    os.environ.pop(faults.ENV_VAR, None)
+    faults.reset_env_cache()
+
+
+# -- _bound_features ----------------------------------------------------------
+
+
+def test_bound_features_no_timeout_is_identity():
+    assert _bound_features(FEATURES, None) is FEATURES
+    assert _bound_features(None, None) is None
+
+
+def test_bound_features_takes_the_tighter_limit():
+    assert _bound_features(FEATURES, 10.0).time_limit == 10.0
+    assert _bound_features(FEATURES, 300.0).time_limit == 30
+    unlimited = ScheduleFeatures(time_limit=None)
+    assert _bound_features(unlimited, 7.5).time_limit == 7.5
+
+
+def test_bound_features_builds_defaults_when_missing():
+    bounded = _bound_features(None, 5.0)
+    assert bounded is not None
+    assert bounded.time_limit == 5.0
+
+
+# -- crash recovery -----------------------------------------------------------
+
+
+def test_worker_crash_recovers_with_retried_outcomes(fault_env):
+    """A crashing worker breaks the pool; the batch must still converge to
+    all-ok outcomes, recovered routines flagged ``retried``.
+
+    Every pool worker process starts with a fresh firing counter, so an
+    unbounded ``worker=crash`` kills each pool round; convergence relies
+    on the in-process retry, which never fires the ``worker`` site.
+    """
+    fault_env("worker=crash")
+    names = ["xfree", "firstone"]
+    outcomes = run_routines_parallel(
+        names, features=FEATURES, max_workers=2, **FAST
+    )
+    assert [o.name for o in outcomes] == names
+    assert all(o.ok for o in outcomes), [o.error for o in outcomes]
+    assert all(o.retried for o in outcomes)
+    for outcome in outcomes:
+        summary = outcome.summary()
+        assert summary["retried"] is True
+        assert summary["quality"] in (
+            "optimal", "incumbent", "phase1", "fallback_input",
+        )
+        assert "table1" in summary and "table2" in summary
+
+
+def test_worker_error_is_reported_not_raised(fault_env):
+    """A worker that raises (rather than dies) fails its routine in place —
+    an ``ok=False`` outcome, no exception, and the batch keeps going.
+
+    (A single-routine batch clamps to ``max_workers=1`` and runs
+    in-process, where the ``worker`` site is exempt — so this needs two.)
+    """
+    fault_env("worker=error")
+    names = ["xfree", "firstone"]
+    outcomes = run_routines_parallel(
+        names, features=FEATURES, max_workers=2, **FAST
+    )
+    assert [o.name for o in outcomes] == names
+    for outcome in outcomes:
+        assert not outcome.ok
+        assert "injected worker fault" in outcome.error
+        summary = outcome.summary()
+        assert summary["ok"] is False and "error" in summary
+
+
+# -- budget enforcement -------------------------------------------------------
+
+
+def test_tiny_budget_degrades_in_process_instead_of_stalling():
+    """max_workers=1 with a near-zero budget: the deadline reaches the
+    solves through ``time_limit``, so the routine comes back with a
+    ``fallback_input`` experiment rather than hanging or raising."""
+    outcomes = run_routines_parallel(
+        ["xfree"], features=FEATURES, max_workers=1, timeout=1e-4, **FAST
+    )
+    (outcome,) = outcomes
+    assert outcome.experiment is not None
+    result = outcome.experiment.result
+    assert result.quality == "fallback_input"
+    assert result.fallback_reason.kind == "deadline"
+    # The post-hoc batch check still reports the (tiny) budget overrun.
+    assert not outcome.ok
+    assert "budget" in outcome.error
+
+
+def test_no_faults_sequential_batch_is_clean():
+    outcomes = run_routines_parallel(
+        ["xfree"], features=FEATURES, max_workers=1, **FAST
+    )
+    (outcome,) = outcomes
+    assert outcome.ok and not outcome.retried
+    summary = outcome.summary()
+    assert summary["quality"] == "optimal"
+    assert "fallback_reason" not in summary
+    assert "retried" not in summary
+
+
+def test_empty_batch_returns_empty_list():
+    assert run_routines_parallel([]) == []
+
+
+def test_summary_shape_for_failures():
+    outcome = RoutineOutcome("x", False, 1.0, error="boom", retried=True)
+    assert outcome.summary() == {
+        "routine": "x",
+        "ok": False,
+        "elapsed": 1.0,
+        "retried": True,
+        "error": "boom",
+    }
