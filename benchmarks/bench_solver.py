@@ -359,6 +359,54 @@ def bench_sweep(smoke):
     }
 
 
+def bench_obs_overhead(smoke):
+    """Scheduler-path cost of the observability layer, off vs on.
+
+    Runs the same small in-process routine batch with recording disabled
+    and enabled. The disabled ratio is the number the no-op fast path is
+    graded on (the acceptance gate is "within 2% of pre-PR", i.e. a
+    disabled_vs_enabled ratio near 1.0 plus unchanged section timings);
+    the enabled ratio prices the full span + metrics pipeline.
+    """
+    from repro.obs import core as obs
+    from repro.tools.experiments import run_routine
+
+    names = ["firstone", "xfree"] if smoke else ["firstone", "xfree", "send_bits"]
+    repeats = 2 if smoke else 3
+    features = default_features(time_limit=30)
+
+    def run_batch():
+        t0 = time.perf_counter()
+        for name in names:
+            run_routine(
+                name, features=features, scale=0.4, sim_invocations=20
+            )
+        return time.perf_counter() - t0
+
+    obs.disable()
+    run_batch()  # warm imports/caches out of the measurement
+    disabled = min(run_batch() for _ in range(repeats))
+    obs.enable()
+    enabled = min(run_batch() for _ in range(repeats))
+    recorder = obs.recorder()
+    events = len(recorder.events)
+    series = (
+        len(recorder.metrics.counters)
+        + len(recorder.metrics.gauges)
+        + len(recorder.metrics.histograms)
+    )
+    obs.disable()
+    return {
+        "routines": names,
+        "repeats": repeats,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "enabled_overhead_ratio": enabled / disabled if disabled else None,
+        "events_recorded": events,
+        "metric_series": series,
+    }
+
+
 # -- driver -----------------------------------------------------------------
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -374,12 +422,12 @@ def main(argv=None):
     )
     parser.add_argument(
         "--sections",
-        default="root_lp,bb_throughput,cut_resolve,sweep",
+        default="root_lp,bb_throughput,cut_resolve,sweep,obs_overhead",
         help="comma list of sections to run",
     )
     args = parser.parse_args(argv)
     sections = set(args.sections.split(","))
-    known = {"root_lp", "bb_throughput", "cut_resolve", "sweep"}
+    known = {"root_lp", "bb_throughput", "cut_resolve", "sweep", "obs_overhead"}
     unknown = sections - known
     if unknown:
         parser.error(
@@ -408,6 +456,9 @@ def main(argv=None):
             k: v for k, v in report["sweep"].items() if k != "per_routine"
         }
         print(f"sweep: {json.dumps(summary, indent=2)}")
+    if "obs_overhead" in sections:
+        report["obs_overhead"] = bench_obs_overhead(args.smoke)
+        print(f"obs_overhead: {json.dumps(report['obs_overhead'], indent=2)}")
 
     out_path = pathlib.Path(args.out)
     if args.check:

@@ -11,8 +11,11 @@ Usage::
 
     python benchmarks/chaos_smoke.py [--seed N] [--rounds N]
         [--routines a,b,c] [--scale S] [--max-workers N] [--timeout S]
+        [--out BENCH_chaos.json]
 
 Exit status 0 when every outcome in every round passes, 1 otherwise.
+With ``--out`` the run also writes a JSON report: routines swept, the
+fault mix that fired, and the fallback-tier histogram per round.
 CI runs this as the fault-injection smoke job; locally it doubles as a
 quick chaos sanity check after touching the degradation ladder.
 """
@@ -76,6 +79,7 @@ def run_round(spec, names, args):
         faults.reset_env_cache()
 
     failures = []
+    detail = []
     for outcome in outcomes:
         summary = outcome.summary()
         problems = []
@@ -95,9 +99,18 @@ def run_round(spec, names, args):
             f"retried={summary.get('retried', False)!s:5s} "
             f"{summary.get('fallback_reason', '')}"
         )
+        detail.append(
+            {
+                "routine": outcome.name,
+                "ok": outcome.ok and not problems,
+                "quality": summary.get("quality"),
+                "retried": bool(summary.get("retried", False)),
+                "fallback_reason": summary.get("fallback_reason"),
+            }
+        )
         if problems:
             failures.append((outcome.name, problems, summary))
-    return failures
+    return failures, detail
 
 
 def main(argv=None):
@@ -112,6 +125,9 @@ def main(argv=None):
     parser.add_argument("--sim-invocations", type=int, default=40)
     parser.add_argument("--max-workers", type=int, default=None)
     parser.add_argument("--timeout", type=float, default=None)
+    parser.add_argument(
+        "--out", type=str, default=None, help="write a JSON report here"
+    )
     args = parser.parse_args(argv)
 
     names = (
@@ -121,10 +137,46 @@ def main(argv=None):
     )
     rng = random.Random(args.seed)
     all_failures = []
+    rounds_detail = []
+    fault_mix = {}
+    fallback_tiers = dict.fromkeys(QUALITIES, 0)
+    retried_total = 0
     for round_no in range(args.rounds):
         spec = pick_faults(rng, args.faults)
         print(f"round {round_no}: REPRO_FAULTS={spec}")
-        all_failures.extend(run_round(spec, names, args))
+        failures, detail = run_round(spec, names, args)
+        all_failures.extend(failures)
+        for part in spec.split(","):
+            site_kind = part.split(":", 1)[0]
+            fault_mix[site_kind] = fault_mix.get(site_kind, 0) + 1
+        for row in detail:
+            if row["quality"] in fallback_tiers:
+                fallback_tiers[row["quality"]] += 1
+            retried_total += row["retried"]
+        rounds_detail.append(
+            {"round": round_no, "faults": spec, "outcomes": detail}
+        )
+
+    if args.out:
+        report = {
+            "seed": args.seed,
+            "rounds": args.rounds,
+            "routines": names,
+            "scale": args.scale,
+            "sim_invocations": args.sim_invocations,
+            "fault_mix": fault_mix,
+            "fallback_tiers": fallback_tiers,
+            "retried": retried_total,
+            "failures": [
+                {"routine": name, "problems": problems}
+                for name, problems, _ in all_failures
+            ],
+            "rounds_detail": rounds_detail,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
 
     if all_failures:
         print(f"\n{len(all_failures)} outcome(s) violated the contract:")

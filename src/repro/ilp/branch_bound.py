@@ -45,7 +45,13 @@ from scipy import optimize, sparse
 from repro.errors import IlpError
 from repro.ilp.presolve import presolve_arrays
 from repro.ilp.simplex import SimplexSolver
-from repro.ilp.status import Solution, SolveStatus, SolverStats
+from repro.ilp.status import (
+    Solution,
+    SolveStatus,
+    SolverStats,
+    record_solve_metrics,
+)
+from repro.obs import core as obs
 from repro.tools import faults
 
 _INT_TOL = 1e-6
@@ -81,6 +87,7 @@ class _Relaxation:
         self.a_eq = a_mat[eq_rows].tocsr() if eq_rows.any() else None
         self.b_eq = b_hi[eq_rows] if eq_rows.any() else None
         self.arrays = arrays
+        self.iterations = 0  # simplex pivots across the whole tree
         if engine == "simplex":
             # The dense conversion is done once for the whole tree instead
             # of once per node.
@@ -99,6 +106,7 @@ class _Relaxation:
                 result = self._simplex.solve_arrays(local, warm_basis=warm_basis)
             except IlpError:
                 return "unknown", None, None, None
+            self.iterations += result.iterations
             return result.status, result.objective, result.x, result.basis
         bounds = np.column_stack([lb, ub])
         result = optimize.linprog(
@@ -110,6 +118,7 @@ class _Relaxation:
             bounds=bounds,
             method="highs",
         )
+        self.iterations += int(getattr(result, "nit", 0) or 0)
         if result.status == 2:
             return "infeasible", None, None, None
         if result.status == 3:
@@ -291,7 +300,21 @@ class BranchBoundSolver:
                         )
                     return Solution(SolveStatus.FEASIBLE, obj, values, stats)
             return Solution(SolveStatus.NO_SOLUTION, stats=stats)
-        solution = self._solve_impl(model, incumbent, cutoff)
+        # Telemetry rides on the stats the search already collects, so
+        # the node loop itself carries no instrumentation overhead.
+        if not obs.ENABLED:
+            solution = self._solve_impl(model, incumbent, cutoff)
+        else:
+            with obs.span(
+                "ilp.solve",
+                backend=stats_name,
+                variables=len(model.variables),
+                constraints=model.num_constraints,
+            ) as span:
+                solution = self._solve_impl(model, incumbent, cutoff)
+                span.set_attr("status", solution.status.name)
+                span.set_attr("nodes", solution.stats.nodes)
+            record_solve_metrics(solution.stats, seeded=incumbent is not None)
         if fault == "incumbent":
             return faults.demote_to_feasible(solution)
         if fault == "corrupt" and solution.status.has_solution:
@@ -315,6 +338,7 @@ class BranchBoundSolver:
 
         status, obj, x, basis = oracle.solve(root_lb, root_ub)
         stats.lp_solves += 1
+        stats.simplex_iterations = oracle.iterations
         if status == "infeasible":
             stats.time_seconds = time.perf_counter() - start
             return Solution(SolveStatus.INFEASIBLE, stats=stats)
@@ -413,6 +437,7 @@ class BranchBoundSolver:
                 choice=frac,
             )
 
+        stats.simplex_iterations = oracle.iterations
         if timed_out:
             open_bounds = [n.bound for n in dive]
             open_bounds.extend(entry[0] for entry in heap)

@@ -14,7 +14,13 @@ import warnings
 import numpy as np
 from scipy import optimize
 
-from repro.ilp.status import Solution, SolveStatus, SolverStats
+from repro.ilp.status import (
+    Solution,
+    SolveStatus,
+    SolverStats,
+    record_solve_metrics,
+)
+from repro.obs import core as obs
 from repro.tools import faults
 
 
@@ -84,7 +90,22 @@ class HighsSolver:
                 if fallback is not None:
                     return fallback
             return Solution(SolveStatus.NO_SOLUTION, stats=stats)
-        solution = self._solve_impl(model, incumbent, cutoff)
+        if not obs.ENABLED:
+            solution = self._solve_impl(model, incumbent, cutoff)
+        else:
+            with obs.span(
+                "ilp.solve",
+                backend="highs",
+                variables=len(model.variables),
+                constraints=model.num_constraints,
+            ) as span:
+                solution = self._solve_impl(model, incumbent, cutoff)
+                span.set_attr("status", solution.status.name)
+                span.set_attr("nodes", solution.stats.nodes)
+            # scipy's milp offers no basis injection, so "warm start" for
+            # this backend means incumbent seeding (the cut loop's
+            # prev-optimum hand-off); record it as such.
+            record_solve_metrics(solution.stats, seeded=incumbent is not None)
         if fault == "incumbent":
             return faults.demote_to_feasible(solution)
         if fault == "corrupt" and solution.status.has_solution:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import core as obs
+
 _TIGHTEN_TOL = 1e-9
 _FEAS_TOL = 1e-7
 
@@ -30,6 +32,21 @@ def presolve_arrays(arrays, max_rounds=6):
     activity of the remaining terms. Rounds apply all row implications
     simultaneously and repeat until a fixed point (or ``max_rounds``).
     """
+    if not obs.ENABLED:
+        return _presolve_impl(arrays, max_rounds)
+    with obs.span(
+        "presolve", rows=int(arrays["A"].shape[0]), cols=len(arrays["lb"])
+    ) as span:
+        out, infeasible = _presolve_impl(arrays, max_rounds)
+        fixed = 0 if infeasible else fixed_variable_count(out)
+        span.set_attr("fixed_vars", fixed)
+        span.set_attr("infeasible", infeasible)
+    obs.counter("presolve_calls_total", 1)
+    obs.counter("presolve_fixed_vars_total", fixed)
+    return out, infeasible
+
+
+def _presolve_impl(arrays, max_rounds):
     a_csr = arrays["A"].tocsr()
     lb = arrays["lb"].astype(float).copy()
     ub = arrays["ub"].astype(float).copy()

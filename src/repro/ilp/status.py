@@ -68,3 +68,39 @@ class Solution:
 
     def __bool__(self):
         return self.status.has_solution
+
+
+def record_solve_metrics(stats, seeded=False):
+    """Publish one solve's :class:`SolverStats` to :mod:`repro.obs`.
+
+    Called by every backend after a completed solve (both backends
+    already collect these numbers for Table 2, so telemetry costs one
+    guarded call per *solve*, nothing per node). ``seeded`` marks a
+    solve that started from a caller-provided incumbent — the
+    warm-start currency of the HiGHS backend, where scipy offers no
+    basis injection; the bb/simplex backend additionally reports true
+    basis reuse through ``stats.warm_starts``.
+    """
+    from repro.obs import core as obs
+
+    if not obs.ENABLED:
+        return
+    backend = stats.backend or "unknown"
+    obs.counter("solves_total", 1, backend=backend)
+    obs.counter("bb_nodes_total", stats.nodes, backend=backend)
+    obs.histogram("solve_nodes", stats.nodes, backend=backend)
+    obs.histogram("solve_seconds", stats.time_seconds, backend=backend)
+    obs.counter("warm_start_hits_total", stats.warm_starts, backend=backend)
+    obs.counter(
+        "warm_start_misses_total",
+        max(0, stats.lp_solves - stats.warm_starts),
+        backend=backend,
+    )
+    if stats.simplex_iterations:
+        obs.counter(
+            "simplex_iterations_total",
+            stats.simplex_iterations,
+            backend=backend,
+        )
+    if seeded:
+        obs.counter("incumbent_seeded_solves_total", 1, backend=backend)

@@ -1,0 +1,88 @@
+"""``repro.obs`` — spans, metrics, solver telemetry, trace aggregation.
+
+The pipeline makes many invisible decisions per routine — which
+node-selection policy fired, how many bundling cuts were appended, how
+much of the deadline each phase consumed, which fallback tier a routine
+landed on.  This package is the window: hierarchical spans with
+monotonic timing, a metrics registry with fixed-bucket histograms, a
+JSONL event log, exporters to Chrome ``trace_event`` format (open in
+``chrome://tracing`` / Perfetto) and Prometheus text, and cross-process
+aggregation for the routine fan-out pool.
+
+Everything is **off by default and free when off**: call sites guard on
+the module-level ``ENABLED`` flag, and :func:`span` returns a shared
+no-op singleton while disabled.  Turn it on with :func:`enable`, the
+``REPRO_OBS=1`` environment variable, or ``tia-opt --trace/--metrics``.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("solve.phase1", routine="qSort3"):
+        ...
+    obs.counter("bundling_cuts_total", 2, routine="qSort3")
+    obs.histogram("solve_seconds", 1.7, backend="highs")
+
+    from repro.obs import export
+    export.write_chrome_trace("trace.json")
+    export.write_metrics("metrics.json")   # or metrics.prom
+
+See ``docs/observability.md`` for the event schema and exporter formats.
+"""
+
+from repro.obs.core import (
+    ENV_VAR,
+    NOOP_SPAN,
+    Recorder,
+    Span,
+    Trace,
+    counter,
+    disable,
+    enable,
+    enabled,
+    event,
+    gauge,
+    histogram,
+    merge_snapshot,
+    recorder,
+    reset,
+    snapshot,
+    span,
+)
+from repro.obs.metrics import BUCKET_BOUNDS, DEFAULT_BUCKETS, MetricsRegistry
+
+__all__ = [
+    "ENV_VAR",
+    "ENABLED",
+    "NOOP_SPAN",
+    "Recorder",
+    "Span",
+    "Trace",
+    "BUCKET_BOUNDS",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "gauge",
+    "histogram",
+    "merge_snapshot",
+    "recorder",
+    "reset",
+    "snapshot",
+    "span",
+]
+
+
+def __getattr__(name):
+    # ENABLED is mutable module state on repro.obs.core; forward reads so
+    # ``obs.ENABLED`` (the documented hot-path guard) always sees the
+    # current value instead of a stale import-time copy.
+    if name == "ENABLED":
+        from repro.obs import core
+
+        return core.ENABLED
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

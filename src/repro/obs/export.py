@@ -1,0 +1,218 @@
+"""Exporters: JSONL event log, Chrome ``trace_event`` JSON, metrics dumps.
+
+Three output formats, all derived from the same recorder state:
+
+* **JSONL** — one JSON object per line, first line a ``meta`` record
+  (pid, wall epoch, snapshot version), then every span/instant event in
+  recording order.  The append-friendly format for per-routine event
+  logs and offline analysis (``jq``-able).
+* **Chrome trace** — the ``trace_event`` array format understood by
+  ``chrome://tracing`` and Perfetto (https://ui.perfetto.dev): spans as
+  complete (``"ph": "X"``) events with microsecond timestamps, instants
+  as ``"ph": "i"``, plus ``"M"`` metadata naming each process lane.
+  Worker events merged via :func:`repro.obs.merge_snapshot` keep their
+  own pid and therefore render as separate process tracks.
+* **Metrics** — either a flat JSON dict (counters / gauges / histograms
+  with cumulative bucket counts) or Prometheus exposition text when the
+  target filename ends in ``.prom``.
+
+The ``validate_*`` functions are the schema checks used by both the
+test-suite and the CI obs-smoke job; they return a list of problems
+(empty = valid) so CI can print every violation at once.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import core
+
+
+def _require_recorder(recorder):
+    rec = recorder if recorder is not None else core.recorder()
+    if rec is None:
+        raise RuntimeError(
+            "observability is not enabled: call repro.obs.enable() or set "
+            f"{core.ENV_VAR}=1 before exporting"
+        )
+    return rec
+
+
+# -- JSONL --------------------------------------------------------------------
+def jsonl_lines(recorder=None):
+    """The event log as a list of JSON strings (meta line first)."""
+    rec = _require_recorder(recorder)
+    meta = {
+        "type": "meta",
+        "version": core.SNAPSHOT_VERSION,
+        "pid": rec.pid,
+        "epoch_wall": rec.epoch_wall,
+    }
+    with rec._lock:
+        events = [dict(ev) for ev in rec.events]
+    return [json.dumps(meta)] + [
+        json.dumps(ev, sort_keys=True, default=str) for ev in events
+    ]
+
+
+def write_jsonl(path, recorder=None):
+    lines = jsonl_lines(recorder)
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return len(lines)
+
+
+# -- Chrome trace_event -------------------------------------------------------
+def chrome_trace(recorder=None):
+    """The recorder's events in Chrome ``trace_event`` JSON form."""
+    rec = _require_recorder(recorder)
+    with rec._lock:
+        events = [dict(ev) for ev in rec.events]
+        labels = dict(rec.process_labels)
+    trace_events = []
+    for pid in sorted({ev["pid"] for ev in events} | set(labels)):
+        trace_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": labels.get(pid, f"pid {pid}")},
+        })
+    for ev in events:
+        out = {
+            "name": ev["name"],
+            "cat": "repro",
+            "pid": ev["pid"],
+            "tid": ev.get("tid", 0),
+            "ts": round(ev["ts"] * 1e6, 3),  # microseconds
+            "args": ev.get("args", {}),
+        }
+        if ev.get("type") == "span":
+            out["ph"] = "X"
+            out["dur"] = round(max(ev["dur"], 0.0) * 1e6, 3)
+            if "id" in ev:
+                out["args"] = dict(out["args"], span_id=ev["id"])
+            if "parent" in ev:
+                out["args"]["parent_span_id"] = ev["parent"]
+            if "error" in ev:
+                out["args"]["error"] = ev["error"]
+        else:
+            out["ph"] = "i"
+            out["s"] = "t"  # thread-scoped instant
+        trace_events.append(out)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, recorder=None):
+    trace = chrome_trace(recorder)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])
+
+
+# -- metrics ------------------------------------------------------------------
+def metrics_dict(recorder=None):
+    return _require_recorder(recorder).metrics.as_dict()
+
+
+def write_metrics(path, recorder=None):
+    """Write the metrics dump; Prometheus text for ``*.prom``, else JSON."""
+    rec = _require_recorder(recorder)
+    path = str(path)
+    if path.endswith(".prom"):
+        text = rec.metrics.prometheus_text()
+        with open(path, "w") as handle:
+            handle.write(text)
+        return text
+    payload = rec.metrics.as_dict()
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+# -- schema validation --------------------------------------------------------
+_PHASES_WITH_DUR = {"X", "B", "E"}
+
+
+def validate_chrome_trace(obj):
+    """Problems with a Chrome ``trace_event`` document (empty = valid)."""
+    problems = []
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return ["document is not an object with a 'traceEvents' array"]
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in ev:
+                problems.append(f"{where}: missing {field!r}")
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if "ts" not in ev or not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"{where}: missing numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs 'dur' >= 0")
+        elif ph not in ("i", "I", "B", "E", "b", "e", "n", "C"):
+            problems.append(f"{where}: unexpected phase {ph!r}")
+    try:
+        json.dumps(obj)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"document is not JSON-serializable: {exc}")
+    return problems
+
+
+def validate_metrics(obj):
+    """Problems with a flat metrics dump (empty = valid)."""
+    problems = []
+    if not isinstance(obj, dict):
+        return ["metrics dump is not an object"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in obj:
+            problems.append(f"missing section {section!r}")
+        elif not isinstance(obj[section], dict):
+            problems.append(f"section {section!r} is not an object")
+    for name, value in obj.get("counters", {}).items():
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"counter {name}: not a non-negative number")
+    for name, value in obj.get("gauges", {}).items():
+        if not isinstance(value, (int, float)):
+            problems.append(f"gauge {name}: not a number")
+    for name, hist in obj.get("histograms", {}).items():
+        if not isinstance(hist, dict):
+            problems.append(f"histogram {name}: not an object")
+            continue
+        for field in ("buckets", "sum", "count"):
+            if field not in hist:
+                problems.append(f"histogram {name}: missing {field!r}")
+        buckets = hist.get("buckets", {})
+        if "+Inf" not in buckets:
+            problems.append(f"histogram {name}: missing '+Inf' bucket")
+        # JSON object key order is not semantic (and json.dump may sort
+        # keys lexicographically), so order buckets by their numeric
+        # upper bound before checking cumulativity.
+        try:
+            ordered = sorted(
+                buckets.items(),
+                key=lambda item: (
+                    float("inf") if item[0] == "+Inf" else float(item[0])
+                ),
+            )
+        except ValueError:
+            problems.append(f"histogram {name}: non-numeric bucket bound")
+            continue
+        counts = [count for _, count in ordered]
+        if any(a > b for a, b in zip(counts, counts[1:])):
+            problems.append(f"histogram {name}: bucket counts not cumulative")
+        if buckets and hist.get("count") != counts[-1]:
+            problems.append(
+                f"histogram {name}: count != cumulative '+Inf' bucket"
+            )
+    return problems

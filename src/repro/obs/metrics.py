@@ -1,0 +1,212 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is deliberately boring — plain dicts keyed by
+``(name, sorted(label items))`` — because everything downstream depends
+on it being trivially serializable: worker processes ship their registry
+as part of an :func:`repro.obs.snapshot` and the parent merges it with
+:meth:`MetricsRegistry.merge_state` (counters add, gauges last-write,
+histograms add bucket-wise).
+
+Histograms use *fixed* bucket boundaries declared per metric name in
+:data:`BUCKET_BOUNDS` (upper bounds, ``le`` semantics, implicit +inf
+overflow bucket).  Fixed boundaries are what make cross-process and
+cross-run aggregation exact: two histograms with identical bounds merge
+by adding counts, with no re-binning error.  Metrics without a declared
+boundary set fall back to :data:`DEFAULT_BUCKETS`.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Generic latency-ish default (seconds or small counts).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+# Declared boundaries for the subsystem's known histograms.
+BUCKET_BOUNDS = {
+    # Wall-clock cost of a single backend solve.
+    "solve_seconds": (
+        0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+        120.0, 300.0,
+    ),
+    # Branch-and-bound nodes explored by a single solve (0 = solved at
+    # the root, the paper's Table 2 convention).
+    "solve_nodes": (
+        0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+    ),
+    # Share of the routine's shared Deadline a pipeline site consumed.
+    "deadline_fraction_consumed": (
+        0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0,
+    ),
+    # Bundling cuts appended over one routine's cut loop.
+    "bundling_cuts_per_routine": (0, 1, 2, 3, 4, 6, 8, 12, 16),
+}
+
+
+def labels_key(labels):
+    """Canonical hashable form of a label mapping."""
+    return tuple(sorted(labels.items()))
+
+
+def _series_name(name, key):
+    if not key:
+        return name
+    rendered = ",".join(f'{k}="{v}"' for k, v in key)
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms for one process."""
+
+    def __init__(self):
+        self.counters = {}  # (name, labels_key) -> float
+        self.gauges = {}  # (name, labels_key) -> float
+        self.histograms = {}  # (name, labels_key) -> _Histogram state dict
+
+    # -- recording ----------------------------------------------------------
+    def counter_add(self, name, value=1.0, **labels):
+        key = (name, labels_key(labels))
+        self.counters[key] = self.counters.get(key, 0.0) + float(value)
+
+    def gauge_set(self, name, value, **labels):
+        self.gauges[(name, labels_key(labels))] = float(value)
+
+    def observe(self, name, value, **labels):
+        key = (name, labels_key(labels))
+        hist = self.histograms.get(key)
+        if hist is None:
+            bounds = BUCKET_BOUNDS.get(name, DEFAULT_BUCKETS)
+            hist = self.histograms[key] = {
+                "bounds": tuple(float(b) for b in bounds),
+                # one slot per bound plus the +inf overflow slot
+                "counts": [0] * (len(bounds) + 1),
+                "sum": 0.0,
+                "count": 0,
+            }
+        value = float(value)
+        hist["sum"] += value
+        hist["count"] += 1
+        hist["counts"][_bucket_index(hist["bounds"], value)] += 1
+
+    # -- serialization / aggregation ----------------------------------------
+    def to_state(self):
+        """Plain-data form: JSON-free but pickle/JSON friendly after
+        key stringification is applied by the exporters."""
+        return {
+            "counters": [
+                [name, list(key), value]
+                for (name, key), value in self.counters.items()
+            ],
+            "gauges": [
+                [name, list(key), value]
+                for (name, key), value in self.gauges.items()
+            ],
+            "histograms": [
+                [
+                    name,
+                    list(key),
+                    {
+                        "bounds": list(hist["bounds"]),
+                        "counts": list(hist["counts"]),
+                        "sum": hist["sum"],
+                        "count": hist["count"],
+                    },
+                ]
+                for (name, key), hist in self.histograms.items()
+            ],
+        }
+
+    def merge_state(self, state):
+        """Fold a :meth:`to_state` snapshot (typically from a worker
+        process) into this registry: counters add, gauges last-write,
+        histograms add bucket-wise (bounds must match — they do, because
+        bounds are fixed per metric name)."""
+        for name, key, value in state.get("counters", ()):
+            k = (name, tuple(tuple(item) for item in key))
+            self.counters[k] = self.counters.get(k, 0.0) + value
+        for name, key, value in state.get("gauges", ()):
+            self.gauges[(name, tuple(tuple(item) for item in key))] = value
+        for name, key, incoming in state.get("histograms", ()):
+            k = (name, tuple(tuple(item) for item in key))
+            hist = self.histograms.get(k)
+            if hist is None:
+                self.histograms[k] = {
+                    "bounds": tuple(incoming["bounds"]),
+                    "counts": list(incoming["counts"]),
+                    "sum": incoming["sum"],
+                    "count": incoming["count"],
+                }
+                continue
+            if tuple(incoming["bounds"]) != hist["bounds"]:
+                raise ValueError(
+                    f"histogram {name!r}: bucket bounds mismatch on merge"
+                )
+            hist["counts"] = [
+                a + b for a, b in zip(hist["counts"], incoming["counts"])
+            ]
+            hist["sum"] += incoming["sum"]
+            hist["count"] += incoming["count"]
+
+    # -- export -------------------------------------------------------------
+    def as_dict(self):
+        """Flat JSON-ready dump (the ``--metrics`` file format)."""
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (name, key), value in sorted(self.counters.items()):
+            out["counters"][_series_name(name, key)] = value
+        for (name, key), value in sorted(self.gauges.items()):
+            out["gauges"][_series_name(name, key)] = value
+        for (name, key), hist in sorted(self.histograms.items()):
+            buckets = {}
+            cumulative = 0
+            for bound, count in zip(hist["bounds"], hist["counts"]):
+                cumulative += count
+                buckets[f"{bound:g}"] = cumulative
+            buckets["+Inf"] = hist["count"]
+            out["histograms"][_series_name(name, key)] = {
+                "buckets": buckets,
+                "sum": hist["sum"],
+                "count": hist["count"],
+            }
+        return out
+
+    def prometheus_text(self):
+        """Prometheus exposition-format dump (counters/gauges/histograms)."""
+        lines = []
+        seen_types = set()
+
+        def type_line(name, kind):
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for (name, key), value in sorted(self.counters.items()):
+            type_line(name, "counter")
+            lines.append(f"{_series_name(name, key)} {value:g}")
+        for (name, key), value in sorted(self.gauges.items()):
+            type_line(name, "gauge")
+            lines.append(f"{_series_name(name, key)} {value:g}")
+        for (name, key), hist in sorted(self.histograms.items()):
+            type_line(name, "histogram")
+            cumulative = 0
+            for bound, count in zip(hist["bounds"], hist["counts"]):
+                cumulative += count
+                series = _series_name(name + "_bucket", key + (("le", f"{bound:g}"),))
+                lines.append(f"{series} {cumulative}")
+            series = _series_name(name + "_bucket", key + (("le", "+Inf"),))
+            lines.append(f"{series} {hist['count']}")
+            lines.append(f"{_series_name(name + '_sum', key)} {hist['sum']:g}")
+            lines.append(f"{_series_name(name + '_count', key)} {hist['count']}")
+        return "\n".join(lines) + "\n"
+
+
+def _bucket_index(bounds, value):
+    """First bucket whose upper bound admits ``value`` (``le``), else the
+    +inf overflow slot."""
+    if math.isnan(value):
+        return len(bounds)
+    for i, bound in enumerate(bounds):
+        if value <= bound:
+            return i
+    return len(bounds)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.ilp import lin_sum, solve_model
 from repro.ir.ddg import DepKind
+from repro.obs import core as obs
 
 OBJECTIVES = ("instructions", "register_pressure", "stalls")
 
@@ -62,16 +63,26 @@ def minimize_instruction_count(
     """
     if objective not in OBJECTIVES:
         raise ValueError(f"unknown phase-2 objective {objective!r}")
-    if ilp is None:
-        ilp = build_ilp()
-        model = ilp.generate()
-    else:
-        model = ilp.model
-    for block, length in phase1_lengths.items():
-        model.add_constraint(
-            ilp.blen[(block, length)].to_expr() == 1, name=f"fixlen_{block}"
-        )
-    model.set_objective(_objective_expr(ilp, objective))
+    reused = ilp is not None
+    prep = (
+        obs.span("phase2.prepare", objective=objective, reused_model=reused)
+        if obs.ENABLED
+        else obs.NOOP_SPAN
+    )
+    with prep:
+        if ilp is None:
+            ilp = build_ilp()
+            model = ilp.generate()
+        else:
+            model = ilp.model
+        for block, length in phase1_lengths.items():
+            model.add_constraint(
+                ilp.blen[(block, length)].to_expr() == 1, name=f"fixlen_{block}"
+            )
+        model.set_objective(_objective_expr(ilp, objective))
+        prep.set_attr("pinned_blocks", len(phase1_lengths))
+    if obs.ENABLED:
+        obs.counter("phase2_solves_total", 1, reused_model=str(reused).lower())
     solution = solve_model(
         model,
         backend=backend,

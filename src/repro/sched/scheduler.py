@@ -43,6 +43,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.errors import BundlingError, SchedulingError
 from repro.ilp import SolveStatus, solve_model
+from repro.obs import core as obs
 from repro.ir.cfg import CfgInfo
 from repro.ir.ddg import DepEdge, DepKind, build_dependence_graph
 from repro.ir.liveness import compute_liveness
@@ -176,6 +177,10 @@ class OptimizeResult:
     # "fallback_input") and the structured cause when below "optimal".
     quality: str = "optimal"
     fallback_reason: FallbackReason | None = None
+    # Per-routine span tree (repro.obs.Trace), recorded unconditionally:
+    # the source of the phase-timing breakdown below and — when global
+    # observability is on — of the routine's lane in the Chrome trace.
+    trace: object = None
 
     # -- headline metrics -------------------------------------------------------
     @property
@@ -223,6 +228,9 @@ class OptimizeResult:
             f"{self.ilp_size.get('nodes', '?')} B&B nodes, "
             f"{self.ilp_size.get('time', 0):.2f}s",
         ]
+        breakdown = self.phase_breakdown()
+        if breakdown:
+            lines.append("  phases: " + breakdown)
         if self.verification is not None:
             status = "passed" if self.verification.ok else "FAILED"
             lines.append(
@@ -235,6 +243,42 @@ class OptimizeResult:
         lines.extend(f"  note: {m}" for m in self.messages)
         return "\n".join(lines)
 
+    # Report labels for the trace's pipeline-stage spans, in display order.
+    _PHASE_LABELS = (
+        ("analyze", "analyze"),
+        ("input_schedule", "input schedule"),
+        ("ilp.build", "ilp build"),
+        ("solve.phase1", "phase 1"),
+        ("solve.cut_resolve", "cut re-solves"),
+        ("bundle", "bundle"),
+        ("solve.phase2", "phase 2"),
+        ("verify", "verify"),
+    )
+
+    def phase_breakdown(self):
+        """One-line per-phase timing summary from the span tree.
+
+        ``""`` when the result predates the trace (old pickles) — report()
+        then simply omits the line.
+        """
+        if self.trace is None:
+            return ""
+        durations = self.trace.durations()
+        parts = []
+        for name, label in self._PHASE_LABELS:
+            agg = durations.get(name)
+            if agg is None:
+                continue
+            text = f"{label} {agg['seconds']:.2f}s"
+            if agg["count"] > 1:
+                text += f" (x{agg['count']})"
+            parts.append(text)
+        return " | ".join(parts)
+
+    def phase_timings(self):
+        """Machine-readable ``{span name: {"seconds", "count"}}`` map."""
+        return {} if self.trace is None else self.trace.durations()
+
 
 class IlpScheduler:
     """ILP-based global scheduler with the paper's extensions."""
@@ -245,44 +289,59 @@ class IlpScheduler:
 
     # -- public -----------------------------------------------------------------
     def optimize(self, fn):
-        """Schedule ``fn``; never raises — degrades along the fallback
-        ladder (see the module docstring) when any stage fails."""
+        """Schedule ``fn``; never raises for pipeline failures — degrades
+        along the fallback ladder (see the module docstring).  The one
+        deliberate exception is :class:`repro.tools.faults.FaultConfigError`
+        (a malformed ``REPRO_FAULTS`` spec): that is a configuration bug in
+        the *driver*, and swallowing it would silently turn every routine
+        into ``fallback_input`` while injecting nothing, so it propagates."""
+        deadline = Deadline(self.features.time_limit)
+        trace = obs.Trace()
+        with trace.span("optimize", routine=fn.name):
+            result = self._optimize_impl(fn, deadline, trace)
+        self._publish_routine_metrics(result, trace, deadline)
+        return result
+
+    def _optimize_impl(self, fn, deadline, trace):
         features = self.features
-        deadline = Deadline(features.time_limit)
-        work = clone_function(fn)
-        undo_stats = undo_speculation(work)
-        rename_registers(work)
-        cfg = CfgInfo(work)
-        liveness = compute_liveness(work)
-        ddg = build_dependence_graph(work, cfg, liveness)
+        with trace.span("analyze"):
+            work = clone_function(fn)
+            undo_stats = undo_speculation(work)
+            rename_registers(work)
+            cfg = CfgInfo(work)
+            liveness = compute_liveness(work)
+            ddg = build_dependence_graph(work, cfg, liveness)
 
-        region = build_region(
-            work,
-            cfg,
-            ddg,
-            max_hops=features.max_hops,
-            freq_cap=features.freq_cap,
-            allow_predication=features.predication,
-        )
-        if features.baseline == "greedy":
-            from repro.sched.greedy_global import GreedyGlobalScheduler
-
-            input_schedule = GreedyGlobalScheduler(self.machine).schedule(
-                work, ddg, region
+            region = build_region(
+                work,
+                cfg,
+                ddg,
+                max_hops=features.max_hops,
+                freq_cap=features.freq_cap,
+                allow_predication=features.predication,
             )
-        else:
-            input_schedule = ListScheduler(self.machine).schedule(work, ddg)
-        bundles_in = bundle_schedule(input_schedule)
+        with trace.span("input_schedule", baseline=features.baseline):
+            if features.baseline == "greedy":
+                from repro.sched.greedy_global import GreedyGlobalScheduler
+
+                input_schedule = GreedyGlobalScheduler(self.machine).schedule(
+                    work, ddg, region
+                )
+            else:
+                input_schedule = ListScheduler(self.machine).schedule(work, ddg)
+            bundles_in = bundle_schedule(input_schedule)
 
         messages = []
         try:
             pieces = self._run_pipeline(
-                work, region, input_schedule, deadline, messages
+                work, region, input_schedule, deadline, messages, trace
             )
+        except faults.FaultConfigError:
+            raise  # driver misconfiguration, not a routine failure
         except _Degrade as exc:
             return self._input_fallback(
                 work, region, input_schedule, bundles_in, undo_stats,
-                deadline, messages, exc.reason,
+                deadline, messages, exc.reason, trace=trace,
             )
         except Exception as exc:  # graceful floor: a routine never fails
             return self._input_fallback(
@@ -291,6 +350,7 @@ class IlpScheduler:
                 FallbackReason(
                     "pipeline", "error", f"{type(exc).__name__}: {exc}"
                 ),
+                trace=trace,
             )
 
         quality, fallback_reason = self._grade(pieces)
@@ -298,18 +358,19 @@ class IlpScheduler:
         verification = None
         if features.verify:
             verify_edges = _verifiable_edges(pieces.ilp, pieces.final_solution)
-            verification = verify_schedule(
-                pieces.reconstruction.schedule,
-                region,
-                pieces.reconstruction,
-                machine=self.machine,
-                dep_edges=verify_edges,
-                edge_scopes={
-                    e: scope
-                    for e, scope in pieces.ilp.verify_scopes.items()
-                    if e in set(verify_edges)
-                },
-            )
+            with trace.span("verify"):
+                verification = verify_schedule(
+                    pieces.reconstruction.schedule,
+                    region,
+                    pieces.reconstruction,
+                    machine=self.machine,
+                    dep_edges=verify_edges,
+                    edge_scopes={
+                        e: scope
+                        for e, scope in pieces.ilp.verify_scopes.items()
+                        if e in set(verify_edges)
+                    },
+                )
             injected = faults.fire("verify")
             if injected is not None:
                 verification = VerificationReport(
@@ -334,6 +395,7 @@ class IlpScheduler:
                     deadline, messages,
                     FallbackReason("verify", "rejected", problem),
                     ilp_size=pieces.phase1_size,
+                    trace=trace,
                 )
 
         return OptimizeResult(
@@ -353,10 +415,56 @@ class IlpScheduler:
             messages=messages,
             quality=quality,
             fallback_reason=fallback_reason,
+            trace=trace,
         )
 
+    # Pipeline sites whose share of the wall-clock budget is worth a
+    # histogram: one observation per routine per site that actually ran.
+    _DEADLINE_SITES = (
+        "solve.phase1", "solve.cut_resolve", "solve.phase2", "bundle", "verify",
+    )
+
+    def _publish_routine_metrics(self, result, trace, deadline):
+        """Fold one routine's outcome into the process metrics registry.
+
+        Published for *every* tier — degraded routines included — so the
+        metrics dump always answers "which tier did each routine land on".
+        Reads the trace's plain counters, which survive a mid-pipeline
+        ``_Degrade`` (unlike pipeline locals).
+        """
+        if not obs.ENABLED:
+            return
+        name = result.fn.name
+        obs.counter("routine_fallback_total", 1, routine=name, tier=result.quality)
+        nodes = result.ilp_size.get("nodes") or 0
+        if nodes:
+            obs.counter("routine_nodes_total", nodes, routine=name)
+        hits = trace.counters.get("warm_start_hits", 0)
+        misses = trace.counters.get("warm_start_misses", 0)
+        if hits:
+            obs.counter("routine_warm_start_hits_total", hits, routine=name)
+        if misses:
+            obs.counter("routine_warm_start_misses_total", misses, routine=name)
+        cuts = trace.counters.get("bundling_cuts", 0)
+        if cuts:
+            obs.counter("bundling_cuts_total", cuts, routine=name)
+        obs.histogram("bundling_cuts_per_routine", float(cuts))
+        budget = deadline.budget
+        if budget:
+            durations = trace.durations()
+            for site in self._DEADLINE_SITES:
+                agg = durations.get(site)
+                if agg is not None:
+                    obs.histogram(
+                        "deadline_fraction_consumed",
+                        agg["seconds"] / budget,
+                        site=site,
+                    )
+
     # -- pipeline ---------------------------------------------------------------
-    def _run_pipeline(self, work, region, input_schedule, deadline, messages):
+    def _run_pipeline(
+        self, work, region, input_schedule, deadline, messages, trace
+    ):
         """Phase 1 + bundling-cut loop + phase 2; raises ``_Degrade`` when
         no ILP schedule can be produced within the budgets."""
         features = self.features
@@ -390,17 +498,27 @@ class IlpScheduler:
                     f"wall-clock budget ({deadline.budget:g}s) exhausted",
                 ))
             if ilp is None:
-                build = self._ilp_factory(region, lengths, bundling_cuts)
-                ilp, spec_groups = build()
-                model = ilp.generate()
-            solution = solve_model(
-                model,
-                backend=features.backend,
-                deadline=deadline,
-                incumbent=prev_values,
-                fault_site=site,
-                **solve_extra,
+                with trace.span("ilp.build"):
+                    build = self._ilp_factory(region, lengths, bundling_cuts)
+                    ilp, spec_groups = build()
+                    model = ilp.generate()
+            # A seeded re-solve is a warm-start hit; anything solved cold
+            # (first solve, or after a rebuild dropped the incumbent) a miss.
+            trace.count(
+                "warm_start_hits" if prev_values is not None
+                else "warm_start_misses"
             )
+            with trace.span(site, backend=features.backend) as solve_span:
+                solution = solve_model(
+                    model,
+                    backend=features.backend,
+                    deadline=deadline,
+                    incumbent=prev_values,
+                    fault_site=site,
+                    **solve_extra,
+                )
+                solve_span.set_attr("status", solution.status.name)
+                solve_span.set_attr("nodes", solution.stats.nodes)
             if solution.status is SolveStatus.INFEASIBLE:
                 resize_attempts += 1
                 if resize_attempts > features.max_resize_attempts:
@@ -423,9 +541,12 @@ class IlpScheduler:
             reconstruction = reconstruct_schedule(ilp, solution, spec_groups)
             injected = faults.fire("bundle")
             try:
-                if injected is not None:
-                    raise BundlingError(f"injected bundle fault ({injected})")
-                bundles_out = bundle_schedule(reconstruction.schedule)
+                with trace.span("bundle"):
+                    if injected is not None:
+                        raise BundlingError(
+                            f"injected bundle fault ({injected})"
+                        )
+                    bundles_out = bundle_schedule(reconstruction.schedule)
                 break
             except BundlingError as exc:
                 bundle_retries += 1
@@ -449,6 +570,7 @@ class IlpScheduler:
                 ]
                 if cut:
                     bundling_cuts.append(cut)
+                    trace.count("bundling_cuts")
                     if features.incremental_cuts:
                         ilp.append_bundling_cut(cut)
                         # The previous optimum seeds the re-solve; it violates
@@ -498,30 +620,35 @@ class IlpScheduler:
                 rebuild.groups = groups2
                 return ilp2
 
-            if features.incremental_cuts:
-                # Reuse the phase-1 model: pin lengths / swap the objective
-                # in place and seed with the phase-1 optimum (feasible for
-                # the pinned model by construction).
-                rebuild.groups = spec_groups
-                outcome = minimize_instruction_count(
-                    rebuild,
-                    phase1_lengths,
-                    backend=features.backend,
-                    objective=features.phase2_objective,
-                    ilp=ilp,
-                    incumbent=solution.values,
-                    heuristic_effort=features.heuristic_effort,
-                    deadline=deadline,
-                )
-            else:
-                outcome = minimize_instruction_count(
-                    rebuild,
-                    phase1_lengths,
-                    backend=features.backend,
-                    objective=features.phase2_objective,
-                    heuristic_effort=features.heuristic_effort,
-                    deadline=deadline,
-                )
+            with trace.span(
+                "solve.phase2", reused_model=features.incremental_cuts
+            ):
+                if features.incremental_cuts:
+                    # Reuse the phase-1 model: pin lengths / swap the
+                    # objective in place and seed with the phase-1 optimum
+                    # (feasible for the pinned model by construction).
+                    rebuild.groups = spec_groups
+                    trace.count("warm_start_hits")
+                    outcome = minimize_instruction_count(
+                        rebuild,
+                        phase1_lengths,
+                        backend=features.backend,
+                        objective=features.phase2_objective,
+                        ilp=ilp,
+                        incumbent=solution.values,
+                        heuristic_effort=features.heuristic_effort,
+                        deadline=deadline,
+                    )
+                else:
+                    trace.count("warm_start_misses")
+                    outcome = minimize_instruction_count(
+                        rebuild,
+                        phase1_lengths,
+                        backend=features.backend,
+                        objective=features.phase2_objective,
+                        heuristic_effort=features.heuristic_effort,
+                        deadline=deadline,
+                    )
             if outcome is None:
                 phase2_failure = FallbackReason(
                     "solve.phase2", "no_solution",
@@ -582,7 +709,7 @@ class IlpScheduler:
 
     def _input_fallback(
         self, work, region, input_schedule, bundles_in, undo_stats,
-        deadline, messages, reason, ilp_size=None,
+        deadline, messages, reason, ilp_size=None, trace=None,
     ):
         """The ladder's floor: return the (verified) input list schedule."""
         features = self.features
@@ -590,9 +717,11 @@ class IlpScheduler:
         messages.append(f"degraded to the input schedule ({reason})")
         verification = None
         if features.verify:
-            verification = verify_schedule(
-                input_schedule, region, machine=self.machine
-            )
+            span = trace.span("verify") if trace is not None else obs.NOOP_SPAN
+            with span:
+                verification = verify_schedule(
+                    input_schedule, region, machine=self.machine
+                )
         size = {
             "constraints": 0,
             "variables": 0,
@@ -619,6 +748,7 @@ class IlpScheduler:
             messages=messages,
             quality="fallback_input",
             fallback_reason=reason,
+            trace=trace,
         )
 
     # -- construction ----------------------------------------------------------

@@ -53,6 +53,20 @@ ambient via the ``REPRO_FAULTS`` environment variable, e.g.::
 ``:N`` bounds an injection to its first ``N`` firings (default:
 unlimited). Firing counters live in the installed plan, so env-driven
 plans count per process — every pool worker starts fresh.
+
+A malformed spec — unknown site or kind, bad count — raises
+:class:`FaultConfigError` (a ``ValueError``) the moment it is parsed,
+and the error is **not** swallowed by the graceful-degradation ladder:
+a misspelled ``REPRO_FAULTS`` used to surface as a generic pipeline
+error that quietly degraded every routine to ``fallback_input``, which
+kept the chaos job green while injecting nothing.  Drivers
+(:func:`repro.tools.parallel.run_routines_parallel`, the chaos smoke)
+validate the environment eagerly via :func:`validate_env` so a typo
+fails the run immediately with the offending directive named.
+
+Every fault that actually fires is counted in the observability layer
+(``faults_fired_total{site,kind}`` — see :mod:`repro.obs`) so a chaos
+run's metrics dump shows the realized fault mix, not just the request.
 """
 
 from __future__ import annotations
@@ -60,6 +74,8 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
+
+from repro.obs import core as obs
 
 SITES = (
     "solve.phase1",
@@ -73,6 +89,16 @@ SITES = (
 KINDS = ("timeout", "infeasible", "incumbent", "corrupt", "error", "crash")
 
 ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultConfigError(ValueError):
+    """A malformed fault spec (unknown site/kind, bad count).
+
+    Deliberately *not* treated as a pipeline failure: the scheduler's
+    catch-everything fallback re-raises it, because a configuration typo
+    must fail the run loudly instead of degrading every routine and
+    leaving the chaos job vacuously green.
+    """
 
 
 @dataclass
@@ -99,8 +125,15 @@ class FaultPlan:
             self._by_site.setdefault(injection.site, []).append(injection)
 
     @classmethod
-    def parse(cls, spec):
-        """Parse ``"site=kind[:times][,...]"``; empty spec -> ``None``."""
+    def parse(cls, spec, source=None):
+        """Parse ``"site=kind[:times][,...]"``; empty spec -> ``None``.
+
+        Raises :class:`FaultConfigError` on any malformed entry, naming
+        the offending directive and the valid options. ``source`` (e.g.
+        ``"REPRO_FAULTS"``) prefixes the message so an env-driven typo is
+        attributable at a glance.
+        """
+        prefix = f"{source}: " if source else ""
         spec = (spec or "").strip()
         if not spec:
             return None
@@ -109,23 +142,37 @@ class FaultPlan:
             entry = entry.strip()
             if not entry:
                 continue
-            site, _, rhs = entry.partition("=")
+            site, sep, rhs = entry.partition("=")
             site = site.strip()
+            if not sep:
+                raise FaultConfigError(
+                    f"{prefix}malformed fault directive {entry!r} "
+                    "(expected site=kind[:times])"
+                )
             if site not in SITES:
-                raise ValueError(
-                    f"unknown fault site {site!r} (expected one of {SITES})"
+                raise FaultConfigError(
+                    f"{prefix}unknown fault site {site!r} in {entry!r} "
+                    f"(expected one of {', '.join(SITES)})"
                 )
             kind, _, times = rhs.partition(":")
             kind = kind.strip()
             if kind not in KINDS:
-                raise ValueError(
-                    f"unknown fault kind {kind!r} (expected one of {KINDS})"
+                raise FaultConfigError(
+                    f"{prefix}unknown fault kind {kind!r} in {entry!r} "
+                    f"(expected one of {', '.join(KINDS)})"
                 )
             remaining = None
             if times.strip():
-                remaining = int(times)
+                try:
+                    remaining = int(times)
+                except ValueError:
+                    raise FaultConfigError(
+                        f"{prefix}fault count must be an integer: {entry!r}"
+                    ) from None
                 if remaining <= 0:
-                    raise ValueError(f"fault count must be positive: {entry!r}")
+                    raise FaultConfigError(
+                        f"{prefix}fault count must be positive: {entry!r}"
+                    )
             injections.append(_Injection(site, kind, remaining))
         return cls(injections) if injections else None
 
@@ -186,29 +233,52 @@ def inject(spec):
 
 
 def active_plan():
-    """The innermost installed plan, else the ``REPRO_FAULTS`` plan."""
+    """The innermost installed plan, else the ``REPRO_FAULTS`` plan.
+
+    A malformed ``REPRO_FAULTS`` raises :class:`FaultConfigError` —
+    every time, not just on the first parse, so the error cannot be
+    missed by whichever call site happens to hit it first.
+    """
     if _installed:
         return _installed[-1]
     spec = os.environ.get(ENV_VAR, "")
     if not spec.strip():
         return None
     if spec not in _env_plans:
-        _env_plans[spec] = FaultPlan.parse(spec)
+        _env_plans[spec] = FaultPlan.parse(spec, source=ENV_VAR)
     return _env_plans[spec]
+
+
+def validate_env(environ=None):
+    """Fail fast on a malformed ``REPRO_FAULTS``; returns the parsed plan.
+
+    Drivers call this once up front (before spawning workers or entering
+    the degradation ladder) so a typo'd directive aborts the run with a
+    clear message instead of surfacing mid-pipeline. Returns ``None``
+    when the variable is unset/empty. The returned plan is a *fresh*
+    parse used only for validation — firing budgets of the cached
+    ambient plan are untouched.
+    """
+    spec = (environ or os.environ).get(ENV_VAR, "")
+    return FaultPlan.parse(spec, source=ENV_VAR)
 
 
 def fire(site):
     """Kind of the fault firing at ``site`` right now, or ``None``.
 
     ``site=None`` (a solve with no site attached, e.g. unit tests
-    calling backends directly) never fires.
+    calling backends directly) never fires. Fired faults are counted as
+    ``faults_fired_total{site,kind}`` when observability is enabled.
     """
     if site is None:
         return None
     plan = active_plan()
     if plan is None:
         return None
-    return plan.fire(site)
+    kind = plan.fire(site)
+    if kind is not None and obs.ENABLED:
+        obs.counter("faults_fired_total", 1, site=site, kind=kind)
+    return kind
 
 
 def reset_env_cache():

@@ -10,6 +10,14 @@ Usage::
     tia-opt INPUT.tia [-o OUTPUT.tia] [--no-speculation] [--no-cyclic]
             [--no-partial-ready] [--time-limit S] [--backend highs|bb]
             [--schedule] [--bundles]
+            [--trace TRACE.json] [--metrics METRICS.json|.prom]
+            [--events EVENTS.jsonl]
+
+Observability (:mod:`repro.obs`): any of ``--trace`` (Chrome
+``trace_event`` JSON, loadable in Perfetto / ``chrome://tracing``),
+``--metrics`` (flat JSON, or Prometheus text when the path ends in
+``.prom``) or ``--events`` (raw JSONL event log) turns recording on for
+the run; ``REPRO_OBS=1`` does the same without writing files.
 """
 
 from __future__ import annotations
@@ -98,7 +106,31 @@ def main(argv=None):
         default=None,
         help="write PREFIX.cfg.dot / PREFIX.ddg.dot / PREFIX.sched.dot",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace_event JSON of the run (enables recording)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write the metrics dump (JSON, or Prometheus text for *.prom)",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="FILE",
+        default=None,
+        help="write the raw JSONL event log (enables recording)",
+    )
     args = parser.parse_args(argv)
+
+    want_obs = args.trace or args.metrics or args.events
+    if want_obs:
+        from repro.obs import core as obs
+
+        obs.enable()
 
     if args.input == "-":
         text = sys.stdin.read()
@@ -150,6 +182,19 @@ def main(argv=None):
             handle.write(text_out)
     else:
         print(text_out)
+
+    if want_obs:
+        from repro.obs import export as obs_export
+
+        if args.trace:
+            obs_export.write_chrome_trace(args.trace)
+            print(f"wrote Chrome trace to {args.trace}", file=sys.stderr)
+        if args.metrics:
+            obs_export.write_metrics(args.metrics)
+            print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+        if args.events:
+            obs_export.write_jsonl(args.events)
+            print(f"wrote event log to {args.events}", file=sys.stderr)
     return 0
 
 

@@ -35,6 +35,7 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 
+from repro.obs import core as obs
 from repro.tools import faults
 from repro.tools.experiments import run_routine
 
@@ -49,6 +50,12 @@ class RoutineOutcome:
     experiment: object | None = None  # RoutineExperiment when ok
     error: str | None = None
     retried: bool = False  # recovered from a broken pool / crashed worker
+    # Observability snapshot recorded inside the worker process
+    # (``repro.obs.core.snapshot()`` plain data); ``None`` when recording
+    # was off or the routine ran in-process (whose events land directly in
+    # the parent recorder). Deliberately absent from summary() — traces are
+    # exported through repro.obs.export, not the Table 2 digest.
+    obs: object = None
 
     def summary(self):
         """JSON-serializable digest (the Table 1/2 columns plus status)."""
@@ -76,6 +83,11 @@ def _run_one(args):
     injected ``crash`` breaks the pool without ever killing the driver.
     """
     name, features, scale, sim_invocations, sim_seed = args
+    if obs.ENABLED:
+        # A forked worker inherits the parent's recorder (events and all);
+        # reset() swaps in an empty buffer stamped with this worker's pid
+        # and epoch so the snapshot shipped back is exactly this routine.
+        obs.reset()
     fault = faults.fire("worker")
     if fault == "crash":
         os._exit(17)  # hard worker death -> BrokenProcessPool in the parent
@@ -89,7 +101,8 @@ def _run_one(args):
         sim_invocations=sim_invocations,
         sim_seed=sim_seed,
     )
-    return experiment, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    return experiment, elapsed, obs.snapshot() if obs.ENABLED else None
 
 
 def run_routines_parallel(
@@ -111,7 +124,14 @@ def run_routines_parallel(
     timeouts) become ``ok=False`` outcomes; a broken pool is rebuilt once
     and stragglers finish in-process with ``retried=True``. The batch
     always returns one outcome per requested routine, in input order.
+
+    A malformed ``REPRO_FAULTS`` spec raises
+    :class:`~repro.tools.faults.FaultConfigError` here, *before* any
+    worker is spawned: parsed lazily it would first surface inside the
+    pipeline, where the fallback ladder converts it into silent
+    ``fallback_input`` degradations on every routine.
     """
+    faults.validate_env()
     names = list(names)
     if not names:
         return []
@@ -119,6 +139,16 @@ def run_routines_parallel(
         max_workers = min(len(names), os.cpu_count() or 1)
     max_workers = max(1, min(max_workers, len(names)))
 
+    with obs.span("parallel.batch", routines=len(names), workers=max_workers):
+        return _run_batch(
+            names, features, scale, sim_invocations, sim_seed,
+            max_workers, timeout,
+        )
+
+
+def _run_batch(
+    names, features, scale, sim_invocations, sim_seed, max_workers, timeout
+):
     start = time.monotonic()
 
     def remaining_budget():
@@ -159,7 +189,7 @@ def run_routines_parallel(
             for name in pending:
                 future = futures[name]
                 try:
-                    experiment, elapsed = future.result(
+                    experiment, elapsed, snap = future.result(
                         timeout=remaining_budget()
                     )
                 except FutureTimeout:
@@ -185,8 +215,14 @@ def run_routines_parallel(
                         retried=retried,
                     )
                 else:
+                    # Fold the worker's events/metrics into the parent
+                    # recorder (its pid becomes a distinct trace lane) and
+                    # keep the raw snapshot on the outcome for callers that
+                    # aggregate batches themselves.
+                    obs.merge_snapshot(snap, role="worker")
                     outcomes[name] = RoutineOutcome(
-                        name, True, elapsed, experiment, retried=retried
+                        name, True, elapsed, experiment, retried=retried,
+                        obs=snap,
                     )
         except BrokenProcessPool:
             # The pool died during submission; everything not yet
@@ -195,11 +231,17 @@ def run_routines_parallel(
             still_pending = [n for n in pending if n not in outcomes]
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
+        if broken and obs.ENABLED:
+            if pool_round == 0:  # a second break goes in-process, no rebuild
+                obs.counter("pool_rebuilds_total")
+            obs.event("pool.broken", round=pool_round, pending=len(still_pending))
         pending = still_pending if broken else []
 
     # Two broken pools in a row: finish the stragglers in-process, where
     # a crashing-worker fault (or a crash-prone environment) cannot reach.
     for name in pending:
+        if obs.ENABLED:
+            obs.counter("worker_retries_total", 1, routine=name)
         outcomes[name] = _sequential_outcome(
             name, features, scale, sim_invocations, sim_seed,
             remaining_budget(), retried=True,

@@ -2,9 +2,14 @@
 
 Usage::
 
-    tia-report table1 [--scale S] [--routines a,b,c]
-    tia-report table2 [--scale S]
-    tia-report fig7   [--scale S]
+    tia-report table1 [--scale S] [--routines a,b,c] [--json]
+    tia-report table2 [--scale S] [--json]
+    tia-report fig7   [--scale S] [--json]
+
+``--json`` emits a machine-readable document instead of the rendered
+tables: the measured rows, the published values, and — for the table
+artifacts — each routine's fallback-ladder tier and per-phase timing
+breakdown from the optimizer's span tree (:mod:`repro.obs`).
 
 The paper's published numbers ship with the tool so every report shows
 reproduced-vs-published side by side; EXPERIMENTS.md is generated from
@@ -147,6 +152,32 @@ def render_fig7(results):
     return "\n".join(lines)
 
 
+def json_payload(artifact, experiments=None, fig7=None):
+    """Machine-readable document for ``--json`` (and the tests)."""
+    if artifact == "fig7":
+        return {"artifact": "fig7", "levels": fig7, "paper": PAPER_FIG7}
+    rows = []
+    for experiment in experiments:
+        result = experiment.result
+        row = {
+            "routine": experiment.spec.name,
+            "table1": experiment.table1_row(),
+            "table2": experiment.table2_row(),
+            "quality": getattr(result, "quality", None),
+            "phases": (
+                result.phase_timings()
+                if hasattr(result, "phase_timings")
+                else {}
+            ),
+        }
+        reason = getattr(result, "fallback_reason", None)
+        if reason is not None:
+            row["fallback_reason"] = str(reason)
+        rows.append(row)
+    paper = PAPER_TABLE1 if artifact == "table1" else PAPER_TABLE2
+    return {"artifact": artifact, "rows": rows, "paper": paper}
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="tia-report", description=__doc__.splitlines()[0]
@@ -154,13 +185,33 @@ def main(argv=None):
     parser.add_argument("artifact", choices=["table1", "table2", "fig7"])
     parser.add_argument("--scale", type=float, default=None)
     parser.add_argument("--routines", type=str, default=None)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the rendered tables",
+    )
     args = parser.parse_args(argv)
 
     names = args.routines.split(",") if args.routines else None
     if args.artifact == "fig7":
-        print(render_fig7(run_fig7(names=names, scale=args.scale)))
+        results = run_fig7(names=names, scale=args.scale)
+        if args.json:
+            import json
+
+            print(json.dumps(json_payload("fig7", fig7=results), indent=2))
+        else:
+            print(render_fig7(results))
         return 0
     experiments = run_table(names=names, scale=args.scale)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                json_payload(args.artifact, experiments=experiments), indent=2
+            )
+        )
+        return 0
     if args.artifact == "table1":
         print(render_table1(experiments))
     else:

@@ -1,0 +1,20 @@
+"""Observability tests share one invariant: no leaked global recorder."""
+
+import pytest
+
+from repro.obs import core as obs
+
+
+@pytest.fixture
+def clean_obs():
+    """Recording off before and after, regardless of what the test does."""
+    obs.disable()
+    yield obs
+    obs.disable()
+
+
+@pytest.fixture
+def recording(clean_obs):
+    """Recording on with a fresh recorder; off again afterwards."""
+    clean_obs.enable()
+    return clean_obs

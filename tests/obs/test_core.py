@@ -1,0 +1,194 @@
+"""Spans, the disabled fast path, traces and cross-process snapshots."""
+
+import pickle
+import time
+
+from repro.obs import core as obs
+
+
+# -- disabled fast path -------------------------------------------------------
+
+
+def test_disabled_span_is_the_shared_noop_singleton(clean_obs):
+    assert obs.span("anything") is obs.NOOP_SPAN
+    assert obs.span("other") is obs.NOOP_SPAN  # same object every time
+
+
+def test_disabled_mode_records_nothing(clean_obs):
+    with obs.span("x"):
+        obs.event("instant")
+        obs.counter("c")
+        obs.histogram("h", 1.0)
+    assert obs.recorder() is None
+    assert obs.snapshot() is None
+    assert not obs.ENABLED
+
+
+def test_enable_disable_roundtrip(clean_obs):
+    rec = obs.enable()
+    assert obs.ENABLED and obs.recorder() is rec
+    assert obs.enable() is rec  # idempotent: same recorder
+    obs.disable()
+    assert not obs.ENABLED and obs.recorder() is None
+
+
+def test_reset_swaps_recorder_and_keeps_recording_on(recording):
+    first = obs.recorder()
+    with obs.span("before-reset"):
+        pass
+    second = obs.reset()
+    assert obs.ENABLED
+    assert second is not first
+    assert second.events == []
+
+
+# -- live spans ---------------------------------------------------------------
+
+
+def test_span_nesting_records_parent_links(recording):
+    with obs.span("outer") as outer:
+        with obs.span("inner") as inner:
+            pass
+    events = {e["name"]: e for e in obs.recorder().events}
+    assert events["inner"]["parent"] == outer.span_id
+    assert "parent" not in events["outer"]
+    assert inner.span_id != outer.span_id
+
+
+def test_span_timing_is_monotonic_and_nested(recording):
+    with obs.span("outer"):
+        with obs.span("inner"):
+            time.sleep(0.01)
+    events = {e["name"]: e for e in obs.recorder().events}
+    inner, outer = events["inner"], events["outer"]
+    assert inner["dur"] >= 0.01
+    assert outer["dur"] >= inner["dur"]
+    # The child starts after and ends before its parent.
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-9
+    # Inner finished (and was appended) first: timestamps stay coherent.
+    assert obs.recorder().events[0]["name"] == "inner"
+
+
+def test_span_attrs_and_error_flag(recording):
+    try:
+        with obs.span("failing", routine="f") as span:
+            span.set_attr("nodes", 7)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    (event,) = obs.recorder().events
+    assert event["args"] == {"routine": "f", "nodes": 7}
+    assert event["error"] == "RuntimeError"
+
+
+def test_instant_events_attach_to_the_open_span(recording):
+    with obs.span("outer") as outer:
+        obs.event("tick", n=1)
+    instant = next(
+        e for e in obs.recorder().events if e["type"] == "instant"
+    )
+    assert instant["parent"] == outer.span_id
+    assert instant["args"] == {"n": 1}
+
+
+# -- always-on local traces ---------------------------------------------------
+
+
+def test_trace_records_without_global_recording(clean_obs):
+    trace = obs.Trace()
+    with trace.span("optimize"):
+        with trace.span("solve.phase1"):
+            time.sleep(0.005)
+        with trace.span("solve.phase1"):
+            pass
+    durations = trace.durations()
+    assert durations["solve.phase1"]["count"] == 2
+    assert durations["solve.phase1"]["seconds"] >= 0.005
+    assert trace.total_seconds("optimize") >= durations["solve.phase1"]["seconds"]
+    by_name = {r["name"]: r for r in trace.records}
+    assert by_name["solve.phase1"]["parent"] == "optimize"
+    assert by_name["optimize"]["parent"] is None
+    assert obs.recorder() is None  # nothing leaked into the global API
+
+
+def test_trace_counters_accumulate(clean_obs):
+    trace = obs.Trace()
+    trace.count("warm_start_hits")
+    trace.count("warm_start_hits")
+    trace.count("bundling_cuts", 3)
+    assert trace.counters == {"warm_start_hits": 2, "bundling_cuts": 3}
+
+
+def test_trace_mirrors_into_live_recorder(recording):
+    trace = obs.Trace()
+    with trace.span("optimize", routine="f"):
+        pass
+    (event,) = obs.recorder().events
+    assert event["name"] == "optimize"
+    assert event["args"]["routine"] == "f"
+
+
+def test_trace_pickles_even_after_mirroring(recording):
+    trace = obs.Trace()
+    with trace.span("optimize"):
+        with trace.span("verify"):
+            pass
+    clone = pickle.loads(pickle.dumps(trace))
+    assert clone.durations().keys() == trace.durations().keys()
+
+
+# -- cross-process snapshots --------------------------------------------------
+
+
+def _fake_worker_snapshot(epoch_shift=2.0, pid=99999):
+    """A snapshot as a worker would produce, with a shifted wall epoch."""
+    rec = obs.Recorder()
+    rec.pid = pid
+    rec.process_labels = {pid: f"repro pid {pid}"}
+    rec.epoch_wall += epoch_shift
+    with obs.Span(rec, "optimize", {"routine": "w"}):
+        pass
+    rec.metrics.counter_add("solves_total", 2, backend="bb")
+    snap = {
+        "version": obs.SNAPSHOT_VERSION,
+        "pid": rec.pid,
+        "epoch_wall": rec.epoch_wall,
+        "process_labels": dict(rec.process_labels),
+        "events": [dict(e) for e in rec.events],
+        "metrics": rec.metrics.to_state(),
+    }
+    return snap
+
+
+def test_snapshot_roundtrips_plain_data(recording):
+    with obs.span("outer"):
+        obs.counter("solves_total", 1, backend="bb")
+    snap = obs.snapshot()
+    assert snap["version"] == obs.SNAPSHOT_VERSION
+    assert snap["pid"] == obs.recorder().pid
+    pickle.dumps(snap)  # ships across process boundaries
+
+
+def test_merge_rebases_timestamps_and_keeps_pid_lanes(recording):
+    parent_pid = obs.recorder().pid
+    snap = _fake_worker_snapshot(epoch_shift=2.0)
+    worker_ts = snap["events"][0]["ts"]
+    obs.merge_snapshot(snap, role="worker")
+    events = obs.recorder().events
+    merged = next(e for e in events if e["pid"] == 99999)
+    # Wall-vs-monotonic epoch capture jitters by sub-millisecond amounts;
+    # re-basing only has to be accurate to well under a span's width.
+    assert abs(merged["ts"] - (worker_ts + 2.0)) < 0.1
+    assert obs.recorder().process_labels[99999] == "worker pid 99999"
+    assert parent_pid in obs.recorder().process_labels
+    # metrics folded add-wise
+    key = ("solves_total", (("backend", "bb"),))
+    assert obs.recorder().metrics.counters[key] == 2
+
+
+def test_merge_is_noop_when_disabled_or_empty(clean_obs):
+    obs.merge_snapshot(None)  # disabled + None: nothing to do, no error
+    obs.enable()
+    obs.merge_snapshot(None)
+    assert obs.recorder().events == []

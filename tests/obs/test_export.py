@@ -1,0 +1,113 @@
+"""Exporters and their schema validators."""
+
+import json
+
+import pytest
+
+from repro.obs import core as obs
+from repro.obs import export
+
+
+def _record_sample():
+    with obs.span("optimize", routine="f"):
+        with obs.span("solve.phase1", backend="highs"):
+            pass
+        obs.event("cut.appended", members=3)
+    obs.counter("solves_total", 2, backend="highs")
+    obs.histogram("solve_seconds", 0.25, backend="highs")
+
+
+def test_exporters_require_a_recorder(clean_obs):
+    with pytest.raises(RuntimeError, match="not enabled"):
+        export.chrome_trace()
+    with pytest.raises(RuntimeError, match="REPRO_OBS"):
+        export.metrics_dict()
+
+
+# -- JSONL --------------------------------------------------------------------
+
+
+def test_jsonl_meta_line_then_parseable_events(recording, tmp_path):
+    _record_sample()
+    path = tmp_path / "events.jsonl"
+    count = export.write_jsonl(path)
+    lines = path.read_text().splitlines()
+    assert len(lines) == count
+    records = [json.loads(line) for line in lines]
+    assert records[0]["type"] == "meta"
+    assert records[0]["pid"] == obs.recorder().pid
+    types = {r.get("type") for r in records[1:]}
+    assert types == {"span", "instant"}
+
+
+# -- Chrome trace -------------------------------------------------------------
+
+
+def test_chrome_trace_schema_and_content(recording):
+    _record_sample()
+    trace = export.chrome_trace()
+    assert export.validate_chrome_trace(trace) == []
+    events = trace["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in meta)
+    spans = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert {"optimize", "solve.phase1"} <= set(spans)
+    # microsecond timestamps, parent links preserved through args
+    child = spans["solve.phase1"]
+    assert child["args"]["parent_span_id"] == spans["optimize"]["args"]["span_id"]
+    assert child["dur"] >= 0
+    instants = [e for e in events if e["ph"] == "i"]
+    assert instants and all(e["s"] == "t" for e in instants)
+
+
+def test_chrome_trace_file_roundtrip(recording, tmp_path):
+    _record_sample()
+    path = tmp_path / "trace.json"
+    export.write_chrome_trace(path)
+    assert export.validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+def test_validate_chrome_trace_flags_problems():
+    assert export.validate_chrome_trace([]) != []
+    bad = {"traceEvents": [{"ph": "X", "ts": 0.0}]}
+    problems = export.validate_chrome_trace(bad)
+    assert any("missing 'name'" in p for p in problems)
+    assert any("'dur'" in p for p in problems)
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+def test_metrics_json_file_validates_after_roundtrip(recording, tmp_path):
+    _record_sample()
+    path = tmp_path / "metrics.json"
+    export.write_metrics(path)
+    loaded = json.loads(path.read_text())
+    # json.dump(sort_keys=True) scrambles bucket-key order; the validator
+    # must still see cumulative counts.
+    assert export.validate_metrics(loaded) == []
+    assert loaded["counters"]['solves_total{backend="highs"}'] == 2.0
+
+
+def test_metrics_prom_suffix_writes_prometheus_text(recording, tmp_path):
+    _record_sample()
+    path = tmp_path / "metrics.prom"
+    export.write_metrics(path)
+    text = path.read_text()
+    assert "# TYPE solves_total counter" in text
+    assert 'solve_seconds_bucket' in text
+
+
+def test_validate_metrics_flags_problems():
+    assert export.validate_metrics([]) != []
+    broken = {
+        "counters": {"c": -1},
+        "gauges": {},
+        "histograms": {
+            "h": {"buckets": {"1": 5, "2": 3, "+Inf": 3}, "sum": 1.0, "count": 9}
+        },
+    }
+    problems = export.validate_metrics(broken)
+    assert any("non-negative" in p for p in problems)
+    assert any("not cumulative" in p for p in problems)
+    assert any("count != cumulative" in p for p in problems)

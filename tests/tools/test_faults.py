@@ -136,3 +136,61 @@ def test_corrupt_solution_clears_lowest_set_integers():
 def test_corrupt_solution_tolerates_empty_values():
     empty = _solution(SolveStatus.NO_SOLUTION, {})
     assert faults.corrupt_solution(empty) is empty
+
+
+# -- fail-fast configuration errors -------------------------------------------
+
+
+def test_bad_specs_raise_the_dedicated_config_error():
+    with pytest.raises(faults.FaultConfigError) as excinfo:
+        faults.FaultPlan.parse("nosuchsite=timeout")
+    # The message names the offender and lists every valid site.
+    message = str(excinfo.value)
+    assert "nosuchsite" in message
+    for site in faults.SITES:
+        assert site in message
+
+
+def test_bad_kind_message_lists_valid_kinds():
+    with pytest.raises(faults.FaultConfigError) as excinfo:
+        faults.FaultPlan.parse("bundle=explode")
+    message = str(excinfo.value)
+    assert "explode" in message
+    for kind in faults.KINDS:
+        assert kind in message
+
+
+def test_config_error_is_a_value_error():
+    # Callers that predate FaultConfigError catch ValueError; keep them.
+    assert issubclass(faults.FaultConfigError, ValueError)
+
+
+def test_parse_source_prefixes_the_error():
+    with pytest.raises(faults.FaultConfigError, match="REPRO_FAULTS"):
+        faults.FaultPlan.parse("bundle", source="REPRO_FAULTS")
+
+
+def test_validate_env_raises_eagerly(monkeypatch):
+    monkeypatch.setenv(faults.ENV_VAR, "solve.phase1=timeout:x")
+    with pytest.raises(faults.FaultConfigError, match=faults.ENV_VAR):
+        faults.validate_env()
+
+
+def test_validate_env_accepts_good_and_empty_specs(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    assert faults.validate_env() is None
+    monkeypatch.setenv(faults.ENV_VAR, "solve.phase1=timeout:2")
+    plan = faults.validate_env()
+    assert plan.fire("solve.phase1") == "timeout"
+
+
+def test_validate_env_does_not_consume_active_budgets(monkeypatch):
+    monkeypatch.setenv(faults.ENV_VAR, "bundle=error:1")
+    faults.reset_env_cache()
+    try:
+        faults.validate_env()  # parses a *fresh* plan
+        assert faults.fire("bundle") == "error"  # budget still intact
+        assert faults.fire("bundle") is None
+    finally:
+        monkeypatch.delenv(faults.ENV_VAR)
+        faults.reset_env_cache()

@@ -59,3 +59,58 @@ def test_schedule_flag(asm_file, capsys):
     assert rc == 0
     captured = capsys.readouterr()
     assert "length" in captured.err
+
+
+def test_trace_and_metrics_exports(asm_file, tmp_path, capsys):
+    import json
+
+    from repro.obs import core as obs
+    from repro.obs.export import validate_chrome_trace, validate_metrics
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    events_path = tmp_path / "events.jsonl"
+    try:
+        rc = main(
+            [
+                str(asm_file),
+                "--time-limit", "30",
+                "--trace", str(trace_path),
+                "--metrics", str(metrics_path),
+                "--events", str(events_path),
+            ]
+        )
+    finally:
+        obs.disable()
+    assert rc == 0
+    trace = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(trace) == []
+    names = {e["name"] for e in trace["traceEvents"] if e.get("ph") == "X"}
+    assert {"optimize", "solve.phase1", "ilp.solve"} <= names
+    metrics = json.loads(metrics_path.read_text())
+    assert validate_metrics(metrics) == []
+    assert any(
+        k.startswith("routine_fallback_total") for k in metrics["counters"]
+    )
+    lines = events_path.read_text().splitlines()
+    assert json.loads(lines[0])["type"] == "meta"
+
+
+def test_prom_metrics_suffix(asm_file, tmp_path, capsys):
+    from repro.obs import core as obs
+
+    prom = tmp_path / "metrics.prom"
+    try:
+        rc = main([str(asm_file), "--time-limit", "30", "--metrics", str(prom)])
+    finally:
+        obs.disable()
+    assert rc == 0
+    assert "# TYPE" in prom.read_text()
+
+
+def test_report_includes_phase_breakdown(asm_file, capsys):
+    rc = main([str(asm_file), "--time-limit", "30"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "phases:" in captured.err
+    assert "phase 1" in captured.err

@@ -1,0 +1,111 @@
+"""Cross-process observability through the parallel fan-out.
+
+Workers record into their own (reset) recorder, ship a snapshot back on
+the outcome, and the parent merges worker events as distinct pid lanes.
+"""
+
+import os
+
+import pytest
+
+from repro.obs import core as obs
+from repro.obs import export
+from repro.sched.scheduler import ScheduleFeatures
+from repro.tools import faults
+from repro.tools.parallel import run_routines_parallel
+
+FAST = dict(scale=0.4, sim_invocations=30)
+FEATURES = ScheduleFeatures(time_limit=30)
+
+
+@pytest.fixture
+def recording():
+    """Recording on in the parent; forked workers inherit ENABLED."""
+    obs.disable()
+    obs.enable()
+    yield obs
+    obs.disable()
+
+
+@pytest.fixture
+def fault_env():
+    def setenv(spec):
+        os.environ[faults.ENV_VAR] = spec
+        faults.reset_env_cache()
+
+    yield setenv
+    os.environ.pop(faults.ENV_VAR, None)
+    faults.reset_env_cache()
+
+
+def test_worker_events_merge_with_distinct_pid_lanes(recording):
+    outcomes = run_routines_parallel(
+        ["firstone", "xfree"], features=FEATURES, max_workers=2, **FAST
+    )
+    assert all(o.ok for o in outcomes)
+    assert all(o.obs is not None for o in outcomes)
+    parent_pid = os.getpid()
+    routine_pids = {
+        e["pid"]
+        for e in obs.recorder().events
+        if e["name"] == "optimize"
+    }
+    assert len(routine_pids) == 2
+    assert parent_pid not in routine_pids
+    # Each worker lane is labeled, parent lane preserved.
+    labels = obs.recorder().process_labels
+    for pid in routine_pids:
+        assert labels[pid] == f"worker pid {pid}"
+    assert parent_pid in labels
+    # The parent's own batch span is on the parent lane.
+    batch = next(
+        e for e in obs.recorder().events if e["name"] == "parallel.batch"
+    )
+    assert batch["pid"] == parent_pid
+    # Merged metrics carry the fallback tier for every routine.
+    dump = export.metrics_dict()
+    for name in ("firstone", "xfree"):
+        assert any(
+            f'routine="{name}"' in key and key.startswith("routine_fallback")
+            for key in dump["counters"]
+        )
+    assert export.validate_chrome_trace(export.chrome_trace()) == []
+
+
+def test_worker_traces_survive_crash_retry(recording, fault_env):
+    """worker=crash breaks the pool; retries must still deliver traces."""
+    fault_env("worker=crash:1")
+    outcomes = run_routines_parallel(
+        ["firstone", "xfree"], features=FEATURES, max_workers=2, **FAST
+    )
+    assert all(o.ok for o in outcomes)
+    assert any(o.retried for o in outcomes)
+    # Every routine appears in the merged trace, whichever path ran it
+    # (second pool lane or the in-process retry on the parent lane).
+    optimize_count = sum(
+        1 for e in obs.recorder().events if e["name"] == "optimize"
+    )
+    assert optimize_count == 2
+    dump = export.metrics_dict()
+    assert dump["counters"].get("pool_rebuilds_total", 0) >= 1
+    for o in outcomes:
+        assert any(
+            f'routine="{o.name}"' in key and key.startswith("routine_fallback")
+            for key in dump["counters"]
+        )
+
+
+def test_bad_fault_spec_fails_fast_before_spawning(fault_env):
+    fault_env("nosuchsite=timeout")
+    with pytest.raises(faults.FaultConfigError, match="nosuchsite"):
+        run_routines_parallel(
+            ["firstone"], features=FEATURES, max_workers=2, **FAST
+        )
+
+
+def test_bad_fault_kind_fails_fast_sequentially(fault_env):
+    fault_env("solve.phase1=nosuchkind")
+    with pytest.raises(faults.FaultConfigError, match="nosuchkind"):
+        run_routines_parallel(
+            ["firstone"], features=FEATURES, max_workers=1, **FAST
+        )

@@ -64,3 +64,33 @@ def test_cli_table1(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "Table 1" in out and "firstone" in out
+
+
+def test_json_payload_carries_quality_and_phases(experiments):
+    import json
+
+    from repro.tools.report import json_payload
+
+    doc = json_payload("table2", experiments=experiments)
+    text = json.dumps(doc)  # must be JSON-serializable as-is
+    assert "firstone" in text
+    for row in doc["rows"]:
+        assert row["quality"] in ("optimal", "incumbent", "phase1",
+                                  "fallback_input")
+        assert "solve.phase1" in row["phases"]
+        assert row["phases"]["optimize"]["seconds"] > 0
+        assert row["table2"]["routine"] == row["routine"]
+    assert doc["paper"] == PAPER_TABLE2
+
+
+def test_report_cli_json_flag(capsys):
+    import json
+
+    from repro.tools.report import main
+
+    rc = main(["table2", "--routines", "firstone", "--scale", "0.4", "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["artifact"] == "table2"
+    assert doc["rows"][0]["routine"] == "firstone"
+    assert "phases" in doc["rows"][0]
