@@ -26,6 +26,10 @@ Usage::
 ``--smoke`` shrinks scales/limits for CI; ``--check`` additionally
 compares the measured smoke sweep against the committed JSON and exits
 nonzero on a >2x wall-time regression (and never rewrites the file).
+CI now prefers the noise-aware whole-snapshot gate instead: write a
+fresh snapshot with ``--smoke --out fresh.json`` and run
+``tia-bench-diff BENCH_solver.json fresh.json --gate``; ``--check``
+remains for quick local use.
 
 Run with ``PYTHONHASHSEED=0`` (CI does): model row order follows dict/set
 iteration order, and HiGHS's branch-and-cut path — hence wall time, by
@@ -395,6 +399,14 @@ def bench_obs_overhead(smoke):
         + len(recorder.metrics.gauges)
         + len(recorder.metrics.histograms)
     )
+    # Gap timelines ride solve-span attributes; their sample volume is
+    # the marginal recording cost this section prices, so record it.
+    timelines = [
+        ev["args"]["gap_timeline"]
+        for ev in recorder.events
+        if ev.get("args", {}).get("gap_timeline")
+    ]
+    gap_samples = sum(len(t.get("samples", ())) for t in timelines)
     obs.disable()
     return {
         "routines": names,
@@ -404,6 +416,8 @@ def bench_obs_overhead(smoke):
         "enabled_overhead_ratio": enabled / disabled if disabled else None,
         "events_recorded": events,
         "metric_series": series,
+        "gap_timelines": len(timelines),
+        "gap_samples": gap_samples,
     }
 
 

@@ -27,6 +27,7 @@ setup(
         "console_scripts": [
             "tia-opt = repro.tools.optimize:main",
             "tia-report = repro.tools.report:main",
+            "tia-bench-diff = repro.tools.bench_diff:main",
         ]
     },
 )

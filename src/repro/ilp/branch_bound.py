@@ -52,9 +52,14 @@ from repro.ilp.status import (
     record_solve_metrics,
 )
 from repro.obs import core as obs
+from repro.obs.insight import GapTimeline, fault_timeline as _fault_timeline
 from repro.tools import faults
 
 _INT_TOL = 1e-6
+# Gap-timeline sampling cadence: one sample per this many explored nodes
+# (plus one per new incumbent). One min() over the open frontier every 32
+# LP solves is noise next to the solves themselves.
+_GAP_SAMPLE_NODES = 32
 
 
 class _Relaxation:
@@ -201,6 +206,32 @@ class _Pseudocosts:
             / np.count_nonzero(initialized)
         )
 
+    def snapshot(self, top=8):
+        """Plain-data dump of the most-branched variables (telemetry).
+
+        Returns up to ``top`` rows ordered by total branch count, each
+        ``{"var", "down_avg", "up_avg", "down_count", "up_count"}`` — the
+        pseudocost table a dashboard can render without numpy.
+        """
+        total = self.counts["down"] + self.counts["up"]
+        active = np.flatnonzero(total)
+        if active.size == 0:
+            return []
+        order = active[np.argsort(-total[active], kind="stable")][:top]
+        rows = []
+        for var in order:
+            var = int(var)
+            row = {"var": var}
+            for direction, key in (("down", "down"), ("up", "up")):
+                count = self.counts[direction][var]
+                avg = (
+                    self.sums[direction][var] / count if count > 0 else 0.0
+                )
+                row[f"{key}_avg"] = float(avg)
+                row[f"{key}_count"] = int(count)
+            rows.append(row)
+        return rows
+
 
 class _Node:
     """An open branch-and-bound node: bound deltas, not bound arrays.
@@ -279,9 +310,9 @@ class BranchBoundSolver:
         fault = faults.fire(fault_site)
         stats_name = f"bb/{self.relaxation}"
         if fault == "infeasible":
-            return Solution(
-                SolveStatus.INFEASIBLE, stats=SolverStats(backend=stats_name)
-            )
+            stats = SolverStats(backend=stats_name)
+            stats.gap_timeline = _fault_timeline("INFEASIBLE")
+            return Solution(SolveStatus.INFEASIBLE, stats=stats)
         if fault == "timeout":
             stats = SolverStats(backend=stats_name)
             if incumbent is not None:
@@ -298,7 +329,11 @@ class BranchBoundSolver:
                         values[var] = (
                             float(round(raw)) if var.is_integer else raw
                         )
+                    stats.gap_timeline = _fault_timeline(
+                        "FEASIBLE", incumbent=obj
+                    )
                     return Solution(SolveStatus.FEASIBLE, obj, values, stats)
+            stats.gap_timeline = _fault_timeline("NO_SOLUTION")
             return Solution(SolveStatus.NO_SOLUTION, stats=stats)
         # Telemetry rides on the stats the search already collects, so
         # the node loop itself carries no instrumentation overhead.
@@ -314,6 +349,8 @@ class BranchBoundSolver:
                 solution = self._solve_impl(model, incumbent, cutoff)
                 span.set_attr("status", solution.status.name)
                 span.set_attr("nodes", solution.stats.nodes)
+                if solution.stats.gap is not None:
+                    span.set_attr("gap", solution.stats.gap)
             record_solve_metrics(solution.stats, seeded=incumbent is not None)
         if fault == "incumbent":
             return faults.demote_to_feasible(solution)
@@ -328,6 +365,7 @@ class BranchBoundSolver:
         arrays, fixed_empty = presolve_arrays(arrays)
         if fixed_empty:
             stats.time_seconds = time.perf_counter() - start
+            stats.gap_timeline = _fault_timeline("INFEASIBLE")
             return Solution(SolveStatus.INFEASIBLE, stats=stats)
 
         integrality = arrays["integrality"]
@@ -336,18 +374,26 @@ class BranchBoundSolver:
         obj_integral = self._objective_is_integral(arrays)
         root_lb, root_ub = arrays["lb"], arrays["ub"]
 
+        # The convergence record. Sampled after the root relaxation, on
+        # every new incumbent and per node batch; closed (exactly once)
+        # on *every* exit path below, so ``closed`` is a trustworthy
+        # "the search really ended" marker for dashboards.
+        timeline = stats.gap_timeline = GapTimeline()
         status, obj, x, basis = oracle.solve(root_lb, root_ub)
         stats.lp_solves += 1
         stats.simplex_iterations = oracle.iterations
         if status == "infeasible":
             stats.time_seconds = time.perf_counter() - start
+            timeline.close(stats.time_seconds, status="INFEASIBLE")
             return Solution(SolveStatus.INFEASIBLE, stats=stats)
         if status == "unbounded":
             stats.time_seconds = time.perf_counter() - start
+            timeline.close(stats.time_seconds, status="UNBOUNDED")
             return Solution(SolveStatus.UNBOUNDED, stats=stats)
         if status == "unknown":
             stats.unknown_lps += 1
             stats.time_seconds = time.perf_counter() - start
+            timeline.close(stats.time_seconds, status="NO_SOLUTION")
             return Solution(SolveStatus.NO_SOLUTION, stats=stats)
 
         incumbent_x = None
@@ -359,6 +405,12 @@ class BranchBoundSolver:
         if seeded is not None and seeded[1] < incumbent_obj - 1e-9:
             incumbent_x, incumbent_obj = seeded
 
+        timeline.sample(
+            time.perf_counter() - start,
+            incumbent=incumbent_obj if incumbent_x is not None else None,
+            bound=obj,
+            label="root",
+        )
         frac = _Pseudocosts(len(root_lb)).select(x, int_idx)  # integrality probe
         if frac is None:
             if obj < incumbent_obj - 1e-9:
@@ -369,12 +421,21 @@ class BranchBoundSolver:
                 )
             # Integral root at or above the cutoff: nothing strictly better.
             stats.time_seconds = time.perf_counter() - start
+            timeline.close(
+                stats.time_seconds, bound=obj, status="NO_SOLUTION"
+            )
             return Solution(SolveStatus.NO_SOLUTION, stats=stats)
 
         if self.rounding_heuristic:
             rounded = self._try_rounding(oracle, x, int_idx)
             if rounded is not None and rounded[1] < incumbent_obj - 1e-9:
                 incumbent_x, incumbent_obj = rounded
+                timeline.sample(
+                    time.perf_counter() - start,
+                    incumbent=incumbent_obj,
+                    bound=obj,
+                    label="incumbent",
+                )
 
         pseudo = _Pseudocosts(len(root_lb))
         dive = []  # LIFO stack: depth-first until the first incumbent
@@ -394,6 +455,24 @@ class BranchBoundSolver:
 
         self._branch(push, x, obj, (), basis, pseudo, int_idx)
 
+        def open_bound(extra=None):
+            """Best bound over the open frontier (None when exhausted)."""
+            bounds = [] if extra is None else [extra]
+            if heap:
+                bounds.append(heap[0][0])
+            if dive:
+                bounds.append(min(n.bound for n in dive))
+            return min(bounds, default=None)
+
+        def take_sample(label=None, extra_bound=None):
+            timeline.sample(
+                time.perf_counter() - start,
+                incumbent=incumbent_obj if incumbent_x is not None else None,
+                bound=open_bound(extra_bound),
+                nodes=stats.nodes,
+                label=label,
+            )
+
         while dive or heap:
             if self.time_limit is not None and (
                 time.perf_counter() - start > self.time_limit
@@ -412,6 +491,8 @@ class BranchBoundSolver:
             )
             stats.nodes += 1
             stats.lp_solves += 1
+            if stats.nodes % _GAP_SAMPLE_NODES == 0:
+                take_sample(extra_bound=node.bound)
             if node.basis is not None:
                 stats.warm_starts += 1
             if status == "unknown":
@@ -431,6 +512,7 @@ class BranchBoundSolver:
                 if diving:
                     diving = False
                     self._flush_dive(dive, heap)
+                take_sample(label="incumbent")
                 continue
             self._branch(
                 push, node_x, node_obj, node.deltas, node_basis, pseudo, int_idx,
@@ -438,6 +520,7 @@ class BranchBoundSolver:
             )
 
         stats.simplex_iterations = oracle.iterations
+        stats.pseudocosts = pseudo.snapshot()
         if timed_out:
             open_bounds = [n.bound for n in dive]
             open_bounds.extend(entry[0] for entry in heap)
@@ -447,7 +530,16 @@ class BranchBoundSolver:
         if incumbent_x is None:
             stats.time_seconds = time.perf_counter() - start
             if timed_out or had_cutoff or not proven:
+                timeline.close(
+                    stats.time_seconds,
+                    bound=stats.best_bound,
+                    nodes=stats.nodes,
+                    status="NO_SOLUTION",
+                )
                 return Solution(SolveStatus.NO_SOLUTION, stats=stats)
+            timeline.close(
+                stats.time_seconds, nodes=stats.nodes, status="INFEASIBLE"
+            )
             return Solution(SolveStatus.INFEASIBLE, stats=stats)
         return self._finish(
             model,
@@ -568,11 +660,23 @@ class BranchBoundSolver:
 
     def _finish(self, model, x, obj, stats, start, optimal):
         stats.time_seconds = time.perf_counter() - start
+        if optimal and stats.best_bound is None and obj is not None:
+            # A proven-optimal search closed the tree: the bound met the
+            # incumbent, so the reported gap is exactly 0.
+            stats.best_bound = float(obj)
         if stats.best_bound is not None and obj is not None and obj != 0:
             stats.gap = abs(obj - stats.best_bound) / max(1.0, abs(obj))
+        status = SolveStatus.OPTIMAL if optimal else SolveStatus.FEASIBLE
+        if stats.gap_timeline is not None:
+            stats.gap_timeline.close(
+                stats.time_seconds,
+                incumbent=obj,
+                bound=stats.best_bound,
+                nodes=stats.nodes,
+                status=status.name,
+            )
         values = {}
         for var in model.variables:
             raw = float(x[var.index])
             values[var] = float(round(raw)) if var.is_integer else raw
-        status = SolveStatus.OPTIMAL if optimal else SolveStatus.FEASIBLE
         return Solution(status, float(obj), values, stats)

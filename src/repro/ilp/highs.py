@@ -21,6 +21,7 @@ from repro.ilp.status import (
     record_solve_metrics,
 )
 from repro.obs import core as obs
+from repro.obs.insight import GapTimeline, fault_timeline as _fault_timeline
 from repro.tools import faults
 
 
@@ -78,9 +79,9 @@ class HighsSolver:
         """
         fault = faults.fire(fault_site)
         if fault == "infeasible":
-            return Solution(
-                SolveStatus.INFEASIBLE, stats=SolverStats(backend="highs")
-            )
+            stats = SolverStats(backend="highs")
+            stats.gap_timeline = _fault_timeline("INFEASIBLE")
+            return Solution(SolveStatus.INFEASIBLE, stats=stats)
         if fault == "timeout":
             stats = SolverStats(backend="highs")
             if incumbent is not None:
@@ -88,7 +89,11 @@ class HighsSolver:
                     model, model.to_arrays(), incumbent, stats
                 )
                 if fallback is not None:
+                    stats.gap_timeline = _fault_timeline(
+                        "FEASIBLE", incumbent=fallback.objective
+                    )
                     return fallback
+            stats.gap_timeline = _fault_timeline("NO_SOLUTION")
             return Solution(SolveStatus.NO_SOLUTION, stats=stats)
         if not obs.ENABLED:
             solution = self._solve_impl(model, incumbent, cutoff)
@@ -102,6 +107,8 @@ class HighsSolver:
                 solution = self._solve_impl(model, incumbent, cutoff)
                 span.set_attr("status", solution.status.name)
                 span.set_attr("nodes", solution.stats.nodes)
+                if solution.stats.gap is not None:
+                    span.set_attr("gap", solution.stats.gap)
             # scipy's milp offers no basis injection, so "warm start" for
             # this backend means incumbent seeding (the cut loop's
             # prev-optimum hand-off); record it as such.
@@ -114,6 +121,12 @@ class HighsSolver:
 
     def _solve_impl(self, model, incumbent, cutoff):
         start = time.perf_counter()
+        # scipy's milp exposes no solve callback, so the timeline is the
+        # coarsest honest record HiGHS allows: an opening sample before
+        # the search and a closing one with the final incumbent/dual
+        # bound. Still monotone, still closed on every exit path.
+        timeline = GapTimeline()
+        timeline.sample(0.0, label="start")
         arrays = model.to_arrays()
         constraints = optimize.LinearConstraint(
             arrays["A"], arrays["b_lo"], arrays["b_hi"]
@@ -148,22 +161,50 @@ class HighsSolver:
             gap=getattr(result, "mip_gap", None),
             backend="highs",
         )
+        stats.gap_timeline = timeline
         status = self._translate_status(result)
         if not status.has_solution:
             if status is SolveStatus.NO_SOLUTION and incumbent is not None:
                 fallback = self._incumbent_solution(model, arrays, incumbent, stats)
                 if fallback is not None:
+                    timeline.close(
+                        elapsed,
+                        incumbent=fallback.objective,
+                        bound=stats.best_bound,
+                        nodes=stats.nodes,
+                        status=SolveStatus.FEASIBLE.name,
+                    )
                     return fallback
+            timeline.close(
+                elapsed,
+                bound=stats.best_bound,
+                nodes=stats.nodes,
+                status=status.name,
+            )
             return Solution(status, stats=stats)
         objective = float(result.fun)
         if cutoff is not None and objective >= cutoff - 1e-9:
             # Nothing strictly better than the cutoff exists (or was found
             # in time); mirror BranchBoundSolver's contract.
+            timeline.close(
+                elapsed,
+                incumbent=objective,
+                bound=stats.best_bound,
+                nodes=stats.nodes,
+                status=SolveStatus.NO_SOLUTION.name,
+            )
             return Solution(SolveStatus.NO_SOLUTION, stats=stats)
         values = {}
         for var in model.variables:
             raw = float(result.x[var.index])
             values[var] = float(round(raw)) if var.is_integer else raw
+        timeline.close(
+            elapsed,
+            incumbent=objective,
+            bound=stats.best_bound,
+            nodes=stats.nodes,
+            status=status.name,
+        )
         return Solution(status, objective, values, stats)
 
     @staticmethod

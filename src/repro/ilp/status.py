@@ -43,6 +43,13 @@ class SolverStats:
     unknown_lps: int = 0
     # LP relaxations answered from a warm-started basis (simplex engine).
     warm_starts: int = 0
+    # Incumbent/best-bound convergence record
+    # (:class:`repro.obs.insight.GapTimeline`); both backends attach one
+    # and close it on every exit path, fault and deadline exits included.
+    gap_timeline: object = None
+    # Plain-data pseudocost-table snapshot (bb backend; top branching
+    # variables by history, see ``_Pseudocosts.snapshot``).
+    pseudocosts: object = None
 
 
 @dataclass
@@ -104,3 +111,5 @@ def record_solve_metrics(stats, seeded=False):
         )
     if seeded:
         obs.counter("incumbent_seeded_solves_total", 1, backend=backend)
+    if stats.gap is not None:
+        obs.histogram("solve_gap", stats.gap, backend=backend)

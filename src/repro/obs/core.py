@@ -339,7 +339,10 @@ class Trace:
     the process timeline.
     """
 
-    __slots__ = ("records", "counters", "_stack", "_epoch")
+    __slots__ = (
+        "records", "counters", "solves", "cuts", "paper_metrics",
+        "_stack", "_epoch",
+    )
 
     def __init__(self):
         self.records = []
@@ -348,6 +351,13 @@ class Trace:
         # the scheduler reads them on both the success and fallback
         # paths when publishing per-routine metrics.
         self.counters = {}
+        # Search telemetry (repro.obs.insight): one plain dict per ILP
+        # solve (gap timeline, pseudocosts), one per attributed bundling
+        # cut, and the routine's Table 1/2-shaped paper metrics. Plain
+        # data so the trace pickles across the pool unchanged.
+        self.solves = []
+        self.cuts = []
+        self.paper_metrics = None
         self._stack = []
         self._epoch = time.perf_counter()
 

@@ -42,6 +42,50 @@ BUCKET_BOUNDS = {
     ),
     # Bundling cuts appended over one routine's cut loop.
     "bundling_cuts_per_routine": (0, 1, 2, 3, 4, 6, 8, 12, 16),
+    # Final relative optimality gap of a solve (0 = proven optimal; the
+    # paper accepts only gap 0, so everything above the first bucket is a
+    # degraded solve worth seeing).
+    "solve_gap": (
+        0.0, 1e-6, 1e-4, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5,
+        1.0,
+    ),
+}
+
+# ``# HELP`` text for the exposition format, keyed by metric name.
+# Unknown metrics get a generic line so every family still carries HELP.
+METRIC_HELP = {
+    "solves_total": "ILP solves started, by backend",
+    "bb_nodes_total": "branch-and-bound nodes explored, by backend",
+    "simplex_iterations_total": "simplex pivots across all solves",
+    "warm_start_hits_total": "LP relaxations answered from a warm basis",
+    "warm_start_misses_total": "LP relaxations solved cold",
+    "incumbent_seeded_solves_total": "solves seeded with a prior incumbent",
+    "presolve_calls_total": "presolve invocations (bb backend)",
+    "presolve_fixed_vars_total": "variables fixed by presolve",
+    "phase2_solves_total": "phase-2 solves, by model reuse",
+    "routine_fallback_total": "final quality tier per routine",
+    "routine_nodes_total": "branch-and-bound nodes per routine",
+    "routine_warm_start_hits_total": "warm-start hits per routine",
+    "routine_warm_start_misses_total": "warm-start misses per routine",
+    "bundling_cuts_total": "bundling cuts appended per routine",
+    "compensation_copies_total": "compensation copies emitted per routine",
+    "routine_final_gap": "final optimality gap of the emitted schedule",
+    "routine_static_reduction":
+        "weighted static schedule-length reduction per routine (Table 1)",
+    "routine_weighted_ipc_out":
+        "frequency-weighted IPC of the emitted schedule (Table 1)",
+    "routine_nop_density_out":
+        "share of issue slots wasted on nops in the emitted schedule",
+    "faults_fired_total": "injected faults that actually fired",
+    "pool_rebuilds_total": "process pools rebuilt after a worker crash",
+    "worker_retries_total": "routines retried in-process after pool failure",
+    "solve_seconds": "wall-clock cost of a single backend solve",
+    "solve_nodes": "branch-and-bound nodes explored by a single solve",
+    "solve_gap": "final relative optimality gap of a solve",
+    "deadline_fraction_consumed":
+        "share of the routine deadline a pipeline site consumed",
+    "bundling_cuts_per_routine":
+        "bundling cuts appended over one routine's cut loop",
 }
 
 
@@ -54,6 +98,30 @@ def _series_name(name, key):
     if not key:
         return name
     rendered = ",".join(f'{k}="{v}"' for k, v in key)
+    return f"{name}{{{rendered}}}"
+
+
+def _escape_label_value(value):
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote and newline must be backslash-escaped."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_series(name, key):
+    """Exposition-format series name with *escaped* label values.
+
+    Distinct from :func:`_series_name`, which renders raw values for the
+    JSON dump keys (where escaping would change the key the tests and
+    diff tooling grep for).
+    """
+    if not key:
+        return name
+    rendered = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
     return f"{name}{{{rendered}}}"
 
 
@@ -172,32 +240,40 @@ class MetricsRegistry:
         return out
 
     def prometheus_text(self):
-        """Prometheus exposition-format dump (counters/gauges/histograms)."""
+        """Prometheus exposition-format dump (counters/gauges/histograms).
+
+        Each metric family carries a ``# HELP`` line (from
+        :data:`METRIC_HELP`, generic text for unregistered names) ahead
+        of its ``# TYPE`` line, and label values are escaped per the
+        exposition format (``\\`` ``"`` and newlines).
+        """
         lines = []
         seen_types = set()
 
-        def type_line(name, kind):
+        def header(name, kind):
             if name not in seen_types:
                 seen_types.add(name)
+                help_text = METRIC_HELP.get(name, f"{name} (unregistered)")
+                lines.append(f"# HELP {name} {help_text}")
                 lines.append(f"# TYPE {name} {kind}")
 
         for (name, key), value in sorted(self.counters.items()):
-            type_line(name, "counter")
-            lines.append(f"{_series_name(name, key)} {value:g}")
+            header(name, "counter")
+            lines.append(f"{_prom_series(name, key)} {value:g}")
         for (name, key), value in sorted(self.gauges.items()):
-            type_line(name, "gauge")
-            lines.append(f"{_series_name(name, key)} {value:g}")
+            header(name, "gauge")
+            lines.append(f"{_prom_series(name, key)} {value:g}")
         for (name, key), hist in sorted(self.histograms.items()):
-            type_line(name, "histogram")
+            header(name, "histogram")
             cumulative = 0
             for bound, count in zip(hist["bounds"], hist["counts"]):
                 cumulative += count
-                series = _series_name(name + "_bucket", key + (("le", f"{bound:g}"),))
+                series = _prom_series(name + "_bucket", key + (("le", f"{bound:g}"),))
                 lines.append(f"{series} {cumulative}")
-            series = _series_name(name + "_bucket", key + (("le", "+Inf"),))
+            series = _prom_series(name + "_bucket", key + (("le", "+Inf"),))
             lines.append(f"{series} {hist['count']}")
-            lines.append(f"{_series_name(name + '_sum', key)} {hist['sum']:g}")
-            lines.append(f"{_series_name(name + '_count', key)} {hist['count']}")
+            lines.append(f"{_prom_series(name + '_sum', key)} {hist['sum']:g}")
+            lines.append(f"{_prom_series(name + '_count', key)} {hist['count']}")
         return "\n".join(lines) + "\n"
 
 

@@ -30,6 +30,13 @@ class StaticMetrics:
             return 0.0
         return self.instructions / self.total_length
 
+    @property
+    def nop_density(self):
+        """Share of issue slots wasted on nops (3 slots per bundle)."""
+        if self.bundles <= 0:
+            return 0.0
+        return self.nops / (3.0 * self.bundles)
+
 
 def evaluate_schedule(schedule, fn, bundles=None):
     """Compute :class:`StaticMetrics` for a schedule."""

@@ -92,6 +92,14 @@ def minimize_instruction_count(
         fault_site="solve.phase2",
         **({"heuristic_effort": heuristic_effort} if backend == "highs" else {}),
     )
+    if obs.ENABLED:
+        obs.event(
+            "phase2.outcome",
+            objective=objective,
+            reused_model=reused,
+            status=solution.status.name,
+            gap=solution.stats.gap,
+        )
     if not solution:
         return None
     return ilp, solution

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field, replace
 from repro.errors import BundlingError, SchedulingError
 from repro.ilp import SolveStatus, solve_model
 from repro.obs import core as obs
+from repro.obs import insight
 from repro.ir.cfg import CfgInfo
 from repro.ir.ddg import DepEdge, DepKind, build_dependence_graph
 from repro.ir.liveness import compute_liveness
@@ -228,6 +229,9 @@ class OptimizeResult:
             f"{self.ilp_size.get('nodes', '?')} B&B nodes, "
             f"{self.ilp_size.get('time', 0):.2f}s",
         ]
+        gap = self.ilp_size.get("gap")
+        if gap is not None:
+            lines.append(f"  final optimality gap: {gap:.2%}")
         breakdown = self.phase_breakdown()
         if breakdown:
             lines.append("  phases: " + breakdown)
@@ -297,8 +301,21 @@ class IlpScheduler:
         into ``fallback_input`` while injecting nothing, so it propagates."""
         deadline = Deadline(self.features.time_limit)
         trace = obs.Trace()
-        with trace.span("optimize", routine=fn.name):
+        with trace.span("optimize", routine=fn.name) as root_span:
             result = self._optimize_impl(fn, deadline, trace)
+            # Paper-metric analytics ride the trace (and, when recording,
+            # the optimize span) so Table 1/2-shaped numbers survive the
+            # pool fan-out and land in the Chrome trace for dashboards.
+            try:
+                trace.paper_metrics = insight.paper_metrics(result)
+            except Exception as exc:  # never fail a routine over analytics
+                result.messages.append(
+                    f"paper-metric analytics failed: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+            else:
+                root_span.set_attr("quality", result.quality)
+                root_span.set_attr("paper_metrics", trace.paper_metrics)
         self._publish_routine_metrics(result, trace, deadline)
         return result
 
@@ -449,6 +466,32 @@ class IlpScheduler:
         if cuts:
             obs.counter("bundling_cuts_total", cuts, routine=name)
         obs.histogram("bundling_cuts_per_routine", float(cuts))
+        gap = result.ilp_size.get("gap")
+        if gap is not None:
+            obs.gauge("routine_final_gap", float(gap), routine=name)
+        paper = trace.paper_metrics
+        if paper:
+            obs.gauge(
+                "routine_static_reduction",
+                float(paper["static_reduction"]),
+                routine=name,
+            )
+            obs.gauge(
+                "routine_weighted_ipc_out",
+                float(paper["weighted_ipc_out"]),
+                routine=name,
+            )
+            obs.gauge(
+                "routine_nop_density_out",
+                float(paper["nop_density_out"]),
+                routine=name,
+            )
+            if paper["compensation_copies"]:
+                obs.counter(
+                    "compensation_copies_total",
+                    paper["compensation_copies"],
+                    routine=name,
+                )
         budget = deadline.budget
         if budget:
             durations = trace.durations()
@@ -485,6 +528,9 @@ class IlpScheduler:
         ilp = model = None
         spec_groups = []
         prev_values = None
+        # Cut-effectiveness attribution: the objective before a cut was
+        # appended, resolved against the next successful re-solve.
+        pending_cut = None
         solve_extra = (
             {"heuristic_effort": features.heuristic_effort}
             if features.backend == "highs"
@@ -519,6 +565,14 @@ class IlpScheduler:
                 )
                 solve_span.set_attr("status", solution.status.name)
                 solve_span.set_attr("nodes", solution.stats.nodes)
+                if solution.stats.gap is not None:
+                    solve_span.set_attr("gap", solution.stats.gap)
+                timeline = solution.stats.gap_timeline
+                if timeline is not None and len(timeline):
+                    solve_span.set_attr("gap_timeline", timeline.as_dict())
+            trace.solves.append(
+                insight.solve_telemetry(site, features.backend, solution)
+            )
             if solution.status is SolveStatus.INFEASIBLE:
                 resize_attempts += 1
                 if resize_attempts > features.max_resize_attempts:
@@ -530,6 +584,8 @@ class IlpScheduler:
                 lengths = grow_lengths(lengths)
                 ilp = model = None
                 prev_values = None
+                # A rebuild with grown ranges confounds the attribution.
+                pending_cut = None
                 messages.append("grew cycle ranges after infeasibility")
                 continue
             if not solution:
@@ -538,6 +594,18 @@ class IlpScheduler:
                     f"{work.name}: solver returned {solution.status.name} "
                     "without an incumbent",
                 ))
+            if pending_cut is not None:
+                effect = insight.cut_effect(
+                    pending_cut["index"],
+                    pending_cut["members"],
+                    pending_cut["prev_objective"],
+                    solution,
+                    site,
+                )
+                trace.cuts.append(effect)
+                if obs.ENABLED:
+                    obs.event("cut.effect", **effect)
+                pending_cut = None
             reconstruction = reconstruct_schedule(ilp, solution, spec_groups)
             injected = faults.fire("bundle")
             try:
@@ -571,6 +639,11 @@ class IlpScheduler:
                 if cut:
                     bundling_cuts.append(cut)
                     trace.count("bundling_cuts")
+                    pending_cut = {
+                        "index": len(bundling_cuts) - 1,
+                        "members": len(cut),
+                        "prev_objective": solution.objective,
+                    }
                     if features.incremental_cuts:
                         ilp.append_bundling_cut(cut)
                         # The previous optimum seeds the re-solve; it violates
@@ -598,6 +671,7 @@ class IlpScheduler:
             "nodes": solution.stats.nodes,
             "time": solution.stats.time_seconds,
             "objective": phase1_objective,
+            "gap": solution.stats.gap,
         }
         final_solution = solution
         phase2_applied = False
@@ -622,7 +696,7 @@ class IlpScheduler:
 
             with trace.span(
                 "solve.phase2", reused_model=features.incremental_cuts
-            ):
+            ) as p2span:
                 if features.incremental_cuts:
                     # Reuse the phase-1 model: pin lengths / swap the
                     # objective in place and seed with the phase-1 optimum
@@ -649,6 +723,23 @@ class IlpScheduler:
                         heuristic_effort=features.heuristic_effort,
                         deadline=deadline,
                     )
+                if outcome is not None:
+                    p2stats = outcome[1].stats
+                    p2span.set_attr("status", outcome[1].status.name)
+                    p2span.set_attr("nodes", p2stats.nodes)
+                    if p2stats.gap is not None:
+                        p2span.set_attr("gap", p2stats.gap)
+                    p2timeline = p2stats.gap_timeline
+                    if p2timeline is not None and len(p2timeline):
+                        p2span.set_attr(
+                            "gap_timeline", p2timeline.as_dict()
+                        )
+            if outcome is not None:
+                trace.solves.append(
+                    insight.solve_telemetry(
+                        "solve.phase2", features.backend, outcome[1]
+                    )
+                )
             if outcome is None:
                 phase2_failure = FallbackReason(
                     "solve.phase2", "no_solution",
@@ -728,6 +819,7 @@ class IlpScheduler:
             "nodes": 0,
             "time": deadline.elapsed(),
             "objective": None,
+            "gap": None,
         }
         if ilp_size:
             size.update(ilp_size)

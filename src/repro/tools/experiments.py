@@ -99,6 +99,7 @@ class RoutineExperiment:
             "variables": res.ilp_size["variables"],
             "nodes": res.ilp_size["nodes"],
             "time": res.ilp_size["time"],
+            "gap": res.ilp_size.get("gap"),
         }
 
 

@@ -11,13 +11,15 @@ Usage::
             [--no-partial-ready] [--time-limit S] [--backend highs|bb]
             [--schedule] [--bundles]
             [--trace TRACE.json] [--metrics METRICS.json|.prom]
-            [--events EVENTS.jsonl]
+            [--events EVENTS.jsonl] [--html DASHBOARD.html]
 
 Observability (:mod:`repro.obs`): any of ``--trace`` (Chrome
 ``trace_event`` JSON, loadable in Perfetto / ``chrome://tracing``),
 ``--metrics`` (flat JSON, or Prometheus text when the path ends in
-``.prom``) or ``--events`` (raw JSONL event log) turns recording on for
-the run; ``REPRO_OBS=1`` does the same without writing files.
+``.prom``), ``--events`` (raw JSONL event log) or ``--html`` (the
+self-contained dashboard page, :mod:`repro.obs.dashboard`) turns
+recording on for the run; ``REPRO_OBS=1`` does the same without
+writing files.
 """
 
 from __future__ import annotations
@@ -124,9 +126,15 @@ def main(argv=None):
         default=None,
         help="write the raw JSONL event log (enables recording)",
     )
+    parser.add_argument(
+        "--html",
+        metavar="FILE",
+        default=None,
+        help="write the self-contained HTML dashboard (enables recording)",
+    )
     args = parser.parse_args(argv)
 
-    want_obs = args.trace or args.metrics or args.events
+    want_obs = args.trace or args.metrics or args.events or args.html
     if want_obs:
         from repro.obs import core as obs
 
@@ -195,6 +203,16 @@ def main(argv=None):
         if args.events:
             obs_export.write_jsonl(args.events)
             print(f"wrote event log to {args.events}", file=sys.stderr)
+        if args.html:
+            from repro.obs import dashboard as obs_dashboard
+
+            obs_dashboard.write_dashboard(
+                args.html,
+                trace=obs_export.chrome_trace(),
+                metrics=obs_export.metrics_dict(),
+                title=f"tia-opt {args.input}",
+            )
+            print(f"wrote dashboard to {args.html}", file=sys.stderr)
     return 0
 
 

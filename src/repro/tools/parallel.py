@@ -72,6 +72,11 @@ class RoutineOutcome:
         reason = getattr(result, "fallback_reason", None)
         if reason is not None:
             base["fallback_reason"] = str(reason)
+        base["gap"] = getattr(result, "ilp_size", {}).get("gap")
+        trace = getattr(result, "trace", None)
+        paper = getattr(trace, "paper_metrics", None)
+        if paper:
+            base["paper_metrics"] = paper
         return base
 
 

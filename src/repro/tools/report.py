@@ -5,11 +5,19 @@ Usage::
     tia-report table1 [--scale S] [--routines a,b,c] [--json]
     tia-report table2 [--scale S] [--json]
     tia-report fig7   [--scale S] [--json]
+    tia-report dashboard --html OUT.html [--trace T.json] [--metrics M.json]
 
 ``--json`` emits a machine-readable document instead of the rendered
 tables: the measured rows, the published values, and — for the table
-artifacts — each routine's fallback-ladder tier and per-phase timing
-breakdown from the optimizer's span tree (:mod:`repro.obs`).
+artifacts — each routine's fallback-ladder tier, final optimality gap,
+paper-metric analytics and per-phase timing breakdown from the
+optimizer's span tree (:mod:`repro.obs`).
+
+``dashboard`` renders the self-contained HTML observatory page
+(:mod:`repro.obs.dashboard`) from exported artifacts — a Chrome trace
+or JSONL event log via ``--trace`` and/or a metrics dump via
+``--metrics``; with neither, it runs the table-1 routines under a live
+recorder and renders that run.
 
 The paper's published numbers ship with the tool so every report shows
 reproduced-vs-published side by side; EXPERIMENTS.md is generated from
@@ -164,6 +172,7 @@ def json_payload(artifact, experiments=None, fig7=None):
             "table1": experiment.table1_row(),
             "table2": experiment.table2_row(),
             "quality": getattr(result, "quality", None),
+            "gap": getattr(result, "ilp_size", {}).get("gap"),
             "phases": (
                 result.phase_timings()
                 if hasattr(result, "phase_timings")
@@ -173,16 +182,59 @@ def json_payload(artifact, experiments=None, fig7=None):
         reason = getattr(result, "fallback_reason", None)
         if reason is not None:
             row["fallback_reason"] = str(reason)
+        paper_metrics = getattr(
+            getattr(result, "trace", None), "paper_metrics", None
+        )
+        if paper_metrics:
+            row["paper_metrics"] = paper_metrics
         rows.append(row)
     paper = PAPER_TABLE1 if artifact == "table1" else PAPER_TABLE2
     return {"artifact": artifact, "rows": rows, "paper": paper}
+
+
+def _render_dashboard(args, names):
+    """The ``dashboard`` artifact: write the self-contained HTML page."""
+    from repro.obs import dashboard
+
+    if not args.html:
+        print("dashboard requires --html OUT.html", file=sys.stderr)
+        return 2
+    if args.trace or args.metrics:
+        trace = metrics = None
+        for path in (args.trace, args.metrics):
+            if not path:
+                continue
+            kind, payload = dashboard.load_artifact(path)
+            if kind == "trace":
+                trace = payload
+            else:
+                metrics = payload
+        html = dashboard.render_dashboard(trace=trace, metrics=metrics)
+    else:
+        # No artifacts given: run the table-1 routines under a live
+        # recorder and render that run directly.
+        from repro.obs import core as obs
+
+        obs.enable()
+        run_table(names=names, scale=args.scale)
+        html = dashboard.dashboard_from_recorder()
+    problems = dashboard.validate_self_contained(html)
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        return 1
+    with open(args.html, "w") as handle:
+        handle.write(html)
+    print(f"wrote {args.html} ({len(html)} bytes)")
+    return 0
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="tia-report", description=__doc__.splitlines()[0]
     )
-    parser.add_argument("artifact", choices=["table1", "table2", "fig7"])
+    parser.add_argument(
+        "artifact", choices=["table1", "table2", "fig7", "dashboard"]
+    )
     parser.add_argument("--scale", type=float, default=None)
     parser.add_argument("--routines", type=str, default=None)
     parser.add_argument(
@@ -190,9 +242,23 @@ def main(argv=None):
         action="store_true",
         help="emit machine-readable JSON instead of the rendered tables",
     )
+    parser.add_argument(
+        "--html", metavar="OUT",
+        help="output path for the 'dashboard' artifact",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="dashboard input: Chrome trace or JSONL event log",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE",
+        help="dashboard input: metrics JSON dump",
+    )
     args = parser.parse_args(argv)
 
     names = args.routines.split(",") if args.routines else None
+    if args.artifact == "dashboard":
+        return _render_dashboard(args, names)
     if args.artifact == "fig7":
         results = run_fig7(names=names, scale=args.scale)
         if args.json:

@@ -1,0 +1,100 @@
+"""HTML dashboard: renders from every artifact form, stays self-contained."""
+
+import json
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.obs import dashboard, export
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+
+CUT_TRIGGER = """
+.proc fbound
+.livein r32, f5, f6, f8, f9
+.liveout r8, f4, f7
+.block A freq=100
+  fma f4 = f5, f6
+  fma f7 = f8, f9
+  movl r10 = 99999
+  add r8 = r10, r32
+  br.ret b0
+.endp
+"""
+
+
+@pytest.fixture
+def recorded_run(recording):
+    fn = parse_function(CUT_TRIGGER)
+    optimize_function(fn, ScheduleFeatures(time_limit=30))
+    return recording
+
+
+def test_dashboard_from_recorder_has_all_sections(recorded_run):
+    html = dashboard.dashboard_from_recorder()
+    assert dashboard.validate_self_contained(html) == []
+    for section in (
+        "Span waterfall", "Gap timelines", "Bundling-cut effectiveness",
+        "Paper metrics", "Metrics",
+    ):
+        assert section in html, section
+    # The traced fbound run yields actual chart content, not fallbacks.
+    assert "polyline" in html          # gap convergence plot
+    assert "bound delta" in html       # cut table rendered
+    assert "fbound" in html            # paper-metric row
+
+
+def test_dashboard_from_artifact_files(recorded_run, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    events_path = tmp_path / "events.jsonl"
+    metrics_path = tmp_path / "metrics.json"
+    export.write_chrome_trace(trace_path)
+    export.write_jsonl(events_path)
+    export.write_metrics(metrics_path)
+    kinds = {}
+    payloads = {}
+    for path in (trace_path, events_path, metrics_path):
+        kind, payload = dashboard.load_artifact(path)
+        kinds[path.name] = kind
+        payloads[path.name] = payload
+    assert kinds == {
+        "trace.json": "trace",
+        "events.jsonl": "trace",
+        "metrics.json": "metrics",
+    }
+    for source in ("trace.json", "events.jsonl"):
+        html = dashboard.render_dashboard(
+            trace=payloads[source], metrics=payloads["metrics.json"]
+        )
+        assert dashboard.validate_self_contained(html) == []
+        assert "polyline" in html and "fbound" in html
+
+
+def test_write_dashboard_refuses_external_references(tmp_path):
+    # A span attribute smuggling in an external URL must be caught.
+    poisoned = {
+        "traceEvents": [{
+            "name": "optimize", "ph": "X", "pid": 1, "tid": 0,
+            "ts": 0.0, "dur": 10.0,
+            "args": {"routine": "see https://evil.example/x"},
+        }]
+    }
+    html = dashboard.render_dashboard(trace=poisoned)
+    problems = dashboard.validate_self_contained(html)
+    assert problems and "https://" in problems[0]
+    with pytest.raises(ValueError, match="self-contained"):
+        dashboard.write_dashboard(tmp_path / "dash.html", trace=poisoned)
+
+
+def test_empty_inputs_degrade_to_notes():
+    html = dashboard.render_dashboard()
+    assert dashboard.validate_self_contained(html) == []
+    assert "no spans recorded" in html
+    assert "no gap timelines recorded" in html
+    assert "no metrics dump provided" in html
+
+
+def test_load_artifact_rejects_unknown_shape(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text(json.dumps({"not": "an artifact"}))
+    with pytest.raises(ValueError):
+        dashboard.load_artifact(path)

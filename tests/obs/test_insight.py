@@ -1,0 +1,117 @@
+"""Solve telemetry, cut attribution and paper-metric analytics."""
+
+import pickle
+
+import pytest
+
+from repro.ilp import BranchBoundSolver, Model, SolveStatus
+from repro.ir.parser import parse_function
+from repro.obs import insight
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+
+SMALL = """
+.proc tiny
+.livein r32, r33
+.liveout r8
+.block A freq=10
+  add r8 = r32, r33
+  br.ret b0
+.endp
+"""
+
+# Sec. 4.2 trigger (two F-unit ops + movl): fires one bundling cut.
+CUT_TRIGGER = """
+.proc fbound
+.livein r32, f5, f6, f8, f9
+.liveout r8, f4, f7
+.block A freq=100
+  fma f4 = f5, f6
+  fma f7 = f8, f9
+  movl r10 = 99999
+  add r8 = r10, r32
+  br.ret b0
+.endp
+"""
+
+
+def _solve():
+    model = Model("m")
+    a, b = model.add_binary("a"), model.add_binary("b")
+    model.add_constraint(a + b <= 1)
+    model.set_objective(-(2 * a + b))
+    return BranchBoundSolver().solve(model)
+
+
+def test_solve_telemetry_is_plain_picklable_data():
+    solution = _solve()
+    entry = insight.solve_telemetry("solve.phase1", "bb", solution)
+    assert entry["site"] == "solve.phase1"
+    assert entry["backend"] == "bb"
+    assert entry["status"] == "OPTIMAL"
+    assert entry["gap"] == pytest.approx(0.0)
+    assert entry["gap_timeline"]["closed"]
+    assert pickle.loads(pickle.dumps(entry)) == entry
+
+
+def test_cut_effect_attribution_fields():
+    solution = _solve()
+    effect = insight.cut_effect(0, 3, -1.0, solution, "solve.cut_resolve")
+    assert effect["cut_index"] == 0
+    assert effect["members"] == 3
+    # new objective - previous objective
+    assert effect["bound_delta"] == pytest.approx(solution.objective + 1.0)
+    assert effect["resolve_status"] == "OPTIMAL"
+    assert effect["resolve_seconds"] >= 0
+
+
+def test_scheduler_trace_carries_solves_cuts_and_paper_metrics():
+    fn = parse_function(CUT_TRIGGER)
+    result = optimize_function(fn, ScheduleFeatures(time_limit=30))
+    trace = result.trace
+    sites = [s["site"] for s in trace.solves]
+    assert "solve.phase1" in sites and "solve.cut_resolve" in sites
+    for entry in trace.solves:
+        assert entry["gap_timeline"]["closed"]
+        assert len(entry["gap_timeline"]["samples"]) >= 2
+    assert len(trace.cuts) == 1
+    cut = trace.cuts[0]
+    assert cut["resolve_status"] == "OPTIMAL"
+    assert cut["resolve_seconds"] > 0
+    assert cut["resolve_nodes"] >= 1
+    paper = trace.paper_metrics
+    assert paper["routine"] == "fbound"
+    assert paper["quality"] == result.quality
+    assert paper["instructions_out"] >= 1
+    # Gap surfaces through ilp_size and the report text.
+    assert result.ilp_size["gap"] == pytest.approx(0.0)
+    assert "final optimality gap" in result.report()
+
+
+def test_paper_metrics_row_shape():
+    fn = parse_function(SMALL)
+    result = optimize_function(fn, ScheduleFeatures(time_limit=30))
+    row = insight.paper_metrics(result)
+    for key in (
+        "static_reduction", "weighted_ipc_in", "weighted_ipc_out",
+        "delta_instructions", "delta_bundles", "nop_density_in",
+        "nop_density_out", "compensation_copies", "spec_possible",
+        "spec_used",
+    ):
+        assert key in row, key
+    assert 0.0 <= row["nop_density_out"] <= 1.0
+
+
+def test_aggregate_paper_metrics_averages_and_sums():
+    rows = [
+        {"routine": "a", "quality": "optimal", "static_reduction": 0.2,
+         "instructions_in": 10, "instructions_out": 12},
+        {"routine": "b", "quality": "incumbent", "static_reduction": 0.4,
+         "instructions_in": 20, "instructions_out": 18},
+        None,  # degraded pool outcome: skipped
+    ]
+    summary = insight.aggregate_paper_metrics(rows)
+    assert summary["routines"] == 2
+    assert summary["by_quality"] == {"optimal": 1, "incumbent": 1}
+    assert summary["average"]["static_reduction"] == pytest.approx(0.3)
+    assert summary["total"]["instructions_in"] == 30
+    assert insight.aggregate_paper_metrics([])["routines"] == 0

@@ -7,6 +7,7 @@ import pytest
 from repro.obs.metrics import (
     BUCKET_BOUNDS,
     DEFAULT_BUCKETS,
+    METRIC_HELP,
     MetricsRegistry,
     _bucket_index,
 )
@@ -137,3 +138,33 @@ def test_prometheus_text_shape():
     assert '# TYPE solve_seconds histogram' in text
     assert 'solve_seconds_bucket{le="+Inf"} 1' in text
     assert 'solve_seconds_count 1' in text
+
+
+def test_prometheus_text_help_lines_precede_type():
+    reg = MetricsRegistry()
+    reg.counter_add("solves_total", 1, backend="bb")
+    reg.counter_add("some_adhoc_total", 1)
+    text = reg.prometheus_text()
+    lines = text.splitlines()
+    # Every family: exactly one HELP line directly above its TYPE line.
+    for name in ("solves_total", "some_adhoc_total"):
+        type_at = next(
+            i for i, l in enumerate(lines) if l.startswith(f"# TYPE {name} ")
+        )
+        assert lines[type_at - 1].startswith(f"# HELP {name} ")
+        assert sum(1 for l in lines if l.startswith(f"# HELP {name} ")) == 1
+    assert f"# HELP solves_total {METRIC_HELP['solves_total']}" in text
+    # Unregistered names still carry a generic HELP line.
+    assert "# HELP some_adhoc_total some_adhoc_total (unregistered)" in text
+
+
+def test_prometheus_label_value_escaping():
+    reg = MetricsRegistry()
+    reg.counter_add(
+        "routine_fallback_total",
+        1,
+        routine='we"ird\\name\nwith newline',
+    )
+    text = reg.prometheus_text()
+    assert 'routine="we\\"ird\\\\name\\nwith newline"' in text
+    assert "\nwith newline" not in text.replace("\\n", "")  # no raw newline

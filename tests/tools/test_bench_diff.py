@@ -1,0 +1,176 @@
+"""tia-bench-diff: noise-aware snapshot comparison and the CI gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.tools.bench_diff import (
+    classify,
+    diff_snapshots,
+    flatten,
+    main,
+    median_snapshot,
+)
+
+BASE = {
+    "seed_commit": "abc1234",
+    "smoke": {
+        "sweep": {
+            "scale": 0.25,
+            "workers": 4,
+            "current_path_seconds": 20.0,
+            "speedup": 1.5,
+            "objectives_match": True,
+            "all_solved": True,
+        },
+        "bb_throughput": {
+            "current_nodes_per_sec": 400.0,
+            "current_seconds": 1.0,
+        },
+        "cut_resolve": {"incremental_seconds": 0.015, "speedup": 1.5},
+        "obs_overhead": {"enabled_overhead_ratio": 1.0},
+        "chaos": {"failures": []},
+    },
+}
+
+
+def _flat(doc):
+    return flatten(doc)
+
+
+def test_identical_snapshots_pass():
+    report = diff_snapshots(_flat(BASE), _flat(BASE))
+    assert report["verdict"] == "pass"
+    assert report["findings"] == []
+
+
+def test_direction_classification():
+    assert classify("a.current_seconds") == ("lower", "seconds")
+    assert classify("a.presolve_seconds_seed") == ("lower", "seconds")
+    assert classify("a.nodes_per_sec") == ("higher", "per_sec")
+    assert classify("a.batch_time_speedup") == ("higher", "speedup")
+    assert classify("a.enabled_overhead_ratio") == ("lower", "ratio")
+    assert classify("a.failures") == ("lower", "count")
+    assert classify("a.scale")[0] == "skip"
+    assert classify("a.workers")[0] == "skip"
+    assert classify("a.cuts_fired")[0] == "info"
+
+
+def test_large_absolute_and_relative_regression_fails():
+    new = copy.deepcopy(BASE)
+    new["smoke"]["sweep"]["current_path_seconds"] = 55.0  # 2.75x, +35 s
+    report = diff_snapshots(_flat(BASE), _flat(new))
+    assert report["verdict"] == "fail"
+    (finding,) = [f for f in report["findings"] if f["verdict"] == "regression"]
+    assert finding["path"].endswith("current_path_seconds")
+
+
+def test_small_absolute_worsening_is_noise_not_regression():
+    new = copy.deepcopy(BASE)
+    # 4x relative on a 15 ms timing: far past the relative threshold but
+    # under the 0.25 s absolute floor — timer jitter, not a regression.
+    new["smoke"]["cut_resolve"]["incremental_seconds"] = 0.060
+    report = diff_snapshots(_flat(BASE), _flat(new))
+    assert report["verdict"] == "pass"
+    verdicts = {f["path"]: f["verdict"] for f in report["findings"]}
+    assert verdicts["smoke.cut_resolve.incremental_seconds"] == "noise"
+
+
+def test_small_relative_worsening_within_threshold_passes():
+    new = copy.deepcopy(BASE)
+    new["smoke"]["sweep"]["current_path_seconds"] = 24.0  # +20%, +4 s
+    report = diff_snapshots(_flat(BASE), _flat(new))
+    assert report["verdict"] == "pass"
+
+
+def test_boolean_invariant_decay_is_a_regression():
+    new = copy.deepcopy(BASE)
+    new["smoke"]["sweep"]["objectives_match"] = False
+    report = diff_snapshots(_flat(BASE), _flat(new))
+    assert report["verdict"] == "fail"
+
+
+def test_failures_list_growth_gates():
+    new = copy.deepcopy(BASE)
+    new["smoke"]["chaos"]["failures"] = ["deflate: crashed", "xfree: bad"]
+    report = diff_snapshots(_flat(BASE), _flat(new))
+    assert report["verdict"] == "fail"
+
+
+def test_intersection_only_sections_never_gate():
+    new = copy.deepcopy(BASE)
+    del new["smoke"]["bb_throughput"]
+    new["smoke"]["brand_new_section"] = {"whatever_seconds": 99.0}
+    report = diff_snapshots(_flat(BASE), _flat(new))
+    assert report["verdict"] == "pass"
+    assert "smoke.bb_throughput.current_seconds" in report["base_only"]
+    assert "smoke.brand_new_section.whatever_seconds" in report["new_only"]
+
+
+def test_median_of_k_suppresses_one_outlier():
+    runs = [_flat(copy.deepcopy(BASE)) for _ in range(3)]
+    runs[1]["smoke.sweep.current_path_seconds"] = 100.0  # one bad run
+    merged = median_snapshot(runs)
+    assert merged["smoke.sweep.current_path_seconds"] == 20.0
+    report = diff_snapshots(_flat(BASE), merged)
+    assert report["verdict"] == "pass"
+
+
+def test_median_of_k_bools_require_unanimity():
+    runs = [_flat(copy.deepcopy(BASE)) for _ in range(3)]
+    runs[2]["smoke.sweep.all_solved"] = False
+    merged = median_snapshot(runs)
+    assert merged["smoke.sweep.all_solved"] is False
+
+
+def test_cli_gate_exit_codes(tmp_path, capsys):
+    base_path = tmp_path / "base.json"
+    base_path.write_text(json.dumps(BASE))
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(BASE))
+    assert main([str(base_path), str(good), "--gate"]) == 0
+    bad_doc = copy.deepcopy(BASE)
+    bad_doc["smoke"]["sweep"]["current_path_seconds"] = 80.0
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(bad_doc))
+    assert main([str(base_path), str(bad), "--gate"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "current_path_seconds" in out
+    # Without --gate the diff reports but does not fail the process.
+    assert main([str(base_path), str(bad)]) == 0
+
+
+def test_cli_json_output_and_threshold_overrides(tmp_path, capsys):
+    base_path = tmp_path / "base.json"
+    base_path.write_text(json.dumps(BASE))
+    new_doc = copy.deepcopy(BASE)
+    new_doc["smoke"]["sweep"]["current_path_seconds"] = 24.0  # +20%
+    new_path = tmp_path / "new.json"
+    new_path.write_text(json.dumps(new_doc))
+    # Default thresholds: +20% on sweep is fine.
+    assert main([str(base_path), str(new_path), "--gate", "--json"]) == 0
+    capsys.readouterr()
+    # Tightened per-section threshold turns the same delta into a fail.
+    code = main([
+        str(base_path), str(new_path), "--gate", "--json",
+        "--section", "sweep=0.1",
+    ])
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["verdict"] == "fail"
+    assert report["regressions"] == 1
+
+
+def test_metrics_dump_shape_diffs_too():
+    base = {"counters": {"solves_total{backend=\"highs\"}": 3.0},
+            "gauges": {"routine_final_gap{routine=\"x\"}": 0.0},
+            "histograms": {"solve_seconds{backend=\"highs\"}": {
+                "sum": 1.0, "count": 3.0,
+                "buckets": {"+Inf": 3.0}}}}
+    new = copy.deepcopy(base)
+    new["histograms"]["solve_seconds{backend=\"highs\"}"]["sum"] = 30.0
+    report = diff_snapshots(flatten(base), flatten(new))
+    # histogram "sum" is untyped -> informational, never gated
+    assert report["verdict"] == "pass"
+    assert any(f["verdict"] == "info" for f in report["findings"])

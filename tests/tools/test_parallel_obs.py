@@ -72,6 +72,36 @@ def test_worker_events_merge_with_distinct_pid_lanes(recording):
     assert export.validate_chrome_trace(export.chrome_trace()) == []
 
 
+def test_solver_insight_survives_the_pool_pickle(recording):
+    """Gap timelines, cut attribution and paper metrics cross processes."""
+    outcomes = run_routines_parallel(
+        ["firstone", "xfree"], features=FEATURES, max_workers=2, **FAST
+    )
+    assert all(o.ok for o in outcomes)
+    for outcome in outcomes:
+        trace = outcome.experiment.result.trace
+        # trace.solves crossed the pickle boundary as plain dicts with
+        # closed timelines on every recorded solve.
+        assert trace.solves, outcome.name
+        for entry in trace.solves:
+            assert entry["gap_timeline"]["closed"], entry["site"]
+            assert len(entry["gap_timeline"]["samples"]) >= 2
+        paper = trace.paper_metrics
+        assert paper["routine"] == outcome.name
+        assert 0.0 <= paper["nop_density_out"] <= 1.0
+        # summary() exposes the analytics row and the final gap.
+        digest = outcome.summary()
+        assert digest["paper_metrics"] == paper
+        assert "gap" in digest
+    # Worker-side solve spans (with their timelines) merged into the
+    # parent recorder's trace for dashboard rendering.
+    solve_spans = [
+        e for e in obs.recorder().events
+        if e["name"].startswith("solve.") and "gap_timeline" in e.get("args", {})
+    ]
+    assert len(solve_spans) >= 2
+
+
 def test_worker_traces_survive_crash_retry(recording, fault_env):
     """worker=crash breaks the pool; retries must still deliver traces."""
     fault_env("worker=crash:1")
