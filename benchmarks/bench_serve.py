@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Schedule-cache serving benchmark — the numbers behind ``repro.serve``.
+
+Three sections, each a dict in ``BENCH_serve.json`` at the repo root:
+
+* ``cold_vs_hit``   — per-routine cold-solve latency vs byte-identical
+  exact-hit latency over the same store (``hit_speedup`` is the
+  headline: an exact hit must be at least an order of magnitude
+  cheaper than the solve it replaced, and ``byte_identical`` asserts
+  the hit really is the same schedule);
+* ``family_warm``   — cold solve vs a family-warm-started solve of the
+  same routine under a different solver budget (same family, new
+  exact key).  ``family_vs_cold_ratio`` ≈ 1.0 means the near-miss
+  seeding is free; far above 1 would mean the hint hurts;
+* ``hit_rate_sweep``— a replayed request mix over *generator*
+  workloads (a pool of seeded synthetic routines, every one requested
+  ``rounds`` times) through one service: hit rate, coalescing and
+  store growth of a steady-state serving loop.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full run
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke --out fresh.json
+
+CI gates with the noise-aware diff: ``tia-bench-diff BENCH_serve.json
+fresh.json --gate``.  Run with ``PYTHONHASHSEED=0`` (CI does) — solver
+wall time follows dict/set iteration order, and the committed baseline
+was recorded under a pinned hash seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.ir.printer import format_function, format_schedule  # noqa: E402
+from repro.sched.scheduler import ScheduleFeatures  # noqa: E402
+from repro.serve.service import ScheduleService  # noqa: E402
+from repro.workloads.generator import RoutineSpec, generate_routine  # noqa: E402
+from repro.workloads.spec_routines import build_spec_routine  # noqa: E402
+
+SMOKE_ROUTINES = ("xfree", "firstone", "get_heap_head")
+FULL_ROUTINES = (
+    "xfree", "firstone", "get_heap_head", "add_to_heap", "send_bits",
+)
+SMOKE_SEEDS = 4
+FULL_SEEDS = 8
+
+
+def _emitted(result):
+    return format_function(result.fn) + "\n" + format_schedule(
+        result.output_schedule, result.fn
+    )
+
+
+def _service(root, features):
+    return ScheduleService(root, default_features=features)
+
+
+def bench_cold_vs_hit(names, scale, time_limit, workdir):
+    features = ScheduleFeatures(time_limit=time_limit)
+    service = _service(workdir / "cold_vs_hit", features)
+    fns = [build_spec_routine(name, scale=scale) for name in names]
+
+    cold_seconds = 0.0
+    cold_texts = []
+    for fn in fns:
+        t0 = time.perf_counter()
+        outcome = service.request(fn)
+        cold_seconds += time.perf_counter() - t0
+        assert outcome.kind == "miss", outcome.kind
+        cold_texts.append(_emitted(outcome.result))
+
+    service.store.drop_mem()  # disk-hit numbers, not in-process-LRU ones
+    hit_seconds = 0.0
+    byte_identical = True
+    for fn, cold_text in zip(fns, cold_texts):
+        t0 = time.perf_counter()
+        outcome = service.request(fn)
+        hit_seconds += time.perf_counter() - t0
+        byte_identical &= (
+            outcome.kind == "exact" and _emitted(outcome.result) == cold_text
+        )
+
+    mem_seconds = 0.0  # second pass: served from the in-process front
+    for fn in fns:
+        t0 = time.perf_counter()
+        service.request(fn)
+        mem_seconds += time.perf_counter() - t0
+
+    return {
+        "routines": list(names),
+        "scale": scale,
+        "time_limit": time_limit,
+        "cold_seconds": cold_seconds,
+        "exact_hit_seconds": hit_seconds,
+        "mem_hit_seconds": mem_seconds,
+        "hit_speedup": cold_seconds / max(hit_seconds, 1e-9),
+        "byte_identical": byte_identical,
+    }
+
+
+def bench_family_warm(names, scale, time_limit, workdir):
+    cold_features = ScheduleFeatures(time_limit=time_limit)
+    warm_features = ScheduleFeatures(time_limit=time_limit * 2)
+    service = _service(workdir / "family_warm", cold_features)
+    fns = [build_spec_routine(name, scale=scale) for name in names]
+
+    cold_seconds = 0.0
+    for fn in fns:
+        t0 = time.perf_counter()
+        outcome = service.request(fn)
+        cold_seconds += time.perf_counter() - t0
+        assert outcome.kind == "miss"
+
+    warm_seconds = 0.0
+    warm_hits = 0
+    for fn in fns:
+        t0 = time.perf_counter()
+        outcome = service.request(fn, warm_features)
+        warm_seconds += time.perf_counter() - t0
+        warm_hits += outcome.kind == "family"
+
+    return {
+        "routines": list(names),
+        "scale": scale,
+        "time_limit": time_limit,
+        "cold_seconds": cold_seconds,
+        "family_warm_seconds": warm_seconds,
+        "family_hits": warm_hits,
+        "family_vs_cold_ratio": warm_seconds / max(cold_seconds, 1e-9),
+    }
+
+
+def bench_hit_rate_sweep(seeds, time_limit, rounds, workdir):
+    """Generator-workload traffic: each seeded routine requested
+    ``rounds`` times through one service."""
+    features = ScheduleFeatures(time_limit=time_limit)
+    service = _service(workdir / "hit_rate", features)
+    fns = [
+        generate_routine(RoutineSpec(
+            name=f"gen{seed}", seed=seed, instructions=16, blocks=4, loops=1,
+        ))
+        for seed in range(seeds)
+    ]
+
+    kinds = {"exact": 0, "family": 0, "miss": 0}
+    coalesced = 0
+    t0 = time.perf_counter()
+    for _round in range(rounds):
+        outcomes = service.request_many(fns)
+        for outcome in outcomes:
+            kinds[outcome.kind] += 1
+            coalesced += outcome.coalesced
+    elapsed = time.perf_counter() - t0
+    requests = rounds * len(fns)
+
+    stats = service.store.stats()
+    return {
+        "seeds": seeds,
+        "rounds": rounds,
+        "time_limit": time_limit,
+        "requests": requests,
+        "hits": kinds,
+        "coalesced": coalesced,
+        "hit_rate": (kinds["exact"] + kinds["family"]) / requests,
+        "total_seconds": elapsed,
+        "store_entries": stats["entries"],
+        "store_bytes": stats["bytes"],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--out", default=str(REPO / "BENCH_serve.json"),
+        help="snapshot path (merged under the 'full'/'smoke' mode key)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        names, scale, time_limit, rounds = SMOKE_ROUTINES, 0.3, 20.0, 3
+        seeds = SMOKE_SEEDS
+    else:
+        names, scale, time_limit, rounds = FULL_ROUTINES, 1.0, 60.0, 3
+        seeds = FULL_SEEDS
+    mode = "smoke" if args.smoke else "full"
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench_serve_"))
+    try:
+        report = {
+            "cold_vs_hit": bench_cold_vs_hit(names, scale, time_limit, workdir),
+            "family_warm": bench_family_warm(names, scale, time_limit, workdir),
+            "hit_rate_sweep": bench_hit_rate_sweep(
+                seeds, time_limit, rounds, workdir
+            ),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    print(json.dumps(report, indent=2, sort_keys=True))
+    out_path = pathlib.Path(args.out)
+    merged = json.loads(out_path.read_text()) if out_path.exists() else {}
+    existing = merged.get(mode, {})
+    existing.update(report)
+    merged[mode] = existing
+    out_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}", file=sys.stderr)
+
+    problems = []
+    cvh = report["cold_vs_hit"]
+    if not cvh["byte_identical"]:
+        problems.append("exact hits were not byte-identical")
+    if cvh["hit_speedup"] < 10.0:
+        problems.append(
+            f"exact-hit speedup {cvh['hit_speedup']:.1f}x < 10x"
+        )
+    if problems:
+        print("FAIL: " + "; ".join(problems), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

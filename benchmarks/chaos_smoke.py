@@ -11,7 +11,12 @@ Usage::
 
     python benchmarks/chaos_smoke.py [--seed N] [--rounds N]
         [--routines a,b,c] [--scale S] [--max-workers N] [--timeout S]
-        [--out BENCH_chaos.json]
+        [--cache-dir DIR] [--out BENCH_chaos.json]
+
+With ``--cache-dir`` every solve goes through the schedule cache
+(:mod:`repro.serve`) and the ``serve.store_io`` / ``serve.corrupt_entry``
+fault sites join the pick pool: a faulted store must degrade requests to
+cold solves, never fail them, so the same ok-contract applies.
 
 Exit status 0 when every outcome in every round passes, 1 otherwise.
 With ``--out`` the run also writes a JSON report: routines swept, the
@@ -51,13 +56,22 @@ SITE_KINDS = {
     "worker": ("crash",),
 }
 
+# Extra sites armed only when the sweep runs through the schedule cache
+# (``--cache-dir``): a faulted store must degrade every request to a
+# cold solve, never fail it.
+SERVE_SITE_KINDS = {
+    "serve.store_io": ("error",),
+    "serve.corrupt_entry": ("corrupt",),
+}
 
-def pick_faults(rng, count):
+
+def pick_faults(rng, count, site_kinds=None):
     """``count`` random (site, kind) injections, one per chosen site."""
-    sites = rng.sample(sorted(SITE_KINDS), k=min(count, len(SITE_KINDS)))
+    site_kinds = SITE_KINDS if site_kinds is None else site_kinds
+    sites = rng.sample(sorted(site_kinds), k=min(count, len(site_kinds)))
     parts = []
     for site in sites:
-        kind = rng.choice(SITE_KINDS[site])
+        kind = rng.choice(site_kinds[site])
         times = rng.choice(("", ":1", ":2"))
         parts.append(f"{site}={kind}{times}")
     return ",".join(parts)
@@ -73,6 +87,7 @@ def run_round(spec, names, args):
             sim_invocations=args.sim_invocations,
             max_workers=args.max_workers,
             timeout=args.timeout,
+            cache_dir=args.cache_dir,
         )
     finally:
         os.environ.pop(faults.ENV_VAR, None)
@@ -128,6 +143,11 @@ def main(argv=None):
     parser.add_argument(
         "--out", type=str, default=None, help="write a JSON report here"
     )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="run the sweep through the schedule cache (repro.serve); "
+        "arms the serve.* fault sites as well",
+    )
     args = parser.parse_args(argv)
 
     names = (
@@ -136,13 +156,16 @@ def main(argv=None):
         else [s.name for s in SPEC_ROUTINES]
     )
     rng = random.Random(args.seed)
+    site_kinds = dict(SITE_KINDS)
+    if args.cache_dir:
+        site_kinds.update(SERVE_SITE_KINDS)
     all_failures = []
     rounds_detail = []
     fault_mix = {}
     fallback_tiers = dict.fromkeys(QUALITIES, 0)
     retried_total = 0
     for round_no in range(args.rounds):
-        spec = pick_faults(rng, args.faults)
+        spec = pick_faults(rng, args.faults, site_kinds)
         print(f"round {round_no}: REPRO_FAULTS={spec}")
         failures, detail = run_round(spec, names, args)
         all_failures.extend(failures)

@@ -28,6 +28,8 @@ setup(
             "tia-opt = repro.tools.optimize:main",
             "tia-report = repro.tools.report:main",
             "tia-bench-diff = repro.tools.bench_diff:main",
+            "tia-serve = repro.serve.daemon:serve_main",
+            "tia-cache = repro.serve.daemon:cache_main",
         ]
     },
 )

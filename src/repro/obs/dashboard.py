@@ -12,6 +12,8 @@ page with:
   delta and re-solve cost per appended bundling cut),
 * the **paper-metric table** (Table 1/2 shape) aggregated from the
   ``paper_metrics`` attribute of every ``optimize`` span,
+* the **schedule-cache panel** (:mod:`repro.serve` hit mix, coalescing
+  and store health, from :func:`repro.obs.insight.serve_summary`),
 * counter / gauge / histogram tables from the metrics dump.
 
 The page is **zero-dependency and self-contained by construction**: all
@@ -26,7 +28,7 @@ from __future__ import annotations
 import html
 import json
 
-from repro.obs.insight import aggregate_paper_metrics
+from repro.obs.insight import aggregate_paper_metrics, serve_summary
 
 # Substrings that would make the page reach outside itself. ``src=`` and
 # ``url(`` cover images/fonts/CSS imports; ``<script`` bans JS outright
@@ -340,6 +342,50 @@ def _paper_section(events):
     return f"<table>{header}{''.join(body)}</table>"
 
 
+def _cache_section(metrics):
+    """Schedule-cache panel: hit mix bar plus the serve health digest."""
+    digest = serve_summary(metrics)
+    if not digest["requests"] and not digest["size_bytes"]:
+        return "<p class='note'>no schedule-cache activity recorded</p>"
+    hits = digest["hits"]
+    total = max(digest["requests"], 1)
+    colors = {"exact": "#3a8f3a", "family": "#c9a23a", "miss": "#b33a3a"}
+    x, bar = 0.0, []
+    for kind in ("exact", "family", "miss"):
+        w = 400.0 * hits[kind] / total
+        if w > 0:
+            bar.append(
+                f"<rect x='{x:.1f}' y='1' width='{max(w, 1.0):.1f}' "
+                f"height='14' fill='{colors[kind]}'>"
+                f"<title>{kind}: {hits[kind]:g}</title></rect>"
+            )
+            x += w
+    svg = (
+        "<svg width='410' height='16' viewBox='0 0 410 16'>"
+        + "".join(bar) + "</svg>"
+    )
+    rows = "".join(
+        f"<tr><td class='name'>{_esc(label)}</td><td>{_fmt(value)}</td></tr>"
+        for label, value in (
+            ("requests", digest["requests"]),
+            ("exact hits", hits["exact"]),
+            ("family hits", hits["family"]),
+            ("misses (cold solves)", hits["miss"]),
+            ("hit rate", digest["hit_rate"]),
+            ("coalesced requests", digest["coalesced"]),
+            ("store errors (absorbed)", digest["store_errors"]),
+            ("corrupt entries dropped", digest["corrupt_entries"]),
+            ("evictions", digest["evictions"]),
+            ("admission timeouts", digest["admission_timeouts"]),
+            ("store size (bytes)", digest["size_bytes"]),
+        )
+    )
+    return (
+        f"<p class='note'>hit mix (exact / family / miss)</p>{svg}"
+        f"<table><tr><th>series</th><th>value</th></tr>{rows}</table>"
+    )
+
+
 def _metrics_section(metrics):
     if not metrics:
         return "<p class='note'>no metrics dump provided</p>"
@@ -397,6 +443,7 @@ def render_dashboard(trace=None, metrics=None, title="tia observatory"):
         "<h2>Gap timelines</h2>", _gap_section(events),
         "<h2>Bundling-cut effectiveness</h2>", _cut_section(events),
         "<h2>Paper metrics (Table 1/2 shape)</h2>", _paper_section(events),
+        "<h2>Schedule cache</h2>", _cache_section(metrics),
         "<h2>Metrics</h2>", _metrics_section(metrics),
         "</body></html>",
     ]

@@ -260,6 +260,50 @@ _SUMMED = (
 )
 
 
+def serve_summary(metrics):
+    """Schedule-cache health digest from a ``--metrics`` dump.
+
+    ``metrics`` is :func:`repro.obs.export.metrics_dict` output —
+    ``{"counters": {...}, "gauges": {...}, "histograms": {...}}`` with
+    labelled series rendered as ``name{k="v"}`` keys.  Returns
+    ``{"requests", "hits": {exact, family, miss}, "hit_rate",
+    "coalesced", "solves", "store_errors", "corrupt_entries",
+    "evictions", "admission_timeouts", "size_bytes"}`` — the numbers
+    behind the dashboard's cache panel and the CI serve-smoke artifact.
+    All fields are plain ints/floats and default to zero, so the digest
+    is safe on an obs-disabled (empty) dump.
+    """
+    metrics = metrics or {}
+    counters = metrics.get("counters", {}) or {}
+    gauges = metrics.get("gauges", {}) or {}
+
+    def _sum(section, prefix):
+        return sum(
+            value for key, value in section.items()
+            if (key == prefix or key.startswith(prefix + "{"))
+            and isinstance(value, (int, float))
+        )
+
+    hits = {
+        kind: _sum(counters, f'cache_hits_total{{kind="{kind}"}}')
+        for kind in ("exact", "family", "miss")
+    }
+    requests = sum(hits.values())
+    served = hits["exact"] + hits["family"]
+    return {
+        "requests": requests,
+        "hits": hits,
+        "hit_rate": served / requests if requests else 0.0,
+        "coalesced": _sum(counters, "coalesced_requests_total"),
+        "solves": hits["miss"],
+        "store_errors": _sum(counters, "cache_store_errors_total"),
+        "corrupt_entries": _sum(counters, "cache_corrupt_entries_total"),
+        "evictions": _sum(counters, "cache_evictions_total"),
+        "admission_timeouts": _sum(counters, "serve_admission_timeouts_total"),
+        "size_bytes": _sum(gauges, "cache_size_bytes"),
+    }
+
+
 def aggregate_paper_metrics(rows):
     """Cross-routine run summary in the shape of Table 1's bottom row.
 

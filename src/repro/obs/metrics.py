@@ -49,6 +49,18 @@ BUCKET_BOUNDS = {
         0.0, 1e-6, 1e-4, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5,
         1.0,
     ),
+    # End-to-end serving latency per request, labeled by hit kind: the
+    # sub-millisecond buckets resolve exact hits (deserialization only),
+    # the long tail covers cold solves.
+    "serve_request_seconds": (
+        0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+        1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+    ),
+    # Cache lookup cost alone (mem LRU vs disk read + checksum).
+    "serve_lookup_seconds": (
+        0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+        0.025, 0.05, 0.1, 0.5, 1.0,
+    ),
 }
 
 # ``# HELP`` text for the exposition format, keyed by metric name.
@@ -86,6 +98,19 @@ METRIC_HELP = {
         "share of the routine deadline a pipeline site consumed",
     "bundling_cuts_per_routine":
         "bundling cuts appended over one routine's cut loop",
+    "cache_hits_total": "schedule-cache requests by hit kind",
+    "coalesced_requests_total":
+        "requests answered by another request's in-flight solve",
+    "cache_store_writes_total": "cache entries published to the store",
+    "cache_store_errors_total": "cache store I/O failures, by operation",
+    "cache_corrupt_entries_total": "cache entries quarantined on load",
+    "cache_evictions_total": "cache entries LRU-evicted by the size budget",
+    "cache_size_bytes": "on-disk cache size after the last eviction pass",
+    "serve_queue_depth": "requests queued for an admission slot",
+    "serve_admission_timeouts_total":
+        "requests whose budget expired while queued for admission",
+    "serve_request_seconds": "end-to-end serving latency by hit kind",
+    "serve_lookup_seconds": "schedule-cache lookup cost",
 }
 
 

@@ -182,6 +182,12 @@ class OptimizeResult:
     # the source of the phase-timing breakdown below and — when global
     # observability is on — of the routine's lane in the Chrome trace.
     trace: object = None
+    # The exact edge set/scopes verification ran with.  Cyclic flipped
+    # dependences are verify-exempt or scoped; a bare ``verify_schedule``
+    # call over the full DDG would falsely reject such schedules, so
+    # consumers that re-verify (the serving cache) must replay these.
+    verify_edges: object = None
+    verify_scopes: object = None
 
     # -- headline metrics -------------------------------------------------------
     @property
@@ -292,17 +298,25 @@ class IlpScheduler:
         self.features = features or ScheduleFeatures()
 
     # -- public -----------------------------------------------------------------
-    def optimize(self, fn):
+    def optimize(self, fn, length_hint=None):
         """Schedule ``fn``; never raises for pipeline failures — degrades
         along the fallback ladder (see the module docstring).  The one
         deliberate exception is :class:`repro.tools.faults.FaultConfigError`
         (a malformed ``REPRO_FAULTS`` spec): that is a configuration bug in
         the *driver*, and swallowing it would silently turn every routine
-        into ``fallback_input`` while injecting nothing, so it propagates."""
+        into ``fallback_input`` while injecting nothing, so it propagates.
+
+        ``length_hint`` is an optional ``{block name: cycles}`` map of
+        block lengths achieved by a structurally similar routine (a
+        cache-family near miss, :mod:`repro.serve.service`).  Hinted
+        blocks get their initial cycle range *tightened* to the hint
+        (never widened), shrinking the ILP; if the hint turns out
+        infeasible for this routine, the normal cycle-range growth
+        ladder recovers."""
         deadline = Deadline(self.features.time_limit)
         trace = obs.Trace()
         with trace.span("optimize", routine=fn.name) as root_span:
-            result = self._optimize_impl(fn, deadline, trace)
+            result = self._optimize_impl(fn, deadline, trace, length_hint)
             # Paper-metric analytics ride the trace (and, when recording,
             # the optimize span) so Table 1/2-shaped numbers survive the
             # pool fan-out and land in the Chrome trace for dashboards.
@@ -319,7 +333,7 @@ class IlpScheduler:
         self._publish_routine_metrics(result, trace, deadline)
         return result
 
-    def _optimize_impl(self, fn, deadline, trace):
+    def _optimize_impl(self, fn, deadline, trace, length_hint=None):
         features = self.features
         with trace.span("analyze"):
             work = clone_function(fn)
@@ -351,7 +365,8 @@ class IlpScheduler:
         messages = []
         try:
             pieces = self._run_pipeline(
-                work, region, input_schedule, deadline, messages, trace
+                work, region, input_schedule, deadline, messages, trace,
+                length_hint=length_hint,
             )
         except faults.FaultConfigError:
             raise  # driver misconfiguration, not a routine failure
@@ -373,8 +388,15 @@ class IlpScheduler:
         quality, fallback_reason = self._grade(pieces)
 
         verification = None
+        verify_edges = None
+        verify_scopes = None
         if features.verify:
             verify_edges = _verifiable_edges(pieces.ilp, pieces.final_solution)
+            verify_scopes = {
+                e: scope
+                for e, scope in pieces.ilp.verify_scopes.items()
+                if e in set(verify_edges)
+            }
             with trace.span("verify"):
                 verification = verify_schedule(
                     pieces.reconstruction.schedule,
@@ -382,11 +404,7 @@ class IlpScheduler:
                     pieces.reconstruction,
                     machine=self.machine,
                     dep_edges=verify_edges,
-                    edge_scopes={
-                        e: scope
-                        for e, scope in pieces.ilp.verify_scopes.items()
-                        if e in set(verify_edges)
-                    },
+                    edge_scopes=verify_scopes,
                 )
             injected = faults.fire("verify")
             if injected is not None:
@@ -433,6 +451,8 @@ class IlpScheduler:
             quality=quality,
             fallback_reason=fallback_reason,
             trace=trace,
+            verify_edges=verify_edges,
+            verify_scopes=verify_scopes,
         )
 
     # Pipeline sites whose share of the wall-clock budget is worth a
@@ -506,7 +526,8 @@ class IlpScheduler:
 
     # -- pipeline ---------------------------------------------------------------
     def _run_pipeline(
-        self, work, region, input_schedule, deadline, messages, trace
+        self, work, region, input_schedule, deadline, messages, trace,
+        length_hint=None,
     ):
         """Phase 1 + bundling-cut loop + phase 2; raises ``_Degrade`` when
         no ILP schedule can be produced within the budgets."""
@@ -514,6 +535,14 @@ class IlpScheduler:
         lengths = lengths_from_input(
             input_schedule, work, reserve=features.reserve
         )
+        if length_hint:
+            tightened = apply_length_hint(lengths, length_hint)
+            if tightened is not None:
+                lengths = tightened
+                trace.count("family_hint_applied")
+                messages.append(
+                    "seeded cycle ranges from a cache-family near miss"
+                )
         bundling_cuts = []
         # Decoupled retry budgets: cycle-range growths are counted per
         # INFEASIBLE verdict and bundling retries per BundlingError, so cut
@@ -882,6 +911,29 @@ class IlpScheduler:
         return build
 
 
+def apply_length_hint(lengths, hint):
+    """Tighten initial cycle ranges toward a family near-miss's achieved
+    block lengths.
+
+    Applied only when the hint covers exactly the same block set — a
+    sibling with different blocks says nothing about this routine.  Each
+    hinted length only ever *shrinks* a range (``min``), so the model
+    never gets larger than the cold-start one; a hint that proves too
+    tight surfaces as INFEASIBLE and the growth ladder recovers.
+    Returns the tightened map, or ``None`` when the hint is unusable.
+    """
+    try:
+        cleaned = {name: int(value) for name, value in hint.items()}
+    except (TypeError, ValueError, AttributeError):
+        return None
+    if set(cleaned) != set(lengths):
+        return None
+    return {
+        name: max(1, min(own, max(cleaned[name], 1)))
+        for name, own in lengths.items()
+    }
+
+
 def _verifiable_edges(ilp, solution):
     """Dependence edges the path verifier should check.
 
@@ -945,6 +997,8 @@ def _add_guard_dependences(ilp):
         ilp.add_edge(DepEdge(compare, instr, DepKind.TRUE, 1))
 
 
-def optimize_function(fn, features=None, machine=ITANIUM2):
+def optimize_function(fn, features=None, machine=ITANIUM2, length_hint=None):
     """One-call entry point: schedule ``fn`` and return an OptimizeResult."""
-    return IlpScheduler(machine=machine, features=features).optimize(fn)
+    return IlpScheduler(machine=machine, features=features).optimize(
+        fn, length_hint=length_hint
+    )

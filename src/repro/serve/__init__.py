@@ -1,0 +1,41 @@
+"""``repro.serve``: content-addressed schedule cache + scheduling service.
+
+The paper's postpass spends minutes of CPLEX time per routine to buy
+seconds of runtime (Sec. 6), which only amortizes when solved schedules
+are *reused*.  This package turns the one-shot
+:meth:`repro.sched.scheduler.IlpScheduler.optimize` pipeline into a
+cacheable, high-throughput service:
+
+:mod:`repro.serve.fingerprint`
+    rename/order-invariant canonical hashing of (routine IR, features,
+    machine, code version) so structurally identical requests share one
+    cache key, plus a coarser *family* fingerprint for near-miss lookup;
+:mod:`repro.serve.store`
+    a crash-safe on-disk content-addressed store (sharded dirs, atomic
+    writes, checksummed entries, LRU eviction) fronted by an in-process
+    LRU;
+:mod:`repro.serve.service`
+    the :class:`ScheduleService` facade — single-flight request
+    coalescing, exact hits served byte-identically, family near-misses
+    seeding warm starts, admission control and deadline-aware queueing;
+:mod:`repro.serve.daemon`
+    the ``tia-serve`` batch/socket front-end and the ``tia-cache``
+    inspect/gc/warm tool.
+"""
+
+from repro.serve.fingerprint import (
+    CODE_VERSION,
+    family_fingerprint,
+    fingerprint,
+)
+from repro.serve.service import ScheduleService, ServeOutcome
+from repro.serve.store import ScheduleStore
+
+__all__ = [
+    "CODE_VERSION",
+    "ScheduleService",
+    "ScheduleStore",
+    "ServeOutcome",
+    "family_fingerprint",
+    "fingerprint",
+]

@@ -1,0 +1,445 @@
+"""``ScheduleService``: the request-coalescing serving facade.
+
+One request = (routine IR, :class:`ScheduleFeatures`, machine).  The
+service resolves it through four layers, cheapest first:
+
+1. **Exact hit** — the request fingerprint
+   (:func:`repro.serve.fingerprint.fingerprint`) finds a stored entry;
+   the cached :class:`OptimizeResult` is deserialized, optionally
+   re-verified against the path verifier, and returned byte-identically
+   to the cold solve that produced it.
+2. **Single-flight coalescing** — concurrent duplicate requests for one
+   key share a single solve: the first caller becomes the *leader*, the
+   rest block on its flight and receive the same result
+   (``coalesced_requests_total`` counts the followers).
+3. **Family warm start** — on a miss, the coarse family fingerprint
+   finds near-miss siblings; the freshest sibling's achieved block
+   lengths seed the cycle ranges of the cold solve
+   (``length_hint`` on :meth:`IlpScheduler.optimize`), shrinking the
+   ILP without ever widening it.
+4. **Cold solve** — admission-controlled by a semaphore sized against
+   the machine (the same budget reasoning as the
+   :mod:`repro.tools.parallel` process pool: more concurrent solves
+   than cores just thrash).  Queue wait is charged against the
+   request's wall-clock budget, so a request that queued too long
+   degrades along the optimizer's fallback ladder instead of blowing
+   its deadline inside the solver.
+
+Failure containment mirrors the scheduler's graceful-degradation
+contract: **a request never fails because of the cache**.  Store I/O
+errors and corrupt/version-mismatched entries (including the
+``serve.store_io`` / ``serve.corrupt_entry`` fault-injection sites) are
+counted, logged as events, and absorbed by falling through to a cold
+solve.  Results below the ``phase1`` quality tier are never cached, so
+a degraded answer cannot be replayed forever.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.machine.itanium2 import ITANIUM2
+from repro.obs import core as obs
+from repro.sched.scheduler import IlpScheduler, ScheduleFeatures
+from repro.sched.verifier import verify_schedule
+from repro.serve.fingerprint import CODE_VERSION, family_fingerprint, fingerprint
+from repro.serve.store import ScheduleStore
+
+# Quality tiers worth replaying. "fallback_input" is the input schedule
+# — caching it would freeze a transient failure into a permanent one.
+CACHEABLE_QUALITIES = frozenset({"optimal", "incumbent", "phase1"})
+
+HIT_KINDS = ("exact", "family", "miss")
+
+
+@dataclass
+class ServeOutcome:
+    """Envelope around an :class:`OptimizeResult` served by the service."""
+
+    result: object
+    kind: str  # "exact" | "family" | "miss"
+    key: str
+    family: str
+    elapsed: float
+    coalesced: bool = False  # answered by another request's flight
+    stored: bool = False  # this request filled the cache
+    notes: list = field(default_factory=list)
+
+    def summary(self):
+        out = {
+            "routine": self.result.fn.name,
+            "kind": self.kind,
+            "key": self.key,
+            "elapsed": self.elapsed,
+            "quality": self.result.quality,
+            "coalesced": self.coalesced,
+            "stored": self.stored,
+        }
+        if self.notes:
+            out["notes"] = list(self.notes)
+        return out
+
+
+class _Flight:
+    """State shared between a leader and its coalesced followers."""
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.outcome = None
+        self.error = None
+
+
+class ScheduleService:
+    """Thread-safe serving facade over a :class:`ScheduleStore`.
+
+    ``max_concurrent`` bounds simultaneous cold solves (default: CPU
+    count, min 1); ``revalidate`` re-runs the path verifier on every
+    deserialized hit before serving it (belt and braces on top of the
+    store checksum — a verifier rejection quarantines the entry).
+    ``default_features`` seeds requests that do not carry their own.
+    """
+
+    def __init__(
+        self,
+        store,
+        machine=ITANIUM2,
+        default_features=None,
+        max_concurrent=None,
+        revalidate=True,
+    ):
+        if isinstance(store, (str, os.PathLike)):
+            store = ScheduleStore(store)
+        self.store = store
+        self.machine = machine
+        self.default_features = default_features or ScheduleFeatures()
+        self.revalidate = revalidate
+        if max_concurrent is None:
+            max_concurrent = max(1, os.cpu_count() or 1)
+        self.max_concurrent = max_concurrent
+        self._solve_slots = threading.Semaphore(max_concurrent)
+        self._flights = {}  # key -> _Flight
+        self._flights_lock = threading.Lock()
+        self._queued = 0
+        self.solves = 0  # cold solves actually executed (tests/metrics)
+
+    # -- public --------------------------------------------------------------
+    def request(self, fn, features=None):
+        """Serve one routine; returns a :class:`ServeOutcome`.
+
+        Never raises for cache or pipeline failures — the worst case is
+        a cold solve that itself degrades along the optimizer's fallback
+        ladder.
+        """
+        features = features or self.default_features
+        started = time.perf_counter()
+        with obs.span("serve.request", routine=fn.name) as span:
+            key = fingerprint(fn, features, self.machine)
+            family = family_fingerprint(fn, features, self.machine)
+
+            with self._flights_lock:
+                flight = self._flights.get(key)
+                leader = flight is None
+                if leader:
+                    flight = self._flights[key] = _Flight()
+            if not leader:
+                flight.done.wait()
+                if obs.ENABLED:
+                    obs.counter("coalesced_requests_total")
+                if flight.outcome is not None:
+                    elapsed = time.perf_counter() - started
+                    base = flight.outcome
+                    self._observe(base.kind, elapsed)
+                    span.set_attr("kind", base.kind)
+                    span.set_attr("coalesced", True)
+                    return ServeOutcome(
+                        result=base.result,
+                        kind=base.kind,
+                        key=key,
+                        family=family,
+                        elapsed=elapsed,
+                        coalesced=True,
+                        notes=["coalesced onto an in-flight request"],
+                    )
+                # The leader crashed before producing an outcome: fall
+                # through and solve it ourselves (becoming a new leader).
+                with self._flights_lock:
+                    if self._flights.get(key) is flight:
+                        del self._flights[key]
+                return self.request(fn, features)
+
+            try:
+                outcome = self._resolve(fn, features, key, family, started)
+                flight.outcome = outcome
+                span.set_attr("kind", outcome.kind)
+                return outcome
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._flights_lock:
+                    if self._flights.get(key) is flight:
+                        del self._flights[key]
+                flight.done.set()
+
+    def request_many(self, fns, features=None, workers=None):
+        """Serve a batch concurrently; returns outcomes in input order.
+
+        Threads (not processes): hits are I/O-bound and cold solves
+        spend their time inside numpy/HiGHS calls that release the GIL
+        — and a shared in-process flight table is what makes
+        coalescing work at all.
+        """
+        fns = list(fns)
+        if not fns:
+            return []
+        if workers is None:
+            workers = min(len(fns), self.max_concurrent * 2)
+        if workers <= 1 or len(fns) == 1:
+            return [self.request(fn, features) for fn in fns]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(lambda fn: self.request(fn, features), fns)
+            )
+
+    # -- resolution ----------------------------------------------------------
+    def _resolve(self, fn, features, key, family, started):
+        notes = []
+        hit = self._lookup(key, notes)
+        if hit is not None:
+            result = self._deserialize(key, hit, notes)
+            if result is not None:
+                elapsed = time.perf_counter() - started
+                self._observe("exact", elapsed)
+                return ServeOutcome(
+                    result=result,
+                    kind="exact",
+                    key=key,
+                    family=family,
+                    elapsed=elapsed,
+                    notes=notes,
+                )
+
+        hint = self._family_hint(key, family, notes)
+        kind = "family" if hint else "miss"
+        result, solved_features = self._cold_solve(fn, features, hint, started)
+        stored = self._maybe_store(
+            key, family, result, solved_features, notes
+        )
+        elapsed = time.perf_counter() - started
+        self._observe(kind, elapsed)
+        return ServeOutcome(
+            result=result,
+            kind=kind,
+            key=key,
+            family=family,
+            elapsed=elapsed,
+            stored=stored,
+            notes=notes,
+        )
+
+    def _lookup(self, key, notes):
+        """(header, payload) on exact hit, else None; store failures are
+        absorbed (counted + noted) as misses."""
+        with obs.span("serve.lookup") as span:
+            lookup_started = time.perf_counter()
+            try:
+                hit = self.store.get(key)
+            except OSError as exc:
+                if obs.ENABLED:
+                    obs.counter("cache_store_errors_total", op="get")
+                    obs.event("serve.store_io", op="get", error=str(exc))
+                notes.append(f"store read failed: {exc}")
+                hit = None
+            if obs.ENABLED:
+                obs.histogram(
+                    "serve_lookup_seconds",
+                    time.perf_counter() - lookup_started,
+                )
+            span.set_attr("hit", hit is not None)
+        return hit
+
+    def _deserialize(self, key, hit, notes):
+        """Unpickle + optionally re-verify a hit; on any failure the
+        entry is quarantined and ``None`` (cold solve) returned."""
+        header, payload = hit
+        if header.get("code_version") != CODE_VERSION:
+            notes.append("entry from another code version; ignoring")
+            return None
+        try:
+            result = pickle.loads(payload)
+        except Exception as exc:
+            notes.append(f"entry failed to deserialize: {exc}")
+            self.store._quarantine(
+                key, self.store._entry_path(key), f"unpicklable: {exc}"
+            )
+            return None
+        verify_edges = getattr(result, "verify_edges", None)
+        if (
+            self.revalidate
+            and result.reconstruction is not None
+            and verify_edges is not None
+        ):
+            # Replay verification with the exact edge set/scopes the
+            # scheduler proved the schedule against — a bare call over
+            # the full DDG would falsely reject cyclic code motion.
+            with obs.span("serve.revalidate"):
+                try:
+                    report = verify_schedule(
+                        result.output_schedule,
+                        result.region,
+                        result.reconstruction,
+                        machine=self.machine,
+                        dep_edges=verify_edges,
+                        edge_scopes=getattr(result, "verify_scopes", None) or {},
+                    )
+                except Exception as exc:
+                    report = None
+                    notes.append(f"revalidation errored: {exc}")
+            if report is None or not report.ok:
+                notes.append("cached schedule failed re-verification")
+                self.store._quarantine(
+                    key,
+                    self.store._entry_path(key),
+                    "failed re-verification on load",
+                )
+                return None
+        return result
+
+    def _family_hint(self, key, family, notes):
+        """Achieved block lengths of the freshest family sibling."""
+        try:
+            members = self.store.family_members(family)
+        except OSError:
+            return None
+        best = None
+        for member in members:
+            if member == key:
+                continue
+            header = self.store.load_header(member)
+            if not header or header.get("code_version") != CODE_VERSION:
+                continue
+            lengths = header.get("block_lengths")
+            if not isinstance(lengths, dict) or not lengths:
+                continue
+            if best is None or header.get("created", 0) > best[0]:
+                best = (header.get("created", 0), lengths)
+        if best is None:
+            return None
+        notes.append("cycle ranges seeded from a family near miss")
+        return best[1]
+
+    def _cold_solve(self, fn, features, hint, started):
+        """Admission-controlled solve; queue wait burns request budget."""
+        with obs.span("serve.solve", routine=fn.name):
+            budget = features.time_limit
+            self._queued += 1
+            if obs.ENABLED:
+                obs.gauge("serve_queue_depth", float(self._queued))
+            try:
+                if budget is None:
+                    self._solve_slots.acquire()
+                else:
+                    remaining = budget - (time.perf_counter() - started)
+                    acquired = self._solve_slots.acquire(
+                        timeout=max(0.0, remaining)
+                    )
+                    if not acquired:
+                        # Over-budget in the queue: run with a token
+                        # budget so the optimizer immediately degrades
+                        # to its input schedule — the request still
+                        # succeeds, truthfully marked fallback_input.
+                        if obs.ENABLED:
+                            obs.counter("serve_admission_timeouts_total")
+                        features = replace(features, time_limit=1e-6)
+                        self._solve_slots.acquire()
+            finally:
+                self._queued -= 1
+            try:
+                if budget is not None and features.time_limit > 1e-6:
+                    remaining = max(
+                        1e-6, budget - (time.perf_counter() - started)
+                    )
+                    features = replace(features, time_limit=remaining)
+                self.solves += 1
+                scheduler = IlpScheduler(
+                    machine=self.machine, features=features
+                )
+                return scheduler.optimize(fn, length_hint=hint), features
+            finally:
+                self._solve_slots.release()
+
+    def _maybe_store(self, key, family, result, features, notes):
+        """Cache a cold result when it is worth replaying."""
+        if result.quality not in CACHEABLE_QUALITIES:
+            notes.append(f"not cached (quality {result.quality})")
+            return False
+        if result.verification is not None and not result.verification.ok:
+            notes.append("not cached (verification failed)")
+            return False
+        try:
+            payload = pickle.dumps(result)
+        except Exception as exc:
+            notes.append(f"not cached (unpicklable result: {exc})")
+            return False
+        schedule = result.output_schedule
+        meta = {
+            "code_version": CODE_VERSION,
+            "routine": result.fn.name,
+            "quality": result.quality,
+            "block_lengths": {
+                name: schedule.block_length(name)
+                for name in schedule.block_order
+            },
+            "solve_seconds": result.ilp_size.get("time"),
+            "time_limit": features.time_limit,
+        }
+        with obs.span("serve.store"):
+            try:
+                self.store.put(key, family, payload, meta)
+            except OSError as exc:
+                if obs.ENABLED:
+                    obs.counter("cache_store_errors_total", op="put")
+                    obs.event("serve.store_io", op="put", error=str(exc))
+                notes.append(f"store write failed: {exc}")
+                return False
+        return True
+
+    # -- metrics -------------------------------------------------------------
+    @staticmethod
+    def _observe(kind, elapsed):
+        if obs.ENABLED:
+            obs.counter("cache_hits_total", kind=kind)
+            obs.histogram("serve_request_seconds", elapsed, kind=kind)
+
+
+def cached_optimize(fn, features=None, cache_dir=None, machine=ITANIUM2):
+    """Drop-in for :func:`optimize_function` with a shared disk cache.
+
+    Builds (and memoizes per process) one :class:`ScheduleService` per
+    cache directory — this is what :mod:`repro.tools.experiments` and
+    the pool workers in :mod:`repro.tools.parallel` call when a sweep
+    runs with ``cache_dir`` set.  Returns the :class:`ServeOutcome`.
+    """
+    service = _service_for(cache_dir, machine)
+    return service.request(fn, features)
+
+
+_services = {}
+_services_lock = threading.Lock()
+
+
+def _service_for(cache_dir, machine=ITANIUM2):
+    key = (os.path.abspath(cache_dir), id(machine))
+    with _services_lock:
+        service = _services.get(key)
+        if service is None:
+            service = _services[key] = ScheduleService(
+                ScheduleStore(cache_dir), machine=machine
+            )
+        return service

@@ -57,6 +57,14 @@ SECTION_REL = {
     "cut_resolve": 1.0,
     "sweep": 1.0,
     "obs_overhead": 0.10,
+    # Serving benchmarks (BENCH_serve.json): the gated signals are the
+    # speedup/ratio/boolean leaves and the hit latencies (whose 0.25 s
+    # abs floor only trips when the cache stops serving); the raw
+    # cold-solve wall times are sub-second context numbers dominated by
+    # search-order luck and host contention, so they get wide headroom.
+    "cold_vs_hit": 3.0,
+    "family_warm": 3.0,
+    "hit_rate_sweep": 3.0,
 }
 DEFAULT_REL = 0.5
 

@@ -109,8 +109,16 @@ def run_routine(
     scale=None,
     sim_invocations=120,
     sim_seed=1,
+    cache_dir=None,
 ):
-    """Run the full pipeline for one named routine."""
+    """Run the full pipeline for one named routine.
+
+    With ``cache_dir`` the solve goes through the schedule cache
+    (:func:`repro.serve.service.cached_optimize`): an exact hit skips
+    the ILP entirely and a family near miss seeds the cycle ranges.
+    The store directory may be shared across pool workers — writes are
+    atomic renames.
+    """
     from repro.workloads.spec_routines import build_spec_routine
 
     scale = default_scale() if scale is None else scale
@@ -118,7 +126,12 @@ def run_routine(
     fn = build_spec_routine(name, scale=scale)
     spec_in = count_input_speculation(fn)
     features = features or default_features()
-    result = optimize_function(fn, features)
+    if cache_dir is not None:
+        from repro.serve.service import cached_optimize
+
+        result = cached_optimize(fn, features, cache_dir=cache_dir).result
+    else:
+        result = optimize_function(fn, features)
 
     comparison = compare_schedules(
         result.fn,

@@ -22,6 +22,14 @@ Sites (``SITES``):
     The path-based schedule verifier.
 ``worker``
     A routine worker process in :mod:`repro.tools.parallel`.
+``serve.store_io``
+    Disk I/O in the schedule cache (:mod:`repro.serve.store`): a firing
+    makes the next store read/write raise ``OSError``, which the
+    serving layer must absorb as a cache miss / skipped fill.
+``serve.corrupt_entry``
+    Bit rot on a cache entry load: the payload is flipped before
+    checksum verification, so the store must quarantine the entry and
+    the service must fall through to a cold solve.
 
 Kinds (``KINDS``):
 
@@ -84,6 +92,8 @@ SITES = (
     "bundle",
     "verify",
     "worker",
+    "serve.store_io",
+    "serve.corrupt_entry",
 )
 
 KINDS = ("timeout", "infeasible", "incumbent", "corrupt", "error", "crash")

@@ -9,7 +9,7 @@ Usage::
 
     tia-opt INPUT.tia [-o OUTPUT.tia] [--no-speculation] [--no-cyclic]
             [--no-partial-ready] [--time-limit S] [--backend highs|bb]
-            [--schedule] [--bundles]
+            [--cache DIR] [--schedule] [--bundles]
             [--trace TRACE.json] [--metrics METRICS.json|.prom]
             [--events EVENTS.jsonl] [--html DASHBOARD.html]
 
@@ -97,6 +97,12 @@ def main(argv=None):
     parser.add_argument("--time-limit", type=float, default=120.0)
     parser.add_argument("--backend", choices=["highs", "bb"], default="highs")
     parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="route solves through the schedule cache (repro.serve) in DIR",
+    )
+    parser.add_argument(
         "--schedule", action="store_true", help="print the cycle-level schedule"
     )
     parser.add_argument(
@@ -158,7 +164,17 @@ def main(argv=None):
 
     outputs = []
     for fn in parse_functions(text):
-        result = optimize_function(fn, features)
+        if args.cache:
+            from repro.serve.service import cached_optimize
+
+            outcome = cached_optimize(fn, features, cache_dir=args.cache)
+            result = outcome.result
+            print(
+                f"cache: {outcome.kind} ({outcome.elapsed:.3f}s)",
+                file=sys.stderr,
+            )
+        else:
+            result = optimize_function(fn, features)
         print(result.report(), file=sys.stderr)
         if args.schedule:
             print(format_schedule(result.output_schedule, result.fn), file=sys.stderr)

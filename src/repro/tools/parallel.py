@@ -87,7 +87,7 @@ def _run_one(args):
     processes, never on the in-process retry/sequential paths — so an
     injected ``crash`` breaks the pool without ever killing the driver.
     """
-    name, features, scale, sim_invocations, sim_seed = args
+    name, features, scale, sim_invocations, sim_seed, cache_dir = args
     if obs.ENABLED:
         # A forked worker inherits the parent's recorder (events and all);
         # reset() swaps in an empty buffer stamped with this worker's pid
@@ -105,6 +105,7 @@ def _run_one(args):
         scale=scale,
         sim_invocations=sim_invocations,
         sim_seed=sim_seed,
+        cache_dir=cache_dir,
     )
     elapsed = time.perf_counter() - start
     return experiment, elapsed, obs.snapshot() if obs.ENABLED else None
@@ -118,6 +119,7 @@ def run_routines_parallel(
     sim_seed=1,
     max_workers=None,
     timeout=None,
+    cache_dir=None,
 ):
     """Run the named routines concurrently; returns ``[RoutineOutcome]``.
 
@@ -125,7 +127,10 @@ def run_routines_parallel(
     worker the batch runs in-process. ``timeout`` (seconds) bounds every
     routine's wall clock measured from batch start — size it for the
     whole batch when workers are fewer than routines, since queued
-    routines consume their budget while waiting. Failures (including
+    routines consume their budget while waiting. ``cache_dir`` routes
+    every solve through the shared schedule cache (:mod:`repro.serve`):
+    workers share the store directory (atomic writes make that safe)
+    and repeat sweeps serve exact hits. Failures (including
     timeouts) become ``ok=False`` outcomes; a broken pool is rebuilt once
     and stragglers finish in-process with ``retried=True``. The batch
     always returns one outcome per requested routine, in input order.
@@ -147,12 +152,13 @@ def run_routines_parallel(
     with obs.span("parallel.batch", routines=len(names), workers=max_workers):
         return _run_batch(
             names, features, scale, sim_invocations, sim_seed,
-            max_workers, timeout,
+            max_workers, timeout, cache_dir,
         )
 
 
 def _run_batch(
-    names, features, scale, sim_invocations, sim_seed, max_workers, timeout
+    names, features, scale, sim_invocations, sim_seed, max_workers, timeout,
+    cache_dir=None,
 ):
     start = time.monotonic()
 
@@ -165,7 +171,7 @@ def _run_batch(
         return [
             _sequential_outcome(
                 name, features, scale, sim_invocations, sim_seed,
-                remaining_budget(),
+                remaining_budget(), cache_dir=cache_dir,
             )
             for name in names
         ]
@@ -187,7 +193,8 @@ def _run_batch(
             futures = {
                 name: executor.submit(
                     _run_one,
-                    (name, features, scale, sim_invocations, sim_seed),
+                    (name, features, scale, sim_invocations, sim_seed,
+                     cache_dir),
                 )
                 for name in pending
             }
@@ -249,7 +256,7 @@ def _run_batch(
             obs.counter("worker_retries_total", 1, routine=name)
         outcomes[name] = _sequential_outcome(
             name, features, scale, sim_invocations, sim_seed,
-            remaining_budget(), retried=True,
+            remaining_budget(), retried=True, cache_dir=cache_dir,
         )
     return [outcomes[name] for name in names]
 
@@ -278,7 +285,8 @@ def _bound_features(features, timeout):
 
 
 def _sequential_outcome(
-    name, features, scale, sim_invocations, sim_seed, timeout, retried=False
+    name, features, scale, sim_invocations, sim_seed, timeout, retried=False,
+    cache_dir=None,
 ):
     """In-process path: the single-worker batch and broken-pool retries.
 
@@ -295,6 +303,7 @@ def _sequential_outcome(
             scale=scale,
             sim_invocations=sim_invocations,
             sim_seed=sim_seed,
+            cache_dir=cache_dir,
         )
     except Exception as exc:
         return RoutineOutcome(

@@ -98,3 +98,26 @@ def test_load_artifact_rejects_unknown_shape(tmp_path):
     path.write_text(json.dumps({"not": "an artifact"}))
     with pytest.raises(ValueError):
         dashboard.load_artifact(path)
+
+
+def test_cache_panel_renders_from_metrics():
+    metrics = {
+        "counters": {
+            'cache_hits_total{kind="exact"}': 5.0,
+            'cache_hits_total{kind="miss"}': 5.0,
+            "coalesced_requests_total": 2.0,
+        },
+        "gauges": {},
+        "histograms": {},
+    }
+    html = dashboard.render_dashboard(metrics=metrics)
+    assert dashboard.validate_self_contained(html) == []
+    assert "Schedule cache" in html
+    assert "hit mix" in html
+    assert "coalesced requests" in html
+
+
+def test_cache_panel_degrades_without_activity():
+    html = dashboard.render_dashboard(metrics={"counters": {}, "gauges": {}})
+    assert "no schedule-cache activity recorded" in html
+    assert dashboard.validate_self_contained(html) == []

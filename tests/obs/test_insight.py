@@ -115,3 +115,57 @@ def test_aggregate_paper_metrics_averages_and_sums():
     assert summary["average"]["static_reduction"] == pytest.approx(0.3)
     assert summary["total"]["instructions_in"] == 30
     assert insight.aggregate_paper_metrics([])["routines"] == 0
+
+
+def test_serve_summary_from_metrics_dump():
+    metrics = {
+        "counters": {
+            'cache_hits_total{kind="exact"}': 6.0,
+            'cache_hits_total{kind="family"}': 2.0,
+            'cache_hits_total{kind="miss"}': 2.0,
+            "coalesced_requests_total": 3.0,
+            'cache_store_errors_total{op="get"}': 1.0,
+            'cache_store_errors_total{op="put"}': 1.0,
+            "cache_corrupt_entries_total": 1.0,
+            "cache_evictions_total": 4.0,
+        },
+        "gauges": {"cache_size_bytes": 12345.0},
+    }
+    digest = insight.serve_summary(metrics)
+    assert digest["requests"] == 10.0
+    assert digest["hits"] == {"exact": 6.0, "family": 2.0, "miss": 2.0}
+    assert digest["hit_rate"] == pytest.approx(0.8)
+    assert digest["coalesced"] == 3.0
+    assert digest["solves"] == 2.0
+    assert digest["store_errors"] == 2.0  # both ops summed
+    assert digest["corrupt_entries"] == 1.0
+    assert digest["evictions"] == 4.0
+    assert digest["size_bytes"] == 12345.0
+
+
+def test_serve_summary_empty_and_none():
+    for metrics in (None, {}, {"counters": {}, "gauges": {}}):
+        digest = insight.serve_summary(metrics)
+        assert digest["requests"] == 0
+        assert digest["hit_rate"] == 0.0
+
+
+def test_serve_summary_from_live_serve_run(tmp_path):
+    from repro.obs import core as obs
+    from repro.obs import export
+    from repro.sched.scheduler import ScheduleFeatures as SF
+    from repro.serve.service import ScheduleService
+
+    fn = parse_function(SMALL)
+    obs.disable()
+    obs.enable()
+    try:
+        svc = ScheduleService(tmp_path / "cache", default_features=SF(time_limit=20))
+        svc.request(fn)
+        svc.request(fn)
+        digest = insight.serve_summary(export.metrics_dict())
+    finally:
+        obs.disable()
+    assert digest["requests"] == 2
+    assert digest["hits"]["exact"] == 1
+    assert digest["hits"]["miss"] == 1

@@ -1,0 +1,173 @@
+"""tia-serve / tia-cache CLI behaviour over a real store directory."""
+
+import json
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.serve.daemon import cache_main, serve_main
+from repro.serve.store import ScheduleStore
+
+from tests.conftest import STRAIGHT_TEXT
+
+
+@pytest.fixture
+def tia_file(tmp_path):
+    path = tmp_path / "routine.tia"
+    path.write_text(STRAIGHT_TEXT)
+    return str(path)
+
+
+def _cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def test_serve_batch_rounds_hit_cache(tmp_path, tia_file, capsys):
+    cache = _cache_dir(tmp_path)
+    stats_path = str(tmp_path / "stats.json")
+    out_path = str(tmp_path / "out.tia")
+    rc = serve_main([
+        tia_file, "--cache", cache, "--rounds", "2",
+        "--time-limit", "20", "--stats-out", stats_path, "-o", out_path,
+    ])
+    assert rc == 0
+    stats = json.loads(open(stats_path).read())
+    assert stats["requests"] == 2
+    assert stats["hits"]["miss"] == 1
+    assert stats["hits"]["exact"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["store"]["entries"] == 1
+    assert "straight" in open(out_path).read()
+
+
+def test_serve_batch_requires_inputs(tmp_path):
+    with pytest.raises(SystemExit):
+        serve_main(["--cache", _cache_dir(tmp_path)])
+
+
+def test_serve_socket_roundtrip(tmp_path, capsys):
+    cache = _cache_dir(tmp_path)
+    sock_path = str(tmp_path / "serve.sock")
+    box = {}
+
+    def server():
+        box["rc"] = serve_main([
+            "--cache", cache, "--listen", sock_path,
+            "--max-requests", "2", "--time-limit", "20",
+        ])
+
+    thread = threading.Thread(target=server)
+    thread.start()
+    try:
+        deadline = 50
+        while not os.path.exists(sock_path) and deadline:
+            threading.Event().wait(0.1)
+            deadline -= 1
+        assert os.path.exists(sock_path), "socket never bound"
+
+        replies = []
+        for _ in range(2):
+            client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            client.connect(sock_path)
+            client.sendall(STRAIGHT_TEXT.encode())
+            client.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = client.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            client.close()
+            replies.append(b"".join(chunks).decode())
+    finally:
+        thread.join(timeout=120)
+    assert box["rc"] == 0
+    assert all(".proc straight" in reply for reply in replies)
+    # Second connection was served from cache: byte-identical reply.
+    assert replies[0] == replies[1]
+
+
+def test_serve_socket_bad_request_does_not_kill_loop(tmp_path):
+    cache = _cache_dir(tmp_path)
+    sock_path = str(tmp_path / "serve.sock")
+    box = {}
+
+    def server():
+        box["rc"] = serve_main([
+            "--cache", cache, "--listen", sock_path,
+            "--max-requests", "2", "--time-limit", "20",
+        ])
+
+    thread = threading.Thread(target=server)
+    thread.start()
+    try:
+        deadline = 50
+        while not os.path.exists(sock_path) and deadline:
+            threading.Event().wait(0.1)
+            deadline -= 1
+
+        def roundtrip(payload):
+            client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            client.connect(sock_path)
+            client.sendall(payload)
+            client.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = client.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            client.close()
+            return b"".join(chunks).decode()
+
+        bad = roundtrip(b"this is not TIA assembly {{{")
+        good = roundtrip(STRAIGHT_TEXT.encode())
+    finally:
+        thread.join(timeout=120)
+    assert box["rc"] == 0
+    assert bad.startswith(".error") or bad == ""
+    assert ".proc straight" in good
+
+
+def test_cache_warm_stats_verify_gc(tmp_path, tia_file, capsys):
+    cache = _cache_dir(tmp_path)
+    rc = cache_main(["warm", cache, tia_file, "--time-limit", "20"])
+    assert rc == 0
+    warm_report = json.loads(capsys.readouterr().out)
+    assert warm_report["store"]["entries"] == 1
+
+    rc = cache_main(["stats", cache, "--json"])
+    assert rc == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == 1
+    assert stats["families"] == 1
+
+    rc = cache_main(["ls", cache])
+    assert rc == 0
+    assert "straight" in capsys.readouterr().out
+
+    rc = cache_main(["verify", cache])
+    assert rc == 0
+    assert "1 entries ok, 0 corrupt" in capsys.readouterr().out
+
+    rc = cache_main(["gc", cache, "--budget", "0"])
+    assert rc == 0
+    assert "evicted 1 entry" in capsys.readouterr().out
+    assert ScheduleStore(cache).stats()["entries"] == 0
+
+
+def test_cache_verify_flags_corruption(tmp_path, tia_file, capsys):
+    cache = _cache_dir(tmp_path)
+    cache_main(["warm", cache, tia_file, "--time-limit", "20"])
+    capsys.readouterr()
+    store = ScheduleStore(cache)
+    (key, path, _size, _mtime), = store.entries()
+    raw = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(raw[:-1] + b"\x00")
+    rc = cache_main(["verify", cache])
+    assert rc == 1
+    assert "1 corrupt dropped" in capsys.readouterr().out
+    assert store.stats()["entries"] == 0

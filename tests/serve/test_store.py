@@ -1,0 +1,192 @@
+"""ScheduleStore durability and integrity contract.
+
+Whatever happens to the files — truncation, bit rot, version drift,
+injected I/O faults — a read returns either a checksum-verified entry
+or ``None``; it never returns garbage and never leaves a bad entry in
+place to fail again.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.serve.store import ENTRY_MAGIC, ScheduleStore
+from repro.tools import faults
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+FAMILY = "f" * 64
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ScheduleStore(tmp_path / "cache")
+
+
+def test_put_get_roundtrip(store):
+    payload = b"\x00\x01payload\xff"
+    header = store.put(KEY_A, FAMILY, payload, {"routine": "r", "quality": "optimal"})
+    assert header["magic"] == ENTRY_MAGIC
+    assert header["payload_len"] == len(payload)
+    got_header, got_payload = store.get(KEY_A)
+    assert got_payload == payload
+    assert got_header["routine"] == "r"
+    # Roundtrip survives a fresh store object (no in-process state).
+    fresh = ScheduleStore(store.root)
+    _header, got2 = fresh.get(KEY_A)
+    assert got2 == payload
+
+
+def test_miss_returns_none(store):
+    assert store.get(KEY_A) is None
+    assert KEY_A not in store
+
+
+def test_atomic_put_leaves_no_tmp_litter(store):
+    store.put(KEY_A, FAMILY, b"x" * 100)
+    assert os.listdir(os.path.join(store.root, "tmp")) == []
+
+
+def test_corrupt_payload_quarantined(store):
+    store.put(KEY_A, FAMILY, b"good payload bytes")
+    store.drop_mem()
+    path = store._entry_path(KEY_A)
+    raw = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(raw[:-3] + b"ROT")
+    assert store.get(KEY_A) is None
+    assert not os.path.exists(path)  # quarantined, not left to re-fail
+
+
+def test_truncated_entry_quarantined(store):
+    store.put(KEY_A, FAMILY, b"a payload long enough to truncate")
+    store.drop_mem()
+    path = store._entry_path(KEY_A)
+    raw = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(raw[: len(raw) // 2])
+    assert store.get(KEY_A) is None
+    assert not os.path.exists(path)
+
+
+def test_version_mismatch_quarantined(store):
+    store.put(KEY_A, FAMILY, b"payload")
+    store.drop_mem()
+    path = store._entry_path(KEY_A)
+    raw = open(path, "rb").read()
+    newline = raw.find(b"\n")
+    header = json.loads(raw[:newline])
+    header["version"] = 999
+    with open(path, "wb") as handle:
+        handle.write(json.dumps(header).encode() + b"\n" + raw[newline + 1:])
+    assert store.get(KEY_A) is None
+    assert not os.path.exists(path)
+
+
+def test_injected_corruption_caught_by_checksum(store):
+    store.put(KEY_A, FAMILY, b"checksummed payload")
+    store.drop_mem()
+    with faults.inject("serve.corrupt_entry=corrupt:1"):
+        assert store.get(KEY_A) is None
+    # The file was quarantined while the fault was armed; a re-put works.
+    store.put(KEY_A, FAMILY, b"checksummed payload")
+    assert store.get(KEY_A)[1] == b"checksummed payload"
+
+
+def test_injected_store_io_raises_oserror(store):
+    store.put(KEY_A, FAMILY, b"payload")
+    store.drop_mem()
+    with faults.inject("serve.store_io=error:1"):
+        with pytest.raises(OSError):
+            store.get(KEY_A)
+    with faults.inject("serve.store_io=error:1"):
+        with pytest.raises(OSError):
+            store.put(KEY_B, FAMILY, b"other")
+
+
+def test_mem_front_serves_without_disk(store):
+    store.put(KEY_A, FAMILY, b"hot payload")
+    os.unlink(store._entry_path(KEY_A))
+    # Still served from the in-process LRU front.
+    assert store.get(KEY_A)[1] == b"hot payload"
+    store.drop_mem()
+    assert store.get(KEY_A) is None
+
+
+def test_mem_front_bounded(tmp_path):
+    store = ScheduleStore(tmp_path / "c", mem_entries=2)
+    for i, key in enumerate((KEY_A, KEY_B, KEY_C)):
+        store.put(key, "", b"p%d" % i)
+    assert len(store._mem) == 2
+    assert KEY_A not in store._mem  # oldest dropped from the front...
+    assert store.get(KEY_A)[1] == b"p0"  # ...but still on disk
+
+
+def test_family_index_roundtrip(store):
+    store.put(KEY_A, FAMILY, b"one")
+    store.put(KEY_B, FAMILY, b"two")
+    assert sorted(store.family_members(FAMILY)) == sorted([KEY_A, KEY_B])
+    # Members whose entries vanished are filtered out.
+    os.unlink(store._entry_path(KEY_A))
+    assert store.family_members(FAMILY) == [KEY_B]
+    assert store.family_members("0" * 64) == []
+
+
+def test_gc_evicts_lru_to_budget(store):
+    store.put(KEY_A, FAMILY, b"x" * 1000)
+    time.sleep(0.01)
+    store.put(KEY_B, FAMILY, b"y" * 1000)
+    time.sleep(0.01)
+    store.get(KEY_A, touch=True)  # refresh A's mtime: B is now LRU
+    store.drop_mem()
+    total = store.stats()["bytes"]
+    evicted = store.gc(total - 1)  # must drop exactly one entry
+    assert evicted == [KEY_B]
+    assert store.get(KEY_A) is not None
+    assert store.get(KEY_B) is None
+
+
+def test_gc_sweeps_stale_tmp_files(store):
+    stale = os.path.join(store.root, "tmp", "stale.123.456")
+    with open(stale, "wb") as handle:
+        handle.write(b"crash litter")
+    old = time.time() - 7200
+    os.utime(stale, (old, old))
+    store.gc(10**9)
+    assert not os.path.exists(stale)
+
+
+def test_size_budget_enforced_on_put(tmp_path):
+    store = ScheduleStore(tmp_path / "c", size_budget=1500)
+    store.put(KEY_A, "", b"x" * 1000)
+    time.sleep(0.01)
+    store.put(KEY_B, "", b"y" * 1000)
+    stats = store.stats()
+    assert stats["bytes"] <= 1500
+    assert stats["entries"] == 1
+
+
+def test_verify_all_drops_only_bad_entries(store):
+    store.put(KEY_A, FAMILY, b"good")
+    store.put(KEY_B, FAMILY, b"bad soon")
+    store.drop_mem()
+    path = store._entry_path(KEY_B)
+    raw = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(raw[:-1] + b"\x00")
+    ok, dropped = store.verify_all()
+    assert ok == 1
+    assert dropped == [KEY_B]
+    assert store.get(KEY_A) is not None
+
+
+def test_stats_counts(store):
+    assert store.stats() == {"entries": 0, "bytes": 0, "families": 0}
+    store.put(KEY_A, FAMILY, b"12345")
+    stats = store.stats()
+    assert stats["entries"] == 1
+    assert stats["families"] == 1
+    assert stats["bytes"] > 5  # header + payload
