@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Solver performance harness — before/after numbers for the ILP stack.
 
-Four sections, each a dict in ``BENCH_solver.json`` at the repo root:
+Sections, each a dict in ``BENCH_solver.json`` at the repo root:
 
 * ``root_lp``       — presolve + root-relaxation cost on a scheduling
   model, seed (git-history replica) vs current vectorized presolve;
@@ -13,6 +13,11 @@ Four sections, each a dict in ``BENCH_solver.json`` at the repo root:
   path (sequential, rebuild everything) vs current (incremental model
   reuse + process-pool fan-out). Fan-out width = CPU count, so the
   measured ratio is hardware-dependent; ``workers`` records it.
+* ``obs_overhead``  — scheduler-path cost of the observability layer,
+  recording off vs on;
+* ``decompose``     — region decomposition (repro.sched.decompose) vs
+  the whole-function ILP on multi-region generator routines: wall time
+  must drop and bundle counts must not grow.
 
 The seed baselines are materialized from the growth-seed commit via
 ``git show`` so the comparison runs the *actual* old code, not a guess.
@@ -421,6 +426,88 @@ def bench_obs_overhead(smoke):
     }
 
 
+def bench_decompose(smoke):
+    """Region decomposition vs the whole-function ILP.
+
+    Runs the multi-region generator family (the decomposition workload:
+    structured segments chained through frequency-neutral corridors) two
+    ways — ``decompose=False`` (one whole-function model) and the
+    default decomposed pipeline — under the same time limit.  At full
+    scale the whole-function phase-1 model exceeds 10k rows and hits the
+    time limit, while the per-partition models solve to optimality in
+    seconds; the gated claims are ``*_seconds``/``speedup`` (decomposed
+    must stay faster) and ``bundles_no_worse``/``verified`` (quality
+    must not decay — the stitched schedule is a restriction of the
+    whole-function model, not an approximation).
+    """
+    from repro.workloads.generator import generate_multi_region, multi_region_family
+
+    count = 1 if smoke else 2
+    scale = 0.4 if smoke else 1.0
+    time_limit = 25 if smoke else 120
+    base = dict(
+        time_limit=time_limit, max_hops=4, decompose_min_instructions=60
+    )
+
+    per_routine = {}
+    whole_total = 0.0
+    decomposed_total = 0.0
+    bundles_no_worse = True
+    verified = True
+    partitions_total = 0
+    for spec, fn in multi_region_family(count=count, scale=scale, seed=5):
+        t0 = time.perf_counter()
+        whole = optimize_function(
+            fn, ScheduleFeatures(**base, decompose=False)
+        )
+        whole_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        decomposed = optimize_function(
+            generate_multi_region(spec), ScheduleFeatures(**base)
+        )
+        decomposed_seconds = time.perf_counter() - t0
+
+        partitions = decomposed.trace.counters.get("decompose_partitions", 0)
+        partitions_total += partitions
+        whole_total += whole_seconds
+        decomposed_total += decomposed_seconds
+        whole_bundles = whole.bundles_out.total_bundles
+        decomposed_bundles = decomposed.bundles_out.total_bundles
+        if decomposed_bundles > whole_bundles:
+            bundles_no_worse = False
+        if not (whole.verification.ok and decomposed.verification.ok):
+            verified = False
+        per_routine[spec.name] = {
+            "blocks": len(fn.blocks),
+            "instructions": sum(len(b.instructions) for b in fn.blocks),
+            "partitions": partitions,
+            "whole_seconds": whole_seconds,
+            "decomposed_seconds": decomposed_seconds,
+            "speedup": whole_seconds / decomposed_seconds
+            if decomposed_seconds
+            else None,
+            "phase1_rows_whole": whole.ilp_size.get("constraints"),
+            "phase1_rows_decomposed": decomposed.ilp_size.get("constraints"),
+            "bundles_whole": whole_bundles,
+            "bundles_decomposed": decomposed_bundles,
+            "quality_whole": whole.quality,
+            "quality_decomposed": decomposed.quality,
+        }
+
+    return {
+        "routines": len(per_routine),
+        "scale": scale,
+        "time_limit": time_limit,
+        "partitions": partitions_total,
+        "whole_seconds": whole_total,
+        "decomposed_seconds": decomposed_total,
+        "speedup": whole_total / decomposed_total if decomposed_total else None,
+        "bundles_no_worse": bundles_no_worse,
+        "verified": verified,
+        "per_routine": per_routine,
+    }
+
+
 # -- driver -----------------------------------------------------------------
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -436,12 +523,15 @@ def main(argv=None):
     )
     parser.add_argument(
         "--sections",
-        default="root_lp,bb_throughput,cut_resolve,sweep,obs_overhead",
+        default="root_lp,bb_throughput,cut_resolve,sweep,obs_overhead,decompose",
         help="comma list of sections to run",
     )
     args = parser.parse_args(argv)
     sections = set(args.sections.split(","))
-    known = {"root_lp", "bb_throughput", "cut_resolve", "sweep", "obs_overhead"}
+    known = {
+        "root_lp", "bb_throughput", "cut_resolve", "sweep", "obs_overhead",
+        "decompose",
+    }
     unknown = sections - known
     if unknown:
         parser.error(
@@ -473,6 +563,12 @@ def main(argv=None):
     if "obs_overhead" in sections:
         report["obs_overhead"] = bench_obs_overhead(args.smoke)
         print(f"obs_overhead: {json.dumps(report['obs_overhead'], indent=2)}")
+    if "decompose" in sections:
+        report["decompose"] = bench_decompose(args.smoke)
+        summary = {
+            k: v for k, v in report["decompose"].items() if k != "per_routine"
+        }
+        print(f"decompose: {json.dumps(summary, indent=2)}")
 
     out_path = pathlib.Path(args.out)
     if args.check:

@@ -1,0 +1,135 @@
+"""Boundary constraints for region-decomposed scheduling ILPs.
+
+When :mod:`repro.sched.decompose` splits a routine at cut blocks, each
+partition is solved as an independent phase-1/phase-2 ILP.  The whole-
+function model's cross-partition rows (dependences, liveness-induced
+exclusivity, path constraints through the cut) are replaced by the
+*boundary constraints* this module materializes:
+
+* **Pinned live ranges.**  Every value that crosses a cut is, by cut
+  legality, live exactly at the cut block, so the partition's
+  sub-function carries ``live_in = live_in(cut)`` and ``live_out =
+  live_in(next cut)`` from the *whole-function* liveness fixpoint.
+  Downstream analyses (dependence graph, exclusive-def classification,
+  Θ construction) then reproduce the whole model's rows restricted to
+  the partition: a register consumed later is not "exclusive", a value
+  produced earlier arrives through the live-in set, and anti/output
+  dependences against the far side collapse into the boundary sets.
+
+* **Pinned cycle offsets.**  Cross-cut dependences need no explicit
+  latency rows: the machine model flushes in-flight latencies at block
+  boundaries, and the stitched block order places every producer's
+  partition strictly before its cross-cut consumers — the offset of a
+  partition's first cycle is simply the end of the previous partition,
+  which the stitcher (not the model) fixes.
+
+* **Exit stubs.**  Each non-final partition ends in a synthetic empty
+  block *named after the next cut block*.  The stub absorbs every
+  crossing edge, which makes the sub-CFG's dominance **and**
+  postdominance relations agree exactly with the whole function's
+  restricted to the partition (a crossing edge would otherwise delete
+  an exit path and let the sub-region classify unsafe upward motion as
+  safe).  Stubs host no placements: they are recorded in the region's
+  ``forbidden_blocks`` and their frequency is set above every
+  speculation cap so no Θ-extension reaches into them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+
+
+@dataclass(frozen=True)
+class BoundarySpec:
+    """The boundary constraints of one partition.
+
+    ``entry`` is the cut block opening the partition (the function entry
+    for the first one); ``exit`` the next cut block — ``None`` for the
+    last partition. ``live_in``/``live_out`` are the pinned cross-cut
+    live ranges from the whole-function liveness fixpoint.
+    """
+
+    index: int
+    entry: str
+    exit: str | None
+    blocks: tuple  # partition block names, whole-function layout order
+    live_in: frozenset
+    live_out: frozenset
+
+
+def partition_specs(fn, liveness, partitions):
+    """Boundary constraints for each partition of ``fn``.
+
+    ``partitions`` is a list of block-name lists (contiguous topological
+    intervals, each starting at its cut block). The first partition pins
+    the routine's own ``live_in``; the last pins ``live_out``; interior
+    boundaries pin ``live_in(next cut)``. A partition containing a real
+    exit (a return inside the routine) additionally keeps the routine's
+    ``live_out`` — values escaping through that return must stay live.
+    """
+    exits = set(fn.exit_blocks)
+    specs = []
+    for index, blocks in enumerate(partitions):
+        first = index == 0
+        last = index == len(partitions) - 1
+        entry = blocks[0]
+        nxt = None if last else partitions[index + 1][0]
+        live_in = set(fn.live_in) if first else set(liveness.live_in[entry])
+        live_out = set(fn.live_out) if last else set(liveness.live_in[nxt])
+        if not last and any(name in exits for name in blocks):
+            live_out |= set(fn.live_out)
+        specs.append(BoundarySpec(
+            index=index,
+            entry=entry,
+            exit=nxt,
+            blocks=tuple(blocks),
+            live_in=frozenset(live_in),
+            live_out=frozenset(live_out),
+        ))
+    return specs
+
+
+def stub_frequency(fn, freq_cap):
+    """A block frequency no speculation cap can admit.
+
+    The freq-capped Θ of a load admits blocks up to ``cap * freq(source)``;
+    anything above ``cap * max_freq`` is therefore unreachable for every
+    load. Finite (not ``inf``) so ``freq * length`` objective terms stay
+    well-defined when a solver probes the stub's (zero) length.
+    """
+    max_freq = max((block.freq for block in fn.blocks), default=1.0)
+    cap = freq_cap if freq_cap and freq_cap == freq_cap else 5.0  # NaN-safe
+    return max(cap, 1.0) * max(max_freq, 1.0) + 1.0
+
+
+def build_partition_function(fn, spec, stub_freq):
+    """The sub-:class:`Function` for one partition.
+
+    Shares the whole function's :class:`BasicBlock`/instruction objects
+    (identity is what lets the stitcher map sub-schedules back), keeps
+    the whole function's textual block order restricted to the
+    partition, and appends the exit stub (an *empty* block named
+    ``spec.exit``) when the partition is not the last one. Edges are the
+    whole function's restricted to the partition plus the crossing edges
+    into the stub — which resolve by name, so branch targets stay valid.
+    """
+    inside = set(spec.blocks)
+    sub = Function(
+        name=f"{fn.name}#p{spec.index}",
+        live_in=set(spec.live_in),
+        live_out=set(spec.live_out),
+    )
+    for block in fn.blocks:
+        if block.name in inside:
+            sub.add_block(block)
+    if spec.exit is not None:
+        sub.add_block(BasicBlock(name=spec.exit, freq=stub_freq))
+    for edge in fn.edges:
+        if edge.src not in inside:
+            continue
+        if edge.dst in inside or edge.dst == spec.exit:
+            sub.add_edge(edge.src, edge.dst, edge.prob)
+    return sub

@@ -28,7 +28,11 @@ from __future__ import annotations
 import html
 import json
 
-from repro.obs.insight import aggregate_paper_metrics, serve_summary
+from repro.obs.insight import (
+    aggregate_paper_metrics,
+    decompose_summary,
+    serve_summary,
+)
 
 # Substrings that would make the page reach outside itself. ``src=`` and
 # ``url(`` cover images/fonts/CSS imports; ``<script`` bans JS outright
@@ -342,11 +346,40 @@ def _paper_section(events):
     return f"<table>{header}{''.join(body)}</table>"
 
 
+def _decompose_rows(metrics):
+    """Partition rows for the cache panel (region decomposition).
+
+    Empty string when no routine decomposed — the panel then shows only
+    the whole-schedule cache series.
+    """
+    digest = decompose_summary(metrics)
+    if not digest["partitions"] and not digest["solves"]:
+        return ""
+    rows = "".join(
+        f"<tr><td class='name'>{_esc(label)}</td><td>{_fmt(value)}</td></tr>"
+        for label, value in (
+            ("partitions solved", digest["partitions"]),
+            ("partition cache hits", digest["cache_hits"]),
+            ("partition cache misses", digest["cache_misses"]),
+            ("partition hit rate", digest["hit_rate"]),
+            ("partition solve time (s)", digest["solve_seconds"]),
+            ("mean per-partition solve (s)", digest["mean_solve_seconds"]),
+        )
+    )
+    return (
+        "<h3>region decomposition</h3>"
+        f"<table><tr><th>series</th><th>value</th></tr>{rows}</table>"
+    )
+
+
 def _cache_section(metrics):
     """Schedule-cache panel: hit mix bar plus the serve health digest."""
     digest = serve_summary(metrics)
     if not digest["requests"] and not digest["size_bytes"]:
-        return "<p class='note'>no schedule-cache activity recorded</p>"
+        return (
+            "<p class='note'>no schedule-cache activity recorded</p>"
+            + _decompose_rows(metrics)
+        )
     hits = digest["hits"]
     total = max(digest["requests"], 1)
     colors = {"exact": "#3a8f3a", "family": "#c9a23a", "miss": "#b33a3a"}
@@ -383,6 +416,7 @@ def _cache_section(metrics):
     return (
         f"<p class='note'>hit mix (exact / family / miss)</p>{svg}"
         f"<table><tr><th>series</th><th>value</th></tr>{rows}</table>"
+        + _decompose_rows(metrics)
     )
 
 

@@ -304,6 +304,50 @@ def serve_summary(metrics):
     }
 
 
+def decompose_summary(metrics):
+    """Region-decomposition digest from a ``--metrics`` dump.
+
+    Same input shape as :func:`serve_summary`.  Returns
+    ``{"partitions", "cache_hits", "cache_misses", "hit_rate",
+    "solves", "solve_seconds", "mean_solve_seconds"}`` — the numbers
+    behind the dashboard's partition rows and the CI decompose-smoke
+    artifact.  ``partitions`` counts partitions solved across all
+    decomposed routines (``decompose_partitions_total``); the cache
+    fields come from the per-partition schedule-cache probe in
+    :mod:`repro.sched.decompose`.  All fields default to zero, so the
+    digest is safe on an obs-disabled (empty) dump.
+    """
+    metrics = metrics or {}
+    counters = metrics.get("counters", {}) or {}
+    histograms = metrics.get("histograms", {}) or {}
+
+    def _sum(section, prefix, field=None):
+        total = 0.0
+        for key, value in section.items():
+            if key != prefix and not key.startswith(prefix + "{"):
+                continue
+            if field is not None:
+                value = (value or {}).get(field, 0)
+            if isinstance(value, (int, float)):
+                total += value
+        return total
+
+    hits = _sum(counters, "partition_cache_hits_total")
+    misses = _sum(counters, "partition_cache_misses_total")
+    probes = hits + misses
+    solves = _sum(histograms, "partition_solve_seconds", field="count")
+    seconds = _sum(histograms, "partition_solve_seconds", field="sum")
+    return {
+        "partitions": _sum(counters, "decompose_partitions_total"),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "hit_rate": hits / probes if probes else 0.0,
+        "solves": solves,
+        "solve_seconds": seconds,
+        "mean_solve_seconds": seconds / solves if solves else 0.0,
+    }
+
+
 def aggregate_paper_metrics(rows):
     """Cross-routine run summary in the shape of Table 1's bottom row.
 

@@ -61,6 +61,12 @@ BUCKET_BOUNDS = {
         0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
         0.025, 0.05, 0.1, 0.5, 1.0,
     ),
+    # Wall-clock cost of one partition's sub-pipeline in a decomposed
+    # routine (repro.sched.decompose) — sub-ILPs are much smaller than
+    # whole-function models, so the buckets lean short.
+    "partition_solve_seconds": (
+        0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+    ),
 }
 
 # ``# HELP`` text for the exposition format, keyed by metric name.
@@ -111,6 +117,13 @@ METRIC_HELP = {
         "requests whose budget expired while queued for admission",
     "serve_request_seconds": "end-to-end serving latency by hit kind",
     "serve_lookup_seconds": "schedule-cache lookup cost",
+    "decompose_partitions_total": "partitions solved by decomposed routines",
+    "partition_cache_hits_total":
+        "partition schedule-cache probes answered from the store",
+    "partition_cache_misses_total":
+        "partition schedule-cache probes that found no usable entry",
+    "partition_solve_seconds":
+        "wall-clock cost of one partition's sub-pipeline",
 }
 
 

@@ -79,6 +79,37 @@ def attach_cyclic_motion(ilp, max_sites=16):
     return sites
 
 
+def candidate_extension(region, site):
+    """Above-loop blocks a cyclic site may re-open for placement.
+
+    The base model excluded them for this backedge-variant instruction;
+    cyclic motion re-opens everything that reaches the source — but never
+    above an *outer* loop the instruction is also variant for. Shared
+    with :mod:`repro.sched.decompose`, whose cut-legality rule must see
+    the same effective placement domain the wired model would get.
+    """
+    cfg = region.cfg
+    instr = site.instr
+    loop = site.loop
+    source = region.source_block[instr]
+    outer_variant = [
+        other
+        for other in region.backedge_variant.get(instr, [])
+        if other is not loop
+    ]
+    return {
+        block
+        for block in cfg.block_names
+        if block not in loop.blocks
+        and block not in region.forbidden_blocks
+        and cfg.reaches(block, source)
+        and all(
+            block in outer.blocks or not cfg.reaches(block, outer.header)
+            for outer in outer_variant
+        )
+    }
+
+
 def _wire_site(ilp, site):
     region = ilp.region
     instr = site.instr
@@ -87,27 +118,8 @@ def _wire_site(ilp, site):
     site.cyc = cyc
     in_loop = frozenset(loop.blocks)
     cfg = region.cfg
-    source = region.source_block[instr]
 
-    # Re-open the above-loop placement range the base model excluded for
-    # this backedge-variant instruction — but never above an *outer* loop
-    # it is also variant for.
-    outer_variant = [
-        other
-        for other in region.backedge_variant.get(instr, [])
-        if other is not loop
-    ]
-    extension = {
-        block
-        for block in cfg.block_names
-        if block not in loop.blocks
-        and cfg.reaches(block, source)
-        and all(
-            block in outer.blocks or not cfg.reaches(block, outer.header)
-            for outer in outer_variant
-        )
-    }
-    ilp.info[instr].theta |= extension
+    ilp.info[instr].theta |= candidate_extension(region, site)
 
     # Paper Sec. 5.2: the instruction is cyclically moved *iff* it is
     # complete before the header — copies above the loop on every

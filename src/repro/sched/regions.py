@@ -47,12 +47,37 @@ class SchedulingRegion:
     predicate_sources: set = field(default_factory=set)  # compares used as guards
     freq_cap: float = 5.0  # the paper's factor k for speculative loads
     backedge_variant: dict = field(default_factory=dict)  # instr -> [Loop]
+    # Blocks visible to the analyses (paths, a-variables, liveness) but
+    # closed to *placement*: partition exit stubs in the decomposed
+    # pipeline (repro.sched.decompose). Every Θ-extension (speculation,
+    # cyclic motion, predication) must respect this set.
+    forbidden_blocks: frozenset = frozenset()
+    # Lazy Θ⁻¹ index; invalidated whenever theta is mutated post-build.
+    _hosting_index: dict | None = field(default=None, repr=False)
 
     OMEGA = "__omega__"
 
     def blocks_hosting(self, block_name):
-        """Θ⁻¹(A): instructions that may be placed in ``block_name``."""
-        return [n for n in self.instructions if block_name in self.theta[n]]
+        """Θ⁻¹(A): instructions that may be placed in ``block_name``.
+
+        Served from a precomputed block→instructions index (built lazily
+        on first call, in ``instructions`` order so callers see the same
+        deterministic ordering as the old linear scan). The formulation
+        calls this once per block while emitting resource rows, which
+        made the O(instructions) scan quadratic on large routines.
+        """
+        index = self._hosting_index
+        if index is None:
+            index = {}
+            for instr in self.instructions:
+                for name in self.theta[instr]:
+                    index.setdefault(name, []).append(instr)
+            self._hosting_index = index
+        return list(index.get(block_name, ()))
+
+    def invalidate_hosting_index(self):
+        """Drop the Θ⁻¹ index after a post-build mutation of ``theta``."""
+        self._hosting_index = None
 
     def dag_preds(self, block):
         if block == self.OMEGA:
@@ -313,10 +338,13 @@ def _extend_with_predication(region):
             for target in targets:
                 if target in region.theta[instr]:
                     continue
+                if target in region.forbidden_blocks:
+                    continue
                 region.theta[instr].add(target)
                 region.guard_for[(instr, target)] = guard
                 region.guard_compare[(instr, target)] = compare
                 region.predicate_sources.add(compare)
+    region.invalidate_hosting_index()
 
 
 def _edge_qualifying_predicates(fn):

@@ -144,6 +144,13 @@ class ScheduleFeatures:
     # return the input schedule (quality "fallback_input") instead of the
     # unproven ILP one. Disable only for debugging the verifier itself.
     rollback_on_verify_failure: bool = True
+    # Region decomposition (repro.sched.decompose): partition large
+    # routines at legal cut blocks and solve one ILP per partition.
+    # Routines below the instruction threshold — and routines where no
+    # boundary survives the cut-legality rule — solve whole-function,
+    # bit-identically to decompose=False.
+    decompose: bool = True
+    decompose_min_instructions: int = 100
 
     @classmethod
     def baseline_ilp(cls):
@@ -293,9 +300,12 @@ class OptimizeResult:
 class IlpScheduler:
     """ILP-based global scheduler with the paper's extensions."""
 
-    def __init__(self, machine=ITANIUM2, features=None):
+    def __init__(self, machine=ITANIUM2, features=None, partition_store=None):
         self.machine = machine
         self.features = features or ScheduleFeatures()
+        # Optional repro.serve.store.ScheduleStore: the decomposed
+        # pipeline publishes/consumes per-partition length hints here.
+        self.partition_store = partition_store
 
     # -- public -----------------------------------------------------------------
     def optimize(self, fn, length_hint=None):
@@ -364,10 +374,19 @@ class IlpScheduler:
 
         messages = []
         try:
-            pieces = self._run_pipeline(
-                work, region, input_schedule, deadline, messages, trace,
-                length_hint=length_hint,
-            )
+            pieces = None
+            if features.decompose:
+                from repro.sched.decompose import try_decomposed_pipeline
+
+                pieces = try_decomposed_pipeline(
+                    self, work, liveness, ddg, region, deadline, messages,
+                    trace,
+                )
+            if pieces is None:
+                pieces = self._run_pipeline(
+                    work, region, input_schedule, deadline, messages, trace,
+                    length_hint=length_hint,
+                )
         except faults.FaultConfigError:
             raise  # driver misconfiguration, not a routine failure
         except _Degrade as exc:
@@ -391,12 +410,20 @@ class IlpScheduler:
         verify_edges = None
         verify_scopes = None
         if features.verify:
-            verify_edges = _verifiable_edges(pieces.ilp, pieces.final_solution)
-            verify_scopes = {
-                e: scope
-                for e, scope in pieces.ilp.verify_scopes.items()
-                if e in set(verify_edges)
-            }
+            if getattr(pieces, "stitched", False):
+                # Decomposed results pre-merge their per-partition
+                # verifiable edges (plus cross-partition DDG edges).
+                verify_edges = pieces.verify_edges
+                verify_scopes = pieces.verify_scopes
+            else:
+                verify_edges = _verifiable_edges(
+                    pieces.ilp, pieces.final_solution
+                )
+                verify_scopes = {
+                    e: scope
+                    for e, scope in pieces.ilp.verify_scopes.items()
+                    if e in set(verify_edges)
+                }
             with trace.span("verify"):
                 verification = verify_schedule(
                     pieces.reconstruction.schedule,
@@ -997,8 +1024,11 @@ def _add_guard_dependences(ilp):
         ilp.add_edge(DepEdge(compare, instr, DepKind.TRUE, 1))
 
 
-def optimize_function(fn, features=None, machine=ITANIUM2, length_hint=None):
+def optimize_function(
+    fn, features=None, machine=ITANIUM2, length_hint=None,
+    partition_store=None,
+):
     """One-call entry point: schedule ``fn`` and return an OptimizeResult."""
-    return IlpScheduler(machine=machine, features=features).optimize(
-        fn, length_hint=length_hint
-    )
+    return IlpScheduler(
+        machine=machine, features=features, partition_store=partition_store
+    ).optimize(fn, length_hint=length_hint)

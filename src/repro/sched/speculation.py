@@ -309,7 +309,8 @@ def _speculative_theta(region, load, source):
     # iteration.
     for variant_loop in region.backedge_variant.get(load, []):
         blocks &= set(variant_loop.blocks) | {source}
-    return blocks
+    # Partition exit stubs (repro.sched.decompose) host no placements.
+    return blocks - region.forbidden_blocks
 
 
 def region_freq_cap(region):

@@ -42,7 +42,7 @@ from repro.ir.registers import Register
 # Bump when the scheduler/formulation changes in a way that can change
 # emitted schedules: every cached entry keyed under the old version
 # becomes unreachable (and is eventually LRU-evicted).
-CODE_VERSION = "serve-1"
+CODE_VERSION = "serve-2"
 
 # ScheduleFeatures fields that steer the *solver*, not the model: two
 # requests differing only here want the same schedule, so they share a
@@ -57,6 +57,12 @@ SOLVER_ONLY_FEATURES = frozenset({
     "max_resize_attempts",
     "max_bundle_retries",
     "rollback_on_verify_failure",
+    # Decomposition partitions the *search*, aiming at the same schedule:
+    # family hints (achieved block lengths) transfer across the switch.
+    # Exact keys still differ — features_dict(family=False) keeps every
+    # field — so decomposed and whole-function answers never alias.
+    "decompose",
+    "decompose_min_instructions",
 })
 
 
@@ -210,5 +216,25 @@ def family_fingerprint(fn, features, machine):
         "code": CODE_VERSION,
         "fn": canonical_function(fn, coarse=True),
         "features": features_dict(features, family=True),
+        "machine": machine_dict(machine),
+    })
+
+
+def partition_fingerprint(fn, features, machine):
+    """Exact cache key for one decomposition partition.
+
+    Keyed over the partition's *sub-function* (blocks, exit stub, pinned
+    boundary live sets), so editing one block of a large routine leaves
+    every other partition's key — and its cached lengths — intact.
+    Register names canonicalize to first-appearance numbering, making
+    the key invariant under virtual-register renaming, like
+    :func:`fingerprint`. The ``kind`` tag keeps partition entries from
+    ever aliasing a whole-routine entry.
+    """
+    return _digest({
+        "code": CODE_VERSION,
+        "kind": "partition",
+        "fn": canonical_function(fn),
+        "features": features_dict(features),
         "machine": machine_dict(machine),
     })

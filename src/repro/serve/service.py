@@ -368,7 +368,8 @@ class ScheduleService:
                     features = replace(features, time_limit=remaining)
                 self.solves += 1
                 scheduler = IlpScheduler(
-                    machine=self.machine, features=features
+                    machine=self.machine, features=features,
+                    partition_store=self.store,
                 )
                 return scheduler.optimize(fn, length_hint=hint), features
             finally:

@@ -30,6 +30,11 @@ Sites (``SITES``):
     Bit rot on a cache entry load: the payload is flipped before
     checksum verification, so the store must quarantine the entry and
     the service must fall through to a cold solve.
+``decompose.stitch``
+    The schedule stitcher of the decomposed pipeline
+    (:mod:`repro.sched.decompose`): any firing aborts the stitch, and
+    the scheduler must fall back to the whole-function ILP — the
+    routine still yields a verified schedule.
 
 Kinds (``KINDS``):
 
@@ -94,6 +99,7 @@ SITES = (
     "worker",
     "serve.store_io",
     "serve.corrupt_entry",
+    "decompose.stitch",
 )
 
 KINDS = ("timeout", "infeasible", "incumbent", "corrupt", "error", "crash")

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro.ir.parser import parse_functions
 from repro.ir.printer import format_function, format_schedule
@@ -94,6 +95,28 @@ def main(argv=None):
     parser.add_argument("--no-cyclic", action="store_true")
     parser.add_argument("--no-partial-ready", action="store_true")
     parser.add_argument("--no-verify", action="store_true")
+    parser.add_argument(
+        "--no-decompose",
+        action="store_true",
+        help="disable region decomposition (repro.sched.decompose)",
+    )
+    parser.add_argument(
+        "--decompose-min",
+        type=int,
+        default=None,
+        metavar="N",
+        help="decompose only routines with at least N instructions "
+        "(default: ScheduleFeatures.decompose_min_instructions)",
+    )
+    parser.add_argument(
+        "--max-hops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound code motion to N blocks of topological distance "
+        "(also required for region decomposition to find legal cuts "
+        "when speculation is enabled)",
+    )
     parser.add_argument("--time-limit", type=float, default=120.0)
     parser.add_argument("--backend", choices=["highs", "bb"], default="highs")
     parser.add_argument(
@@ -158,9 +181,15 @@ def main(argv=None):
         cyclic=not args.no_cyclic,
         partial_ready=not args.no_partial_ready,
         verify=not args.no_verify,
+        decompose=not args.no_decompose,
+        max_hops=args.max_hops,
         time_limit=args.time_limit,
         backend=args.backend,
     )
+    if args.decompose_min is not None:
+        features = replace(
+            features, decompose_min_instructions=args.decompose_min
+        )
 
     outputs = []
     for fn in parse_functions(text):

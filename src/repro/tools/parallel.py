@@ -80,6 +80,29 @@ class RoutineOutcome:
         return base
 
 
+def partition_workers(count):
+    """Thread-pool width for one routine's partition fan-out.
+
+    Partitions (:mod:`repro.sched.decompose`) and routines (this
+    module's process pool) share the machine, so inside a pool worker
+    the answer is always 1 — each sibling routine already owns a core.
+    ``REPRO_PARTITION_WORKERS`` overrides the width explicitly (clamped
+    to ``[1, count]``); otherwise the fan-out takes
+    ``min(count, cpu_count)``.
+    """
+    if count <= 1:
+        return 1
+    override = os.environ.get("REPRO_PARTITION_WORKERS")
+    if override:
+        try:
+            return max(1, min(int(override), count))
+        except ValueError:
+            pass
+    if os.environ.get("REPRO_IN_POOL_WORKER"):
+        return 1
+    return max(1, min(count, os.cpu_count() or 1))
+
+
 def _run_one(args):
     """Pool entry point; must stay module-level for pickling.
 
@@ -88,6 +111,11 @@ def _run_one(args):
     injected ``crash`` breaks the pool without ever killing the driver.
     """
     name, features, scale, sim_invocations, sim_seed, cache_dir = args
+    # Partitions of one routine and routines of one sweep share the
+    # machine: mark this process so repro.sched.decompose collapses its
+    # per-partition thread fan-out to 1 instead of oversubscribing cores
+    # already owned by sibling routine workers.
+    os.environ["REPRO_IN_POOL_WORKER"] = "1"
     if obs.ENABLED:
         # A forked worker inherits the parent's recorder (events and all);
         # reset() swaps in an empty buffer stamped with this worker's pid

@@ -251,7 +251,11 @@ def generate_routine(spec):
     """Build the routine for ``spec``; returns a validated Function."""
     rng = random.Random(spec.seed)
     skeleton = _build_skeleton(spec, rng)
+    return _emit_routine(spec, skeleton, rng)
 
+
+def _emit_routine(spec, skeleton, rng):
+    """Instruction-fill ``skeleton`` and parse the emitted routine text."""
     live_in = [reg(f"r{i}") for i in range(32, 40)]
     fn_lines = [f".proc {spec.name}"]
     fn_lines.append(".livein " + ", ".join(r.name for r in live_in))
@@ -339,6 +343,132 @@ def generate_routine(spec):
     text = "\n".join(fn_lines) + "\n"
     fn = parse_function(text)
     return fn
+
+
+# -- multi-region routines ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MultiRegionSpec:
+    """Recipe for a multi-region routine: segments joined by corridors.
+
+    The standing workload for :mod:`repro.sched.decompose`. Each segment
+    is a structured sub-CFG (triangles, diamonds, loops) built by the
+    ordinary skeleton machinery; segments are chained through
+    *corridors* of straight-line blocks at the uniform base frequency.
+    A corridor longer than the scheduler's ``max_hops`` guarantees the
+    decomposition legality rule finds a frequency-neutral boundary
+    inside it, so ``segments - 1`` joins yield that many articulation
+    points (``segments >= 4`` gives the required three or more).
+    """
+
+    name: str
+    segments: int = 4
+    segment_instructions: int = 36
+    segment_blocks: int = 6
+    corridor_blocks: int = 5  # > max_hops keeps at least one boundary legal
+    loops_per_segment: int = 1
+    seed: int = 1
+    base_freq: float = 1000.0
+    load_fraction: float = 0.22
+    store_fraction: float = 0.10
+    shift_fraction: float = 0.12
+    trip_count: tuple = (4, 16)
+    alias_classes: tuple = ("heap", "stack", "glob")
+    weight: float = 0.10
+    miss_rate: float = 0.03
+
+
+def _segment_skeleton(spec, rng, segment):
+    """One segment's structured skeleton, block names prefixed ``S<i>``."""
+    seg_spec = RoutineSpec(
+        name=f"{spec.name}_s{segment}",
+        instructions=spec.segment_instructions,
+        blocks=spec.segment_blocks,
+        loops=spec.loops_per_segment,
+        seed=rng.randrange(1 << 30),
+        base_freq=spec.base_freq,
+        trip_count=spec.trip_count,
+    )
+    skeleton = _build_skeleton(seg_spec, rng)
+    rename = {blk.name: f"S{segment}{blk.name}" for blk in skeleton}
+    for blk in skeleton:
+        blk.name = rename[blk.name]
+        blk.succs = [(rename[t], p) for t, p in blk.succs]
+        if blk.idom is not None:
+            blk.idom = rename.get(blk.idom, blk.idom)
+        if blk.loop_header is not None:
+            blk.loop_header = rename[blk.loop_header]
+        if blk.in_loop is not None:
+            blk.in_loop = rename[blk.in_loop]
+        if blk.counter is not None or blk.counter_bump is not None:
+            # Counter registers are shared state; nothing to rename.
+            pass
+    return skeleton
+
+
+def _multi_region_skeleton(spec, rng):
+    """Chain segment skeletons through equal-frequency corridors."""
+    blocks = []
+    tail = None
+    for segment in range(spec.segments):
+        seg = _segment_skeleton(spec, rng, segment)
+        if tail is not None:
+            for position in range(spec.corridor_blocks):
+                corridor = _SkelBlock(
+                    f"S{segment}J{position}", freq=spec.base_freq
+                )
+                corridor.idom = tail.name
+                tail.succs.append((corridor.name, 1.0))
+                blocks.append(corridor)
+                tail = corridor
+            tail.succs.append((seg[0].name, 1.0))
+            seg[0].idom = tail.name
+        blocks.extend(seg)
+        tail = seg[-1]
+    return blocks
+
+
+def generate_multi_region(spec):
+    """Build the multi-region routine for ``spec``."""
+    rng = random.Random(spec.seed)
+    skeleton = _multi_region_skeleton(spec, rng)
+    emit_spec = RoutineSpec(
+        name=spec.name,
+        instructions=spec.segments * spec.segment_instructions,
+        blocks=len(skeleton),
+        loops=spec.segments * spec.loops_per_segment,
+        seed=spec.seed,
+        load_fraction=spec.load_fraction,
+        store_fraction=spec.store_fraction,
+        shift_fraction=spec.shift_fraction,
+        base_freq=spec.base_freq,
+        trip_count=spec.trip_count,
+        alias_classes=spec.alias_classes,
+        weight=spec.weight,
+        miss_rate=spec.miss_rate,
+    )
+    return _emit_routine(emit_spec, skeleton, rng)
+
+
+def multi_region_family(count=3, scale=1.0, seed=1):
+    """Yield ``count`` multi-region routines, one at a time.
+
+    ``scale`` multiplies segment size and (mildly) segment count, so a
+    sweep driver can dial the family from smoke-test to the ≥10k-row
+    models the decompose benchmark gates on. Generation is *streaming* —
+    each routine is built only when the consumer asks for it, so a 10×
+    corpus never holds more than one routine in memory.
+    """
+    for position in range(count):
+        spec = MultiRegionSpec(
+            name=f"mr{position}",
+            segments=max(4, int(round(4 + position + (scale - 1.0)))),
+            segment_instructions=max(12, int(round(36 * scale))),
+            segment_blocks=max(4, min(10, int(round(5 + scale)))),
+            seed=seed + 97 * position,
+        )
+        yield spec, generate_multi_region(spec)
 
 
 def _fill_block(spec, rng, pool, count, produced, spec_loads_left, iv=None):

@@ -120,4 +120,29 @@ def test_cache_panel_renders_from_metrics():
 def test_cache_panel_degrades_without_activity():
     html = dashboard.render_dashboard(metrics={"counters": {}, "gauges": {}})
     assert "no schedule-cache activity recorded" in html
+    assert "region decomposition" not in html
     assert dashboard.validate_self_contained(html) == []
+
+
+def test_cache_panel_shows_partition_rows():
+    metrics = {
+        "counters": {
+            "decompose_partitions_total": 4.0,
+            "partition_cache_hits_total": 3.0,
+            "partition_cache_misses_total": 1.0,
+        },
+        "gauges": {},
+        "histograms": {
+            "partition_solve_seconds": {
+                "buckets": {"+Inf": 4},
+                "sum": 2.0,
+                "count": 4,
+            }
+        },
+    }
+    html = dashboard.render_dashboard(metrics=metrics)
+    assert dashboard.validate_self_contained(html) == []
+    assert "region decomposition" in html
+    assert "partitions solved" in html
+    assert "partition hit rate" in html
+    assert "mean per-partition solve" in html

@@ -150,6 +150,66 @@ def test_serve_summary_empty_and_none():
         assert digest["hit_rate"] == 0.0
 
 
+def test_decompose_summary_from_metrics_dump():
+    metrics = {
+        "counters": {
+            "decompose_partitions_total": 8.0,
+            "partition_cache_hits_total": 6.0,
+            "partition_cache_misses_total": 2.0,
+        },
+        "histograms": {
+            "partition_solve_seconds": {
+                "buckets": {"+Inf": 8},
+                "sum": 4.0,
+                "count": 8,
+            }
+        },
+    }
+    digest = insight.decompose_summary(metrics)
+    assert digest["partitions"] == 8.0
+    assert digest["cache_hits"] == 6.0
+    assert digest["cache_misses"] == 2.0
+    assert digest["hit_rate"] == pytest.approx(0.75)
+    assert digest["solves"] == 8.0
+    assert digest["solve_seconds"] == pytest.approx(4.0)
+    assert digest["mean_solve_seconds"] == pytest.approx(0.5)
+
+
+def test_decompose_summary_empty_and_live(tmp_path):
+    for metrics in (None, {}, {"counters": {}, "histograms": {}}):
+        digest = insight.decompose_summary(metrics)
+        assert digest["partitions"] == 0
+        assert digest["hit_rate"] == 0.0
+        assert digest["mean_solve_seconds"] == 0.0
+
+    from repro.obs import core as obs
+    from repro.obs import export
+    from repro.sched.scheduler import ScheduleFeatures as SF
+    from repro.sched.scheduler import optimize_function
+    from repro.workloads.generator import MultiRegionSpec, generate_multi_region
+
+    fn = generate_multi_region(
+        MultiRegionSpec(
+            name="mrobs", segments=4, segment_instructions=10,
+            segment_blocks=4, seed=5,
+        )
+    )
+    obs.disable()
+    obs.enable()
+    try:
+        result = optimize_function(
+            fn,
+            SF(time_limit=90, max_hops=4, decompose_min_instructions=24),
+        )
+        digest = insight.decompose_summary(export.metrics_dict())
+    finally:
+        obs.disable()
+    assert any("decomposed into" in m for m in result.messages)
+    assert digest["partitions"] >= 2
+    assert digest["solves"] == digest["partitions"]
+    assert digest["solve_seconds"] > 0.0
+
+
 def test_serve_summary_from_live_serve_run(tmp_path):
     from repro.obs import core as obs
     from repro.obs import export

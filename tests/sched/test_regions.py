@@ -110,3 +110,20 @@ def test_blocks_hosting_inverse(diamond_fn):
     region = _region(diamond_fn)
     hosted = region.blocks_hosting("A")
     assert all("A" in region.theta[i] for i in hosted)
+
+
+def test_blocks_hosting_matches_linear_scan(diamond_fn):
+    region = _region(diamond_fn)
+    for name in ("A", "B", "C"):
+        scan = [i for i in region.instructions if name in region.theta[i]]
+        assert region.blocks_hosting(name) == scan
+
+
+def test_blocks_hosting_invalidation(diamond_fn):
+    region = _region(diamond_fn)
+    victim = region.blocks_hosting("C")[0]
+    region.blocks_hosting("A")  # build the index
+    region.theta[victim].discard("C")
+    # The index is lazy and stale until explicitly invalidated.
+    region.invalidate_hosting_index()
+    assert victim not in region.blocks_hosting("C")

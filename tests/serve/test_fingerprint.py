@@ -238,3 +238,30 @@ def test_parse_roundtrip_same_fingerprint(straight_fn):
     assert fingerprint(straight_fn, FEATURES, ITANIUM2) == fingerprint(
         reparsed, FEATURES, ITANIUM2
     )
+
+
+# -- partition fingerprints (repro.sched.decompose) ---------------------------
+@given(seed=st.integers(0, 10**6))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_partition_fingerprint_invariant_under_renaming(seed):
+    from repro.serve.fingerprint import partition_fingerprint
+
+    fn = _generated(seed)
+    renamed = _rename(fn, _rename_map(fn, seed + 1))
+    assert partition_fingerprint(
+        fn, FEATURES, ITANIUM2
+    ) == partition_fingerprint(renamed, FEATURES, ITANIUM2)
+
+
+def test_partition_fingerprint_distinct_from_whole(straight_fn):
+    """The same bytes cached as a partition must never answer a
+    whole-routine request (the payloads have different shapes)."""
+    from repro.serve.fingerprint import partition_fingerprint
+
+    assert partition_fingerprint(
+        straight_fn, FEATURES, ITANIUM2
+    ) != fingerprint(straight_fn, FEATURES, ITANIUM2)
