@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Schedule-cache serving benchmark — the numbers behind ``repro.serve``.
 
-Three sections, each a dict in ``BENCH_serve.json`` at the repo root:
+Four sections, each a dict in ``BENCH_serve.json`` at the repo root:
 
 * ``cold_vs_hit``   — per-routine cold-solve latency vs byte-identical
   exact-hit latency over the same store (``hit_speedup`` is the
@@ -15,13 +15,20 @@ Three sections, each a dict in ``BENCH_serve.json`` at the repo root:
 * ``hit_rate_sweep``— a replayed request mix over *generator*
   workloads (a pool of seeded synthetic routines, every one requested
   ``rounds`` times) through one service: hit rate, coalescing and
-  store growth of a steady-state serving loop.
+  store growth of a steady-state serving loop;
+* ``overload``      — a concurrent burst against a deliberately
+  under-provisioned :class:`~repro.serve.fleet.FleetDaemon` (framed
+  socket protocol, pre-warmed cache): p50/p99 latency of *accepted*
+  requests, saturation throughput, and the shed rate.  The invariant
+  gated here is ``no_request_raised``: under overload every request
+  ends in a typed reply (ok or busy), never an exception or silence.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py            # full run
     PYTHONPATH=src python benchmarks/bench_serve.py --smoke    # CI-sized
     PYTHONPATH=src python benchmarks/bench_serve.py --smoke --out fresh.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --sections overload
 
 CI gates with the noise-aware diff: ``tia-bench-diff BENCH_serve.json
 fresh.json --gate``.  Run with ``PYTHONHASHSEED=0`` (CI does) — solver
@@ -35,8 +42,10 @@ import argparse
 import json
 import pathlib
 import shutil
+import socket
 import sys
 import tempfile
+import threading
 import time
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
@@ -180,6 +189,115 @@ def bench_hit_rate_sweep(seeds, time_limit, rounds, workdir):
     }
 
 
+def _percentile(ordered, frac):
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, int(len(ordered) * frac))]
+
+
+def bench_overload(workdir, *, clients, requests_per_client, time_limit):
+    """Concurrent burst against an under-provisioned FleetDaemon.
+
+    The cache is pre-warmed so accepted requests are exact hits — the
+    section measures the *serving tier* under saturation, not the
+    solver.  Clients send raw framed requests with no retry: a busy
+    reply is recorded as a shed, an ok reply's latency feeds the
+    percentile ladder, and any exception fails ``no_request_raised``.
+    """
+    from repro.serve import protocol
+    from repro.serve.fleet import FleetDaemon
+
+    from repro.ir.parser import parse_functions
+
+    features = ScheduleFeatures(time_limit=time_limit)
+    root = workdir / "overload"
+    service = _service(root / "cache", features)
+    text = format_function(build_spec_routine("xfree", scale=0.3))
+    # Pre-warm through the same parse path the daemon uses, so the
+    # burst below is all exact hits (this measures the serving tier
+    # under saturation, not the solver).
+    service.request(parse_functions(text)[0])
+
+    sock_path = str(root / "serve.sock")
+    daemon = FleetDaemon(
+        service, sock_path, workers=2, queue_capacity=2, shed_watermark=2,
+        io_timeout=10.0, drain_budget=10.0,
+    )
+    box = {}
+
+    def serve():
+        box["counters"] = daemon.serve_forever()
+
+    server = threading.Thread(target=serve, daemon=True)
+    server.start()
+    if not daemon.wait_ready(30):
+        raise RuntimeError("overload daemon never bound its socket")
+
+    latencies = []  # accepted (ok) request latencies, seconds
+    tallies = {"ok": 0, "busy": 0, "error": 0, "raised": 0}
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def load(client_no):
+        header, payload = protocol.solve_request(text)
+        barrier.wait()
+        for _ in range(requests_per_client):
+            t0 = time.perf_counter()
+            try:
+                conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                conn.settimeout(30.0)
+                try:
+                    conn.connect(sock_path)
+                    try:
+                        protocol.send_frame(conn, header, payload)
+                    except (BrokenPipeError, ConnectionResetError):
+                        pass  # shed before the read: reply is buffered
+                    reply = protocol.recv_frame(conn)
+                finally:
+                    conn.close()
+                status = reply[0]["status"] if reply else "error"
+            except Exception:
+                status = "raised"
+            elapsed = time.perf_counter() - t0
+            with lock:
+                tallies[status] = tallies.get(status, 0) + 1
+                if status == "ok":
+                    latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=load, args=(i,)) for i in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(300)
+    elapsed = time.perf_counter() - t0
+    daemon.initiate_drain("bench-complete")
+    server.join(60)
+
+    latencies.sort()
+    total = clients * requests_per_client
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "requests": total,
+        "accepted": tallies["ok"],
+        "shed": tallies["busy"],
+        "errors": tallies["error"] + tallies["raised"],
+        "shed_rate": tallies["busy"] / total,
+        "accepted_p50_seconds": _percentile(latencies, 0.50),
+        "accepted_p99_seconds": _percentile(latencies, 0.99),
+        "accepted_per_sec": tallies["ok"] / max(elapsed, 1e-9),
+        "wall_seconds": elapsed,
+        "no_request_raised": tallies["raised"] == 0 and tallies["error"] == 0,
+        "daemon_counters": box.get("counters", {}),
+    }
+
+
+SECTIONS = ("cold_vs_hit", "family_warm", "hit_rate_sweep", "overload")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI-sized run")
@@ -187,25 +305,48 @@ def main(argv=None):
         "--out", default=str(REPO / "BENCH_serve.json"),
         help="snapshot path (merged under the 'full'/'smoke' mode key)",
     )
+    parser.add_argument(
+        "--sections", default=",".join(SECTIONS), metavar="A,B",
+        help="comma-separated subset to run (others keep their snapshot)",
+    )
     args = parser.parse_args(argv)
+
+    sections = [s for s in args.sections.split(",") if s]
+    unknown = set(sections) - set(SECTIONS)
+    if unknown:
+        parser.error(f"unknown sections: {sorted(unknown)}")
 
     if args.smoke:
         names, scale, time_limit, rounds = SMOKE_ROUTINES, 0.3, 20.0, 3
         seeds = SMOKE_SEEDS
+        clients, requests_per_client = 8, 4
     else:
         names, scale, time_limit, rounds = FULL_ROUTINES, 1.0, 60.0, 3
         seeds = FULL_SEEDS
+        clients, requests_per_client = 12, 10
     mode = "smoke" if args.smoke else "full"
 
     workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench_serve_"))
     try:
-        report = {
-            "cold_vs_hit": bench_cold_vs_hit(names, scale, time_limit, workdir),
-            "family_warm": bench_family_warm(names, scale, time_limit, workdir),
-            "hit_rate_sweep": bench_hit_rate_sweep(
+        report = {}
+        if "cold_vs_hit" in sections:
+            report["cold_vs_hit"] = bench_cold_vs_hit(
+                names, scale, time_limit, workdir
+            )
+        if "family_warm" in sections:
+            report["family_warm"] = bench_family_warm(
+                names, scale, time_limit, workdir
+            )
+        if "hit_rate_sweep" in sections:
+            report["hit_rate_sweep"] = bench_hit_rate_sweep(
                 seeds, time_limit, rounds, workdir
-            ),
-        }
+            )
+        if "overload" in sections:
+            report["overload"] = bench_overload(
+                workdir, clients=clients,
+                requests_per_client=requests_per_client,
+                time_limit=20.0,
+            )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -219,13 +360,22 @@ def main(argv=None):
     print(f"wrote {out_path}", file=sys.stderr)
 
     problems = []
-    cvh = report["cold_vs_hit"]
-    if not cvh["byte_identical"]:
-        problems.append("exact hits were not byte-identical")
-    if cvh["hit_speedup"] < 10.0:
-        problems.append(
-            f"exact-hit speedup {cvh['hit_speedup']:.1f}x < 10x"
-        )
+    cvh = report.get("cold_vs_hit")
+    if cvh is not None:
+        if not cvh["byte_identical"]:
+            problems.append("exact hits were not byte-identical")
+        if cvh["hit_speedup"] < 10.0:
+            problems.append(
+                f"exact-hit speedup {cvh['hit_speedup']:.1f}x < 10x"
+            )
+    overload = report.get("overload")
+    if overload is not None:
+        if not overload["no_request_raised"]:
+            problems.append(
+                f"overload run raised/errored {overload['errors']} request(s)"
+            )
+        if overload["accepted"] == 0:
+            problems.append("overload run accepted nothing")
     if problems:
         print("FAIL: " + "; ".join(problems), file=sys.stderr)
         return 1

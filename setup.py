@@ -30,6 +30,7 @@ setup(
             "tia-bench-diff = repro.tools.bench_diff:main",
             "tia-serve = repro.serve.daemon:serve_main",
             "tia-cache = repro.serve.daemon:cache_main",
+            "tia-client = repro.serve.client:client_main",
         ]
     },
 )

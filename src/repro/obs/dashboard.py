@@ -411,6 +411,11 @@ def _cache_section(metrics):
             ("evictions", digest["evictions"]),
             ("admission timeouts", digest["admission_timeouts"]),
             ("store size (bytes)", digest["size_bytes"]),
+            ("connections shed (busy)", digest["shed"]),
+            ("drain-flushed connections", digest["drained"]),
+            ("accept errors (absorbed)", digest["accept_errors"]),
+            ("queue depth (last)", digest["queue_depth"]),
+            ("in-flight (last)", digest["inflight"]),
         )
     )
     return (

@@ -268,10 +268,14 @@ def serve_summary(metrics):
     labelled series rendered as ``name{k="v"}`` keys.  Returns
     ``{"requests", "hits": {exact, family, miss}, "hit_rate",
     "coalesced", "solves", "store_errors", "corrupt_entries",
-    "evictions", "admission_timeouts", "size_bytes"}`` — the numbers
-    behind the dashboard's cache panel and the CI serve-smoke artifact.
-    All fields are plain ints/floats and default to zero, so the digest
-    is safe on an obs-disabled (empty) dump.
+    "evictions", "admission_timeouts", "size_bytes", "shed",
+    "drained", "accept_errors", "queue_depth", "inflight"}`` — the
+    numbers behind the dashboard's cache panel and the CI serve-smoke
+    artifact.  The last five come from the fleet daemon
+    (:mod:`repro.serve.fleet`): load-shed and drain-flushed connection
+    counts plus the latest queue-depth/in-flight gauges.  All fields
+    are plain ints/floats and default to zero, so the digest is safe
+    on an obs-disabled (empty) dump.
     """
     metrics = metrics or {}
     counters = metrics.get("counters", {}) or {}
@@ -301,6 +305,11 @@ def serve_summary(metrics):
         "evictions": _sum(counters, "cache_evictions_total"),
         "admission_timeouts": _sum(counters, "serve_admission_timeouts_total"),
         "size_bytes": _sum(gauges, "cache_size_bytes"),
+        "shed": _sum(counters, "serve_shed_total"),
+        "drained": _sum(counters, "serve_drained_total"),
+        "accept_errors": _sum(counters, "serve_accept_errors_total"),
+        "queue_depth": _sum(gauges, "serve_conn_queue_depth"),
+        "inflight": _sum(gauges, "serve_inflight"),
     }
 
 

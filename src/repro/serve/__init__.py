@@ -18,21 +18,39 @@ cacheable, high-throughput service:
     the :class:`ScheduleService` facade — single-flight request
     coalescing, exact hits served byte-identically, family near-misses
     seeding warm starts, admission control and deadline-aware queueing;
+:mod:`repro.serve.protocol`
+    the length-prefixed framed wire protocol (structured request
+    headers with ids/deadlines/feature overrides; typed
+    ok/busy/error/health/stats replies);
+:mod:`repro.serve.fleet`
+    the overload-safe socket daemon — bounded queue, watermark load
+    shedding, per-request deadlines, health/stats probes, graceful
+    SIGTERM drain;
+:mod:`repro.serve.client`
+    ``tia-client`` — connect/read timeouts, capped exponential backoff
+    with jitter, busy-hint honoring, ordered failover across replicas;
 :mod:`repro.serve.daemon`
     the ``tia-serve`` batch/socket front-end and the ``tia-cache``
     inspect/gc/warm tool.
 """
 
+from repro.serve.client import ClientError, FleetClient, RetryPolicy
 from repro.serve.fingerprint import (
     CODE_VERSION,
     family_fingerprint,
     fingerprint,
 )
+from repro.serve.fleet import DaemonError, FleetDaemon
 from repro.serve.service import ScheduleService, ServeOutcome
 from repro.serve.store import ScheduleStore
 
 __all__ = [
     "CODE_VERSION",
+    "ClientError",
+    "DaemonError",
+    "FleetClient",
+    "FleetDaemon",
+    "RetryPolicy",
     "ScheduleService",
     "ScheduleStore",
     "ServeOutcome",

@@ -8,10 +8,16 @@ store.  Two ingestion modes:
   routines); every routine becomes a request, fanned out over a thread
   pool so duplicate routines coalesce.  ``--rounds N`` replays the
   request list N times (round 2+ should be all exact hits).
-* **socket** — ``--listen PATH`` binds a Unix stream socket; each
-  connection sends one TIA routine (terminated by closing its write
-  side) and receives the optimized assembly back.  ``--max-requests``
-  bounds the serve loop for scripted runs and tests.
+* **socket** — ``--listen PATH`` binds a Unix stream socket served by
+  the overload-safe fleet front-end (:mod:`repro.serve.fleet`): a
+  multi-threaded worker pool behind a bounded queue with load
+  shedding, per-request deadlines, health/stats probes and graceful
+  SIGTERM/SIGINT drain.  Connections speak the length-prefixed framed
+  protocol (:mod:`repro.serve.protocol`); ``tia-client``
+  (:mod:`repro.serve.client`) is the matching retrying/failover
+  client.  ``--max-requests`` bounds the loop for scripted runs and
+  tests — only *completed* solve requests count; shed or errored
+  connections are tallied separately as ``rejected``.
 
 ``tia-cache`` inspects and maintains a store directory::
 
@@ -71,8 +77,11 @@ def _serve_stats(outcomes):
     coalesced = 0
     tiers = {}
     for outcome in outcomes:
-        kinds[outcome.kind] = kinds.get(outcome.kind, 0) + 1
-        latency[outcome.kind].append(outcome.elapsed)
+        # setdefault on *both* maps: an outcome kind outside the three
+        # standard ones must extend the stats, not KeyError on latency.
+        kinds.setdefault(outcome.kind, 0)
+        kinds[outcome.kind] += 1
+        latency.setdefault(outcome.kind, []).append(outcome.elapsed)
         coalesced += outcome.coalesced
         tiers[outcome.result.quality] = tiers.get(outcome.result.quality, 0) + 1
     total = len(outcomes)
@@ -85,6 +94,7 @@ def _serve_stats(outcomes):
             "count": len(values),
             "mean_seconds": sum(values) / len(values),
             "p50_seconds": ordered[len(ordered) // 2],
+            "p99_seconds": ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))],
             "max_seconds": ordered[-1],
         }
 
@@ -124,7 +134,30 @@ def serve_main(argv=None):
     parser.add_argument("--listen", metavar="SOCKET", default=None)
     parser.add_argument(
         "--max-requests", type=int, default=None,
-        help="socket mode: exit after N connections",
+        help="socket mode: exit after N *completed* solve requests "
+             "(shed/errored connections count separately)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=None,
+        help="socket mode: bounded request queue size (default 2x workers)",
+    )
+    parser.add_argument(
+        "--shed-watermark", type=int, default=None,
+        help="socket mode: queue depth at which new connections are "
+             "shed with a busy reply (default: queue capacity)",
+    )
+    parser.add_argument(
+        "--io-timeout", type=float, default=30.0,
+        help="socket mode: per-socket-operation timeout in seconds",
+    )
+    parser.add_argument(
+        "--drain-budget", type=float, default=10.0,
+        help="socket mode: seconds granted to in-flight and queued "
+             "work after SIGTERM/SIGINT before the rest is flushed",
+    )
+    parser.add_argument(
+        "--default-deadline-ms", type=int, default=None,
+        help="socket mode: deadline applied to requests without one",
     )
     args = parser.parse_args(argv)
 
@@ -140,8 +173,13 @@ def serve_main(argv=None):
     )
 
     if args.listen:
-        served = _serve_socket(service, args)
-        print(f"served {served} socket request(s)", file=sys.stderr)
+        counters = _serve_socket(service, args)
+        print(
+            f"served {counters['completed']} request(s), "
+            f"rejected {counters['rejected']} "
+            f"(shed {counters['shed']}, drained {counters['drained']})",
+            file=sys.stderr,
+        )
     else:
         if not args.inputs:
             parser.error("no inputs (give TIA files or --listen SOCKET)")
@@ -197,49 +235,37 @@ def _serve_batch(service, args):
 
 
 def _serve_socket(service, args):
-    """Minimal Unix-socket request loop: one routine per connection."""
-    import socket
+    """Run the overload-safe fleet front-end until drained.
 
-    path = args.listen
-    if os.path.exists(path):
-        os.unlink(path)
-    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    server.bind(path)
-    server.listen(16)
-    served = 0
-    from repro.tools.optimize import _emit_function
+    Returns the daemon's final counters dict.  SIGTERM/SIGINT initiate
+    a graceful drain when this is the main thread (tests driving the
+    daemon from a worker thread call ``initiate_drain`` directly).
+    """
+    import signal
+    import threading
 
-    try:
-        while args.max_requests is None or served < args.max_requests:
-            conn, _addr = server.accept()
-            try:
-                chunks = []
-                while True:
-                    chunk = conn.recv(65536)
-                    if not chunk:
-                        break
-                    chunks.append(chunk)
-                text = b"".join(chunks).decode("utf-8")
-                replies = []
-                for fn in parse_functions(text):
-                    outcome = service.request(fn)
-                    replies.append(_emit_function(outcome.result))
-                conn.sendall("\n".join(replies).encode("utf-8"))
-            except Exception as exc:  # a bad request must not kill the loop
-                try:
-                    conn.sendall(f".error {type(exc).__name__}: {exc}\n".encode())
-                except OSError:
-                    pass
-            finally:
-                conn.close()
-                served += 1
-    finally:
-        server.close()
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
-    return served
+    from repro.serve.fleet import FleetDaemon
+
+    daemon = FleetDaemon(
+        service,
+        args.listen,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        shed_watermark=args.shed_watermark,
+        io_timeout=args.io_timeout,
+        drain_budget=args.drain_budget,
+        max_requests=args.max_requests,
+        default_deadline_ms=args.default_deadline_ms,
+    )
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(
+                signum,
+                lambda num, _frame: daemon.initiate_drain(
+                    signal.Signals(num).name
+                ),
+            )
+    return daemon.serve_forever()
 
 
 # -- tia-cache ----------------------------------------------------------------

@@ -5,6 +5,8 @@ Layout under the store root::
     objects/ab/cd/abcdef....entry     one cache entry per exact key
     families/ab/abcdef....json        family key -> member exact keys
     tmp/                              staging area for atomic writes
+    locks/                            advisory fcntl locks (gc, family
+                                      index) for multi-replica sharing
 
 An entry file is a one-line JSON **header** followed by an opaque binary
 payload (the pickled :class:`~repro.sched.scheduler.OptimizeResult`).
@@ -43,6 +45,12 @@ import json
 import os
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
+
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.obs import core as obs
 from repro.tools import faults
@@ -66,9 +74,10 @@ class ScheduleStore:
     ``size_budget`` (bytes, ``None`` = unbounded) triggers LRU eviction
     after writes; ``mem_entries`` bounds the in-process front.  All
     mutating operations are safe under concurrent use from multiple
-    processes sharing the directory: writes are atomic renames and the
-    family index tolerates lost updates (a lost index append costs a
-    warm-start opportunity, never correctness).
+    processes sharing the directory (N daemon replicas on one cache):
+    entry writes are atomic renames, and the read-modify-write
+    operations — gc/LRU eviction and family-index compaction — are
+    serialized by advisory ``fcntl`` locks under ``locks/``.
     """
 
     def __init__(self, root, size_budget=None, mem_entries=64):
@@ -76,8 +85,34 @@ class ScheduleStore:
         self.size_budget = size_budget
         self.mem_entries = mem_entries
         self._mem = OrderedDict()  # key -> (header dict, payload bytes)
-        for sub in ("objects", "families", "tmp"):
+        for sub in ("objects", "families", "tmp", "locks"):
             os.makedirs(os.path.join(self.root, sub), exist_ok=True)
+
+    # -- cross-process advisory locking --------------------------------------
+    @contextmanager
+    def _locked(self, name):
+        """Exclusive advisory ``flock`` on ``locks/<name>.lock``.
+
+        N daemon replicas share one cache directory: entry *writes*
+        are already safe (atomic rename), but read-modify-write
+        operations — LRU eviction / gc and family-index compaction —
+        would race between processes (double-unlink accounting, lost
+        index appends).  The lock serializes exactly those.  Lock
+        files are tiny and never deleted, so there is no unlink race
+        on the lock itself.  On platforms without ``fcntl`` this is a
+        no-op: single-replica behaviour is unchanged, and the races it
+        guards are cross-process only.
+        """
+        if fcntl is None:
+            yield
+            return
+        path = os.path.join(self.root, "locks", name + ".lock")
+        with open(path, "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     # -- paths ---------------------------------------------------------------
     def _entry_path(self, key):
@@ -135,17 +170,25 @@ class ScheduleStore:
         return header
 
     def _index_family(self, family, key):
-        """Append ``key`` to the family index (atomic rewrite)."""
+        """Append ``key`` to the family index (atomic rewrite).
+
+        The read-modify-write is serialized across processes by an
+        advisory lock: two replicas indexing siblings concurrently
+        must not lose each other's append (a lost append only costs a
+        warm-start opportunity, but with N daemons on one directory it
+        would be a *steady* leak, not a rare blip).
+        """
         path = self._family_path(family)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        keys = self.family_members(family)
-        if key in keys:
-            return
-        keys.append(key)
-        tmp = self._tmp_path("fam-" + family[:16])
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump({"keys": keys}, handle)
-        os.replace(tmp, path)
+        with self._locked("family-" + family[:16]):
+            keys = self.family_members(family)
+            if key in keys:
+                return
+            keys.append(key)
+            tmp = self._tmp_path("fam-" + family[:16])
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({"keys": keys}, handle)
+            os.replace(tmp, path)
 
     # -- reads ---------------------------------------------------------------
     def get(self, key, touch=True):
@@ -307,30 +350,35 @@ class ScheduleStore:
         """Evict least-recently-used entries until ≤ ``max_bytes``.
 
         Also sweeps stale temp files older than an hour (crash litter).
-        Returns the list of evicted keys.
+        Returns the list of evicted keys.  The whole sweep runs under
+        the cross-process ``gc`` lock so N replicas sharing the
+        directory do not scan + unlink the same victim set concurrently
+        (each would charge the same bytes and over-evict far below the
+        budget).
         """
-        tmp_root = os.path.join(self.root, "tmp")
-        horizon = time.time() - 3600.0
-        for name in os.listdir(tmp_root):
-            path = os.path.join(tmp_root, name)
-            try:
-                if os.stat(path).st_mtime < horizon:
+        with self._locked("gc"):
+            tmp_root = os.path.join(self.root, "tmp")
+            horizon = time.time() - 3600.0
+            for name in os.listdir(tmp_root):
+                path = os.path.join(tmp_root, name)
+                try:
+                    if os.stat(path).st_mtime < horizon:
+                        os.unlink(path)
+                except OSError:
+                    pass
+            rows = sorted(self.entries(), key=lambda r: r[3])  # oldest first
+            total = sum(size for _k, _p, size, _m in rows)
+            evicted = []
+            for key, path, size, _mtime in rows:
+                if total <= max_bytes:
+                    break
+                try:
                     os.unlink(path)
-            except OSError:
-                pass
-        rows = sorted(self.entries(), key=lambda r: r[3])  # oldest first
-        total = sum(size for _k, _p, size, _m in rows)
-        evicted = []
-        for key, path, size, _mtime in rows:
-            if total <= max_bytes:
-                break
-            try:
-                os.unlink(path)
-            except OSError:
-                continue
-            total -= size
-            evicted.append(key)
-            self._mem.pop(key, None)
+                except OSError:
+                    continue
+                total -= size
+                evicted.append(key)
+                self._mem.pop(key, None)
         if evicted and obs.ENABLED:
             obs.counter("cache_evictions_total", len(evicted))
         if obs.ENABLED:

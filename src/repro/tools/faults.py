@@ -35,6 +35,20 @@ Sites (``SITES``):
     (:mod:`repro.sched.decompose`): any firing aborts the stitch, and
     the scheduler must fall back to the whole-function ILP — the
     routine still yields a verified schedule.
+``serve.accept``
+    The fleet daemon's accept path (:mod:`repro.serve.daemon`): a
+    firing makes the just-accepted connection fail before it is
+    queued, as if the peer vanished or the accept raised — the
+    connection is rejected (typed error reply when possible) and the
+    accept loop must keep serving.
+``serve.queue``
+    Admission into the daemon's bounded request queue: a firing forces
+    a shed (busy reply with a retry hint) even when the queue has
+    room, so chaos runs prove clients ride through load shedding.
+``serve.drain``
+    The graceful-drain path: a firing raises inside the drain sweep
+    (flushing queued connections after SIGTERM); the daemon must
+    absorb it and still exit cleanly within the drain budget.
 
 Kinds (``KINDS``):
 
@@ -100,6 +114,9 @@ SITES = (
     "serve.store_io",
     "serve.corrupt_entry",
     "decompose.stitch",
+    "serve.accept",
+    "serve.queue",
+    "serve.drain",
 )
 
 KINDS = ("timeout", "infeasible", "incumbent", "corrupt", "error", "crash")

@@ -1,0 +1,182 @@
+"""FleetClient contract: retry, backoff, busy hints, ordered failover.
+
+The client's one promise: **as long as any replica is healthy, a
+request succeeds** — and when none is, it fails with a typed
+:class:`ClientError` carrying the per-replica trail, within the
+caller's deadline.
+"""
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.sched.scheduler import ScheduleFeatures
+from repro.serve.client import ClientError, FleetClient, RetryPolicy
+from repro.serve.fleet import FleetDaemon
+from repro.serve.service import ScheduleService
+from repro.tools import faults
+
+from tests.conftest import STRAIGHT_TEXT
+
+FEATURES = ScheduleFeatures(time_limit=20)
+
+
+def _start(tmp_path, name, **kwargs):
+    service = ScheduleService(
+        tmp_path / "cache", default_features=FEATURES
+    )
+    daemon = FleetDaemon(service, str(tmp_path / name), **kwargs)
+    box = {}
+
+    def target():
+        box["counters"] = daemon.serve_forever()
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    assert daemon.wait_ready(10)
+    return daemon, thread, box
+
+
+def _client(paths, rounds=4):
+    policy = RetryPolicy(
+        max_rounds=rounds, base_delay=0.01, max_delay=0.1,
+        connect_timeout=1.0, read_timeout=60.0,
+    )
+    return FleetClient(paths, policy=policy, rng=random.Random(7))
+
+
+def test_failover_to_second_replica(tmp_path):
+    daemon, thread, _ = _start(tmp_path, "b.sock", workers=1, max_requests=1)
+    client = _client([str(tmp_path / "dead.sock"), daemon.path])
+    reply = client.solve(STRAIGHT_TEXT, deadline_ms=60000)
+    thread.join(30)
+    assert reply.results[0]["routine"] == "straight"
+    assert reply.replica == daemon.path
+    assert client.stats.connect_failures >= 1
+    assert client.stats.failovers >= 1
+
+
+def test_busy_replica_fails_over_and_succeeds(tmp_path):
+    """An overloaded primary sheds; the secondary serves — the request
+    succeeds and the client records the busy encounter."""
+    shedding, shed_thread, _ = _start(
+        tmp_path, "shed.sock", workers=1, queue_capacity=1,
+        shed_watermark=1, io_timeout=1.0, drain_budget=0.5,
+    )
+    serving, serve_thread, _ = _start(
+        tmp_path, "serve.sock", workers=1, max_requests=1,
+    )
+    # Wedge the primary: one silent connection holds its only worker,
+    # a second fills the queue to the watermark.
+    stalled = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    stalled.connect(shedding.path)
+    time.sleep(0.2)
+    queued = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    queued.connect(shedding.path)
+    time.sleep(0.1)
+    try:
+        client = _client([shedding.path, serving.path])
+        reply = client.solve(STRAIGHT_TEXT, deadline_ms=60000)
+    finally:
+        stalled.close()
+        queued.close()
+    assert reply.results[0]["kind"] == "miss"
+    assert reply.replica == serving.path
+    assert client.stats.busy >= 1
+    shedding.initiate_drain("test")
+    shed_thread.join(30)
+    serve_thread.join(30)
+
+
+def test_busy_then_retry_same_replica(tmp_path):
+    """A transient shed (one forced busy) is ridden out by backoff."""
+    daemon, thread, box = _start(tmp_path, "a.sock", workers=1, max_requests=1)
+    with faults.inject("serve.queue=error:1"):
+        client = _client([daemon.path])
+        reply = client.solve(STRAIGHT_TEXT, deadline_ms=60000)
+    thread.join(30)
+    assert reply.results[0]["routine"] == "straight"
+    assert client.stats.busy == 1
+    assert client.stats.attempts >= 2
+    assert box["counters"]["shed"] == 1
+
+
+def test_all_dead_raises_client_error_with_trail(tmp_path):
+    client = _client(
+        [str(tmp_path / "x.sock"), str(tmp_path / "y.sock")], rounds=2
+    )
+    with pytest.raises(ClientError) as excinfo:
+        client.solve(STRAIGHT_TEXT, deadline_ms=2000)
+    message = str(excinfo.value)
+    assert "x.sock" in message or "y.sock" in message
+
+
+def test_deadline_bounds_total_retry_time(tmp_path):
+    import time
+
+    client = FleetClient(
+        [str(tmp_path / "dead.sock")],
+        policy=RetryPolicy(
+            max_rounds=50, base_delay=0.2, max_delay=2.0,
+            connect_timeout=0.5, read_timeout=1.0,
+        ),
+        rng=random.Random(3),
+    )
+    started = time.monotonic()
+    with pytest.raises(ClientError, match="deadline"):
+        client.solve(STRAIGHT_TEXT, deadline_ms=500)
+    assert time.monotonic() - started < 5.0
+
+
+def test_backoff_delays_are_capped_and_jittered():
+    policy = RetryPolicy(base_delay=0.05, max_delay=0.4)
+    rng = random.Random(11)
+    delays = [policy.delay_for_round(r, rng) for r in range(8)]
+    # Jitter keeps delays in (0.5, 1.5) x the capped exponential value.
+    assert all(d <= 0.4 * 1.5 for d in delays)
+    assert delays[0] < delays[-1] * 4  # growth is capped, not unbounded
+    # Deterministic under a seeded RNG (benchmarks rely on this).
+    again = [
+        policy.delay_for_round(r, random.Random(11)) for r in range(1)
+    ]
+    assert again[0] == policy.delay_for_round(0, random.Random(11))
+
+
+def test_health_probe(tmp_path):
+    daemon, thread, _ = _start(tmp_path, "h.sock", workers=1)
+    client = _client([daemon.path])
+    health = client.health()
+    assert health["ok"] and health["status"] == "health"
+    stats = client.fleet_stats()
+    assert stats[daemon.path]["status"] == "stats"
+    daemon.initiate_drain("test")
+    thread.join(30)
+
+
+def test_client_cli_roundtrip(tmp_path, capsys):
+    from repro.serve.client import client_main
+
+    daemon, thread, _ = _start(tmp_path, "cli.sock", workers=1, max_requests=1)
+    tia = tmp_path / "routine.tia"
+    tia.write_text(STRAIGHT_TEXT)
+    out = tmp_path / "out.tia"
+    rc = client_main([
+        str(tia), "--socket", str(tmp_path / "gone.sock"),
+        "--socket", daemon.path, "--seed", "5",
+        "--deadline-ms", "60000", "-o", str(out), "--json",
+    ])
+    thread.join(30)
+    assert rc == 0
+    assert ".proc straight" in out.read_text()
+    captured = capsys.readouterr()
+    assert '"served": 1' in captured.out
+
+
+def test_client_cli_requires_socket(tmp_path):
+    from repro.serve.client import client_main
+
+    with pytest.raises(SystemExit):
+        client_main([str(tmp_path / "x.tia")])

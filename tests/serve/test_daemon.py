@@ -7,6 +7,8 @@ import threading
 
 import pytest
 
+from repro.serve import protocol
+from repro.serve.client import FleetClient
 from repro.serve.daemon import cache_main, serve_main
 from repro.serve.store import ScheduleStore
 
@@ -47,46 +49,42 @@ def test_serve_batch_requires_inputs(tmp_path):
         serve_main(["--cache", _cache_dir(tmp_path)])
 
 
+def _wait_for_socket(sock_path, tries=50):
+    while not os.path.exists(sock_path) and tries:
+        threading.Event().wait(0.1)
+        tries -= 1
+    assert os.path.exists(sock_path), "socket never bound"
+
+
 def test_serve_socket_roundtrip(tmp_path, capsys):
+    """serve_main --listen speaks the framed protocol end to end."""
     cache = _cache_dir(tmp_path)
     sock_path = str(tmp_path / "serve.sock")
     box = {}
 
     def server():
         box["rc"] = serve_main([
-            "--cache", cache, "--listen", sock_path,
+            "--cache", cache, "--listen", sock_path, "--workers", "1",
             "--max-requests", "2", "--time-limit", "20",
         ])
 
     thread = threading.Thread(target=server)
     thread.start()
     try:
-        deadline = 50
-        while not os.path.exists(sock_path) and deadline:
-            threading.Event().wait(0.1)
-            deadline -= 1
-        assert os.path.exists(sock_path), "socket never bound"
-
-        replies = []
-        for _ in range(2):
-            client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            client.connect(sock_path)
-            client.sendall(STRAIGHT_TEXT.encode())
-            client.shutdown(socket.SHUT_WR)
-            chunks = []
-            while True:
-                chunk = client.recv(65536)
-                if not chunk:
-                    break
-                chunks.append(chunk)
-            client.close()
-            replies.append(b"".join(chunks).decode())
+        _wait_for_socket(sock_path)
+        client = FleetClient([sock_path])
+        replies = [
+            client.solve(STRAIGHT_TEXT, deadline_ms=120000)
+            for _ in range(2)
+        ]
     finally:
         thread.join(timeout=120)
     assert box["rc"] == 0
-    assert all(".proc straight" in reply for reply in replies)
+    assert all(".proc straight" in reply.text for reply in replies)
+    assert replies[0].results[0]["kind"] == "miss"
+    assert replies[1].results[0]["kind"] == "exact"
     # Second connection was served from cache: byte-identical reply.
-    assert replies[0] == replies[1]
+    assert replies[0].text == replies[1].text
 
 
 def test_serve_socket_bad_request_does_not_kill_loop(tmp_path):
@@ -96,39 +94,34 @@ def test_serve_socket_bad_request_does_not_kill_loop(tmp_path):
 
     def server():
         box["rc"] = serve_main([
-            "--cache", cache, "--listen", sock_path,
-            "--max-requests", "2", "--time-limit", "20",
+            "--cache", cache, "--listen", sock_path, "--workers", "1",
+            "--max-requests", "1", "--time-limit", "20",
         ])
 
     thread = threading.Thread(target=server)
     thread.start()
     try:
-        deadline = 50
-        while not os.path.exists(sock_path) and deadline:
-            threading.Event().wait(0.1)
-            deadline -= 1
+        _wait_for_socket(sock_path)
 
-        def roundtrip(payload):
-            client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            client.connect(sock_path)
-            client.sendall(payload)
-            client.shutdown(socket.SHUT_WR)
-            chunks = []
-            while True:
-                chunk = client.recv(65536)
-                if not chunk:
-                    break
-                chunks.append(chunk)
-            client.close()
-            return b"".join(chunks).decode()
+        def roundtrip(text):
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.settimeout(120)
+            conn.connect(sock_path)
+            try:
+                protocol.send_frame(conn, *protocol.solve_request(text))
+                header, payload = protocol.recv_frame(conn)
+            finally:
+                conn.close()
+            return header, payload
 
-        bad = roundtrip(b"this is not TIA assembly {{{")
-        good = roundtrip(STRAIGHT_TEXT.encode())
+        bad, _ = roundtrip("this is not TIA assembly {{{")
+        good, good_payload = roundtrip(STRAIGHT_TEXT)
     finally:
         thread.join(timeout=120)
     assert box["rc"] == 0
-    assert bad.startswith(".error") or bad == ""
-    assert ".proc straight" in good
+    assert bad["status"] == "error"
+    assert good["status"] == "ok"
+    assert ".proc straight" in good_payload.decode()
 
 
 def test_cache_warm_stats_verify_gc(tmp_path, tia_file, capsys):

@@ -8,6 +8,7 @@ place to fail again.
 
 import json
 import os
+import threading
 import time
 
 import pytest
@@ -190,3 +191,99 @@ def test_stats_counts(store):
     assert stats["entries"] == 1
     assert stats["families"] == 1
     assert stats["bytes"] > 5  # header + payload
+
+
+# -- multi-replica safety (advisory locking) ----------------------------------
+def test_concurrent_writers_stay_consistent(tmp_path):
+    """satellite: two replica stores race put+gc on one directory; the
+    entries and family index must stay verifiably clean throughout."""
+    root = tmp_path / "cache"
+    stores = [ScheduleStore(root), ScheduleStore(root)]
+    keys = ["%064x" % i for i in range(24)]
+    errors = []
+
+    def writer(store, mine):
+        try:
+            for i, key in enumerate(mine):
+                store.put(key, FAMILY, b"payload %4d " % i * 40)
+                if i % 4 == 3:
+                    store.gc(64 * 1024)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(stores[0], keys[::2])),
+        threading.Thread(target=writer, args=(stores[1], keys[1::2])),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    assert errors == []
+    fresh = ScheduleStore(root)
+    ok, dropped = fresh.verify_all()
+    assert dropped == []
+    assert ok == fresh.stats()["entries"]
+    # Every surviving family member resolves to a readable entry.
+    for key in fresh.family_members(FAMILY):
+        assert fresh.get(key) is not None
+
+
+def test_concurrent_gc_never_drops_newest(tmp_path):
+    root = tmp_path / "cache"
+    stores = [ScheduleStore(root), ScheduleStore(root)]
+    for i in range(6):
+        stores[0].put("%064x" % i, FAMILY, b"old entry " * 100)
+        time.sleep(0.01)
+    newest = "f" * 63 + "e"
+    stores[1].put(newest, FAMILY, b"newest entry " * 10)
+    # Two replicas race eviction down to a budget that keeps roughly
+    # one entry; LRU order under the gc lock must keep the newest.
+    budget = 2048
+    threads = [
+        threading.Thread(target=s.gc, args=(budget,)) for s in stores
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    fresh = ScheduleStore(root)
+    assert fresh.get(newest) is not None
+    assert fresh.stats()["bytes"] <= budget
+    _ok, dropped = fresh.verify_all()
+    assert dropped == []
+
+
+def test_concurrent_double_solve_byte_identical(tmp_path):
+    """Two replicas solving the same routine at once converge on one
+    cache entry and byte-identical emitted text."""
+    from repro.ir.parser import parse_functions
+    from repro.sched.scheduler import ScheduleFeatures
+    from repro.serve.service import ScheduleService
+    from repro.tools.optimize import _emit_function
+
+    from tests.conftest import STRAIGHT_TEXT
+
+    features = ScheduleFeatures(time_limit=20)
+    out = {}
+
+    def solve(tag):
+        service = ScheduleService(
+            tmp_path / "cache", default_features=features
+        )
+        fn = parse_functions(STRAIGHT_TEXT)[0]
+        outcome = service.request(fn, features)
+        out[tag] = _emit_function(outcome.result)
+
+    threads = [
+        threading.Thread(target=solve, args=(tag,)) for tag in ("a", "b")
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+    assert out["a"] == out["b"]
+    fresh = ScheduleStore(tmp_path / "cache")
+    _ok, dropped = fresh.verify_all()
+    assert dropped == []
+    assert fresh.stats()["entries"] == 1
