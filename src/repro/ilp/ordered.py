@@ -1,0 +1,352 @@
+"""Order/disjunctive scheduling encoding — the portfolio's third lane.
+
+The time-indexed formulation (paper eqs. 2–7) spends one binary per
+(instruction, block, cycle) triple; its LP relaxation is strong but the
+variable count scales with the schedule horizon.  This module provides
+the classic alternative from the job-shop literature (and the SMT
+software pipelining line of work in PAPERS.md): one *integer cycle
+variable* per instruction plus pairwise *sequencing binaries* on
+resource-conflicting pairs.  The model is small on long blocks exactly
+where the time-indexed encoding is large, which is what makes the
+portfolio diverse rather than redundant.
+
+The encoding deliberately solves a **restriction** of the full problem:
+every instruction is pinned to its source block (no global code motion,
+no speculation, no cyclic motion — all transformation binaries at
+zero), and only the intra-block schedule and the block lengths are
+optimized.  That restriction is always feasible (the input program is a
+witness) and exact *within itself*, so:
+
+* its solutions convert into genuine full-model incumbents (via a
+  *completion solve* that re-derives the path/length variables and is
+  re-validated against the full matrix), and
+* its optimality proofs and dual bounds cover only the restricted
+  space — the portfolio demotes an ordered ``OPTIMAL`` to ``FEASIBLE``
+  and never mixes its bounds into the exact runners' bound group.
+
+Formulation, for each nonempty block A with max length L_A:
+
+* integer ``c_n ∈ [1, L_A]`` per included instruction n (source block A);
+* integer ``len_A ∈ [1, L_A]``; ``c_n ≤ len_A``; branches ``c_br = len_A``;
+* same-block dependence (m → n, latency l): ``c_n − c_m ≥ l`` (l = 0
+  keeps same-cycle issue legal, matching local precedence (5));
+* per conflicting pair (i, j): binaries ``y_ij`` (i strictly before j)
+  and ``y_ji``, big-M linked so ``y_ij = y_ji = 0  ⟺  c_i = c_j``;
+* per capacity class C with cap k and member weights w (movl counts 2
+  toward issue width), one counting row per member i:
+  ``Σ_{j∈C∖{i}} w_j·(1 − y_ij − y_ji) ≤ k − w_i`` — at most k weight in
+  any cycle, without a time index anywhere;
+* Sec. 4.2 bundling cuts get the same counting form: for a cut set S,
+  per member i, ``Σ_{j∈S∖{i}} (1 − y_ij − y_ji) ≤ |S| − 2``;
+* objective ``Σ_A freq_A · len_A`` — identical to (7) at one-hot blen.
+
+Sequencing binaries are created lazily: only pairs that co-occur in
+some capacity class whose row can actually bind (total weight exceeds
+the cap) or in a bundling cut ever get them, so easy blocks stay nearly
+LP-sized.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+from scipy import optimize
+
+from repro.ilp.expr import LinExpr, Var, lin_sum
+from repro.ilp.model import Model
+from repro.machine.units import UnitKind
+
+
+def _at_zero(value):
+    """Evaluate a constant / Var / LinExpr with every variable at 0."""
+    if isinstance(value, Var):
+        return 0.0
+    if isinstance(value, LinExpr):
+        return value.constant
+    return float(value)
+
+
+class OrderedEncoding:
+    """An order/disjunctive restriction of one :class:`SchedulingIlp`.
+
+    Build with :meth:`from_scheduling_ilp` (returns ``None`` when the
+    formulation's shape cannot be restricted — e.g. an instruction whose
+    source block was carved out of its placement domain).  ``model`` is
+    a self-contained :class:`~repro.ilp.model.Model` solvable by any
+    numeric backend; :meth:`to_time_indexed` maps a solution back into
+    the full model's variable space.
+    """
+
+    def __init__(self, ilp, model, cycle_vars, len_vars, included):
+        self.ilp = ilp  # the time-indexed SchedulingIlp this restricts
+        self.model = model
+        self.cycle_vars = cycle_vars  # instr -> Var (c_n)
+        self.len_vars = len_vars  # block name -> Var (len_A)
+        self.included = included  # instrs scheduled in the restriction
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_scheduling_ilp(cls, ilp):
+        lengths = ilp.lengths
+        # The restriction schedules exactly the instructions the base
+        # model must place with every transformation binary at zero:
+        # assign_rhs evaluates to 1 there (plain instructions and
+        # non-collapsed branches); speculative copies and other
+        # binary-gated extras evaluate to 0 and stay out.
+        included = []
+        for instr, info in ilp.info.items():
+            rhs = _at_zero(info.assign_rhs)
+            if rhs >= 0.5:
+                included.append(instr)
+        by_block = {}
+        for instr in included:
+            source = ilp.info[instr].source
+            if source not in ilp.info[instr].theta:
+                return None  # source carved out: restriction infeasible
+            if lengths.get(source, 0) < 1:
+                return None
+            by_block.setdefault(source, []).append(instr)
+
+        model = Model(f"{ilp.model.name}_ordered")
+        cycle_vars = {}
+        len_vars = {}
+        for block, instrs in sorted(by_block.items()):
+            horizon = lengths[block]
+            len_var = model.add_var(
+                f"len_{block}", lb=1, ub=horizon, is_integer=True
+            )
+            len_vars[block] = len_var
+            for instr in instrs:
+                c = model.add_var(
+                    f"c_{instr.uid}", lb=1, ub=horizon, is_integer=True
+                )
+                cycle_vars[instr] = c
+                model.add_constraint(
+                    c.to_expr() <= len_var.to_expr(),
+                    name=f"clen_{instr.uid}",
+                )
+                if instr.is_branch:
+                    # Branches sit exactly in the last cycle (Sec. 5.4).
+                    model.add_constraint(
+                        c.to_expr() >= len_var.to_expr(),
+                        name=f"brlast_{instr.uid}",
+                    )
+
+        encoding = cls(ilp, model, cycle_vars, len_vars, by_block)
+        encoding._precedence_constraints()
+        encoding._capacity_constraints(by_block)
+        encoding._objective(by_block)
+        return encoding
+
+    def _precedence_constraints(self):
+        ilp = self.ilp
+        seen = set()
+        for edge in ilp.dep_edges():
+            src, dst = edge.src, edge.dst
+            if src not in self.cycle_vars or dst not in self.cycle_vars:
+                continue
+            if ilp.info[src].source != ilp.info[dst].source:
+                # Cross-block order is fixed by the source placement and
+                # already satisfied by the input program; like (4) it
+                # carries no latency, so nothing to add.
+                continue
+            block = ilp.info[src].source
+            # A relaxation term that is already ≥1 with every binary at
+            # zero voids the constraint instance in the restriction
+            # (cyclic motion's flipped writer edges are gated this way).
+            entries = ilp.relax_terms.get(edge, ())
+            relax0 = sum(
+                _at_zero(term)
+                for term, blocks in entries
+                if blocks is None or block in blocks
+            )
+            if relax0 >= 0.5:
+                continue
+            lat = max(int(edge.latency), 0)
+            key = (src, dst, lat)
+            if key in seen:
+                continue
+            seen.add(key)
+            self.model.add_constraint(
+                self.cycle_vars[dst] - self.cycle_vars[src] >= lat,
+                name=f"oprec_{src.uid}_{dst.uid}",
+            )
+
+    def _capacity_constraints(self, by_block):
+        ports = self.ilp.machine.ports
+        for block, instrs in sorted(by_block.items()):
+            horizon = self.ilp.lengths[block]
+            same = _SequencingPairs(self.model, self.cycle_vars, horizon)
+            # Issue width: movl burns an L+X slot pair, weight 2.
+            weighted = [
+                (i, 2.0 if i.unit is UnitKind.L else 1.0) for i in instrs
+            ]
+            self._counting_rows(
+                same, weighted, ports.issue_width, f"width_{block}"
+            )
+            for kinds, cap, tag in (
+                ((UnitKind.M,), ports.m_ports, "m"),
+                ((UnitKind.I, UnitKind.L), ports.i_ports, "i"),
+                ((UnitKind.F,), ports.f_ports, "f"),
+                ((UnitKind.B,), ports.b_ports, "b"),
+            ):
+                members = [(i, 1.0) for i in instrs if i.unit in kinds]
+                self._counting_rows(same, members, cap, f"unit{tag}_{block}")
+            # Sec. 4.2 bundling cuts: no cycle may host all of S.
+            for idx, cut in enumerate(self.ilp.bundling_cuts):
+                cut_here = [
+                    i
+                    for (i, cut_block) in cut
+                    if cut_block == block and i in self.cycle_vars
+                ]
+                if len(cut_here) < 2 or len(cut_here) != len(
+                    [1 for (_, cb) in cut if cb == block]
+                ):
+                    continue
+                for i in cut_here:
+                    others = [
+                        same.expr(i, j) for j in cut_here if j is not i
+                    ]
+                    self.model.add_constraint(
+                        lin_sum(others) <= len(cut_here) - 2,
+                        name=f"obundle{idx}_{block}_{i.uid}",
+                    )
+
+    def _counting_rows(self, same, weighted, cap, tag):
+        """``Σ_j w_j·same_ij ≤ cap − w_i`` per member — cycle-free (6)."""
+        total = sum(w for _, w in weighted)
+        if total <= cap:
+            return  # the row can never bind; skip the binaries too
+        for i, w_i in weighted:
+            others = [
+                w_j * same.expr(i, j) for j, w_j in weighted if j is not i
+            ]
+            self.model.add_constraint(
+                lin_sum(others) <= cap - w_i,
+                name=f"o{tag}_{i.uid}",
+            )
+
+    def _objective(self, by_block):
+        freq = {
+            b.name: b.freq
+            for b in self.ilp.region.fn.blocks
+            if b.name in self.len_vars
+        }
+        terms = [
+            freq.get(block, 1.0) * var for block, var in self.len_vars.items()
+        ]
+        # Blocks with no included instructions contribute their (7)
+        # minimum — zero length — and extensions' objective extras are
+        # all binary-gated, hence 0 in the restriction; the two
+        # objectives therefore agree on every restricted point.
+        extras0 = sum(
+            _at_zero(extra) for extra in self.ilp.objective_extras
+        )
+        self.model.set_objective(lin_sum(terms) + extras0)
+
+    # -- conversion back ------------------------------------------------------
+    def to_time_indexed(self, model, ordered_solution, time_limit=None):
+        """Map an ordered solution into the full model's variable space.
+
+        Runs a *completion solve*: the full model's arrays with every
+        ``x`` bound pinned to the ordered placement (included n at
+        ``x[n, source, c_n] = 1``, everything else 0), leaving the
+        path/length/extension variables for :func:`scipy.optimize.milp`
+        to fill.  The result is re-validated by construction (it is a
+        solution of the full matrix) — returns ``(objective, values)``
+        or ``None`` when the completion is infeasible (an extension
+        constraint the restriction abstracted away binds after all).
+        """
+        ilp = self.ilp
+        arrays = model.to_arrays()
+        lb = arrays["lb"].copy()
+        ub = arrays["ub"].copy()
+        placed = {}
+        for instr, c_var in self.cycle_vars.items():
+            placed[instr] = int(round(ordered_solution.values[c_var]))
+        for (instr, block, t), var in ilp.x.items():
+            want = 1.0 if placed.get(instr) == t and (
+                block == ilp.info[instr].source and instr in placed
+            ) else 0.0
+            lb[var.index] = want
+            ub[var.index] = want
+        start = time.perf_counter()
+        with warnings.catch_warnings():
+            warnings.filterwarnings(
+                "ignore", message="Unrecognized options",
+                category=RuntimeWarning,
+            )
+            options = {"mip_rel_gap": 0.0}
+            if time_limit is not None:
+                options["time_limit"] = max(float(time_limit), 1.0)
+            result = optimize.milp(
+                arrays["c"],
+                constraints=optimize.LinearConstraint(
+                    arrays["A"], arrays["b_lo"], arrays["b_hi"]
+                ),
+                bounds=optimize.Bounds(lb, ub),
+                integrality=arrays["integrality"].astype(int),
+                options=options,
+            )
+        if result.status != 0 or result.x is None:
+            return None
+        values = {}
+        for var in model.variables:
+            raw = float(result.x[var.index])
+            values[var] = float(round(raw)) if var.is_integer else raw
+        objective = float(np.dot(arrays["c"], result.x))
+        ordered_solution.stats.lp_solves += 1
+        ordered_solution.stats.time_seconds += time.perf_counter() - start
+        return objective, values
+
+
+class _SequencingPairs:
+    """Lazily-created disjunctive binaries for one block.
+
+    ``expr(i, j)`` returns the *same-cycle indicator* ``1 − y_ij − y_ji``
+    as a LinExpr, creating the pair's binaries and big-M linking rows on
+    first use.  y_ij = 1 means "i strictly before j"; the linking makes
+    the two binaries exact:
+
+    * ``c_j − c_i ≥ 1 − M(1 − y_ij)``  (y_ij ⇒ strictly before)
+    * ``c_j − c_i ≤ M·y_ij``            (strictly before ⇒ y_ij)
+
+    and symmetrically for ``y_ji``, with M = block horizon.
+    """
+
+    def __init__(self, model, cycle_vars, horizon):
+        self.model = model
+        self.cycle_vars = cycle_vars
+        self.big_m = float(horizon)
+        self._pairs = {}
+
+    def expr(self, i, j):
+        key = (i, j) if i.uid <= j.uid else (j, i)
+        pair = self._pairs.get(key)
+        if pair is None:
+            pair = self._create(*key)
+            self._pairs[key] = pair
+        return 1.0 - pair[0] - pair[1]
+
+    def _create(self, i, j):
+        c_i, c_j = self.cycle_vars[i], self.cycle_vars[j]
+        y_ij = self.model.add_binary(f"y_{i.uid}_{j.uid}")
+        y_ji = self.model.add_binary(f"y_{j.uid}_{i.uid}")
+        m = self.big_m
+        self.model.add_constraint(
+            c_j - c_i >= 1.0 - m * (1.0 - y_ij),
+            name=f"seq1_{i.uid}_{j.uid}",
+        )
+        self.model.add_constraint(
+            c_j - c_i <= m * y_ij, name=f"seq2_{i.uid}_{j.uid}"
+        )
+        self.model.add_constraint(
+            c_i - c_j >= 1.0 - m * (1.0 - y_ji),
+            name=f"seq3_{i.uid}_{j.uid}",
+        )
+        self.model.add_constraint(
+            c_i - c_j <= m * y_ji, name=f"seq4_{i.uid}_{j.uid}"
+        )
+        return (y_ij, y_ji)

@@ -1,0 +1,877 @@
+"""Portfolio solving: race diverse backends under one deadline.
+
+Castañeda Lozano & Schulte's survey names portfolio solving and bound
+sharing as the standard way combinatorial schedulers close the
+robustness gap: no single search strategy dominates, so the robust
+configuration races several and keeps whichever finishes first.  This
+module is that layer for the repro ILP stack:
+
+:class:`PortfolioSolver`
+    Races N *runners* on the same :class:`~repro.ilp.model.Model` in
+    threads, under one shared wall-clock budget.  The first runner to
+    prove optimality wins; the losers are cancelled cooperatively.  A
+    runner is either a backend on the time-indexed model (``"highs"``,
+    ``"bb"``) or a backend on the order/disjunctive re-encoding
+    (``"ordered:highs"``, ``"ordered:bb"`` — see :mod:`repro.ilp.ordered`),
+    so the portfolio is diverse rather than redundant.
+
+:class:`IncumbentBus`
+    The thread-safe exchange between runners.  Incumbents (full
+    variable vectors of the time-indexed model) and dual bounds are
+    published tighten-only: a worse incumbent or a weaker bound is
+    silently dropped, so a slow runner can never regress the shared
+    state.  A *poisoned* runner (one hit by a ``portfolio.cancel``
+    fault) has its past bounds discarded and all future publishes
+    barred — corrupted search state never crosses the bus.
+
+:class:`RunnerControl`
+    The per-runner handle threaded into the backend hot paths: a
+    cooperative cancel flag (checked by the branch-and-bound node loop
+    and before the blocking HiGHS call) plus publish/poll access to the
+    bus.  Consumers validate every polled incumbent against their own
+    model before adopting it, so the bus never needs to be trusted.
+
+Proof semantics
+---------------
+Runners on the time-indexed model are exact: their optimality proofs
+and dual bounds hold globally, and the bus combines them — when the
+best shared bound meets the best shared incumbent, the race stops with
+a *combined* proof even though no single runner closed its own tree
+("the race pays for itself").  Ordered-encoding runners solve a
+fixed-placement restriction: their solutions convert into valid
+time-indexed incumbents (validated on conversion), but their bounds and
+proofs only cover the restricted space, so an ordered ``OPTIMAL`` is
+demoted to ``FEASIBLE`` at the portfolio level unless the exact group's
+bound closes the gap.
+
+Determinism
+-----------
+Racing is wall-clock nondeterministic, so the winner is picked per
+*poll tick*: all runners that finished with a proof inside the same
+tick are tied, and the tie is broken by a seeded permutation of the
+roster (``seed`` parameter) — byte-identical output run-to-run whenever
+finishing order is stable at poll granularity.  The emitted solution is
+always the winner's own; cross-seeded incumbents are adopted only when
+*strictly* better, so a runner that proves optimality emits exactly
+what it would have found solo whenever its solo run reaches the same
+optimum.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+
+import numpy as np
+
+from repro.ilp.branch_bound import BranchBoundSolver
+from repro.ilp.highs import HighsSolver
+from repro.ilp.status import (
+    Solution,
+    SolveStatus,
+    SolverStats,
+    record_solve_metrics,
+)
+from repro.obs import core as obs
+from repro.obs.insight import GapTimeline, fault_timeline as _fault_timeline
+from repro.tools import faults
+
+# Runner roster entries the portfolio understands.  ``ordered:*`` runners
+# additionally require a ``scheduling_ilp`` (the time-indexed formulation
+# object) to derive the disjunctive re-encoding from; without one they
+# are skipped with a note instead of failing the race.
+KNOWN_RUNNERS = ("highs", "bb", "ordered:highs", "ordered:bb")
+
+_TIE_TOL = 1e-9
+
+
+class IncumbentBus:
+    """Thread-safe tighten-only exchange of incumbents and dual bounds.
+
+    All vectors live in the index space of one model (the time-indexed
+    one); publishers hand in index-aligned arrays, consumers re-validate
+    against their own matrices before adopting.  Minimization throughout:
+    a better incumbent is *lower*, a stronger dual bound is *higher*.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._incumbent = None  # (np.ndarray, objective, runner)
+        self._version = 0
+        self._bounds = {}  # runner -> best dual bound published
+        self._poisoned = set()
+        self.published = 0  # accepted incumbent publishes
+        self.rejected = 0  # tighten-only rejections
+
+    # -- incumbents -----------------------------------------------------------
+    def publish_incumbent(self, runner, values, objective):
+        """Offer a feasible point; kept only if strictly better."""
+        objective = float(objective)
+        with self._lock:
+            if runner in self._poisoned:
+                return False
+            if (
+                self._incumbent is not None
+                and objective >= self._incumbent[1] - _TIE_TOL
+            ):
+                self.rejected += 1
+                return False
+            self._incumbent = (
+                np.array(values, dtype=float, copy=True),
+                objective,
+                runner,
+            )
+            self._version += 1
+            self.published += 1
+            return True
+
+    def best_incumbent(self, newer_than=-1):
+        """``(values, objective, version)`` or ``None``.
+
+        ``newer_than`` skips the copy when the consumer already saw the
+        current version (pollers call this on a hot path).
+        """
+        with self._lock:
+            if self._incumbent is None or self._version <= newer_than:
+                return None
+            values, objective, _ = self._incumbent
+            return values.copy(), objective, self._version
+
+    def incumbent_holder(self):
+        with self._lock:
+            return None if self._incumbent is None else self._incumbent[2]
+
+    # -- dual bounds ----------------------------------------------------------
+    def publish_bound(self, runner, bound):
+        """Offer a dual (lower) bound; kept per-runner, tighten-only."""
+        if bound is None:
+            return False
+        bound = float(bound)
+        if not math.isfinite(bound):
+            return False
+        with self._lock:
+            if runner in self._poisoned:
+                return False
+            current = self._bounds.get(runner)
+            if current is not None and bound <= current + _TIE_TOL:
+                return False
+            self._bounds[runner] = bound
+            return True
+
+    def best_bound(self):
+        """Strongest (max) dual bound across healthy runners, or None."""
+        with self._lock:
+            live = [
+                b for r, b in self._bounds.items() if r not in self._poisoned
+            ]
+            return max(live) if live else None
+
+    # -- poisoning ------------------------------------------------------------
+    def poison(self, runner):
+        """Discard the runner's bounds and bar its future publishes.
+
+        The runner's past *incumbents* stay only if they were adopted as
+        the bus optimum before the fault — but a poisoned holder's
+        incumbent is dropped too: a corrupted search may have published
+        a vector that never was feasible, and nothing downstream should
+        have to trust it.
+        """
+        with self._lock:
+            self._poisoned.add(runner)
+            self._bounds.pop(runner, None)
+            if self._incumbent is not None and self._incumbent[2] == runner:
+                self._incumbent = None
+                self._version += 1
+
+    def is_poisoned(self, runner):
+        with self._lock:
+            return runner in self._poisoned
+
+
+class RunnerControl:
+    """Per-runner cancellation token + bus access.
+
+    Backends treat this as opaque: ``cancelled()`` on the hot path,
+    ``poll_incumbent()``/``publish_incumbent()``/``publish_bound()`` on
+    the sampling cadence.  ``bus=None`` builds a detached control
+    (cancel-only) for runners whose variable space differs from the
+    bus's (the ordered re-encoding).
+    """
+
+    def __init__(self, runner, bus=None):
+        self.runner = runner
+        self.bus = bus
+        self._cancel = threading.Event()
+        self._seen_version = -1
+        # Telemetry counters, read by the portfolio after the race.
+        self.published = 0
+        self.adopted = 0
+
+    def cancel(self):
+        self._cancel.set()
+
+    def cancelled(self):
+        return self._cancel.is_set()
+
+    def publish_incumbent(self, values, objective):
+        if self.bus is not None and self.bus.publish_incumbent(
+            self.runner, values, objective
+        ):
+            self.published += 1
+
+    def publish_bound(self, bound):
+        if self.bus is not None:
+            self.bus.publish_bound(self.runner, bound)
+
+    def poll_incumbent(self):
+        """A bus incumbent newer than the last poll, else ``None``.
+
+        Never returns this runner's own publishes back to it (the bus
+        version still advances past them so the poll stays cheap).
+        """
+        if self.bus is None:
+            return None
+        entry = self.bus.best_incumbent(newer_than=self._seen_version)
+        if entry is None:
+            return None
+        values, objective, version = entry
+        self._seen_version = version
+        if self.bus.incumbent_holder() == self.runner:
+            return None
+        return values, objective
+
+    def note_adoption(self):
+        self.adopted += 1
+
+
+class _Runner:
+    """One racing lane: spec, thread, control, and the outcome slots."""
+
+    def __init__(self, index, spec, control):
+        self.index = index
+        self.spec = spec  # e.g. "highs" or "ordered:bb"
+        self.control = control
+        self.thread = None
+        self.solution = None
+        self.error = None
+        self.fault = None
+        self.skipped = None  # reason string when the lane never ran
+        self.seconds = None  # lane wall-clock from race start to finish
+        self.started = False
+
+    @property
+    def encoding(self):
+        return "ordered" if self.spec.startswith("ordered:") else "time_indexed"
+
+    @property
+    def backend(self):
+        return self.spec.split(":", 1)[-1]
+
+    @property
+    def exact(self):
+        """Do this lane's proofs and bounds hold for the full model?"""
+        return self.encoding == "time_indexed"
+
+
+class PortfolioSolver:
+    """Race backends on one model; first optimality proof wins.
+
+    Parameters
+    ----------
+    backends:
+        Runner roster, entries from :data:`KNOWN_RUNNERS`.
+    time_limit:
+        Shared wall-clock budget for the whole race (``None`` =
+        unlimited; :func:`repro.ilp.solve_model` clips it to the
+        pipeline deadline before construction).
+    seed:
+        Seeds the deterministic tie-break permutation applied when two
+        runners prove optimality within the same poll tick.
+    threads:
+        Cap on concurrently running lanes (``None`` = all at once).
+        Excess lanes start as slots free up — and skip starting
+        entirely once the race is decided.
+    poll_interval:
+        Winner-election tick in seconds.  Coarser ticks collapse more
+        photo-finishes into the deterministic tie-break.
+    scheduling_ilp:
+        The :class:`repro.sched.ilp_formulation.SchedulingIlp` the model
+        was generated from; required by ``ordered:*`` lanes (their
+        re-encoding is derived from its structure, and their solutions
+        are converted back through it).
+    heuristic_effort / node_limit / mip_rel_gap:
+        Forwarded to HiGHS lanes (see :class:`~repro.ilp.highs.HighsSolver`).
+    """
+
+    def __init__(
+        self,
+        backends=("highs", "bb"),
+        time_limit=None,
+        seed=0,
+        threads=None,
+        poll_interval=0.02,
+        scheduling_ilp=None,
+        heuristic_effort=0.5,
+        node_limit=None,
+        mip_rel_gap=0.0,
+    ):
+        roster = tuple(backends)
+        if not roster:
+            raise ValueError("portfolio roster is empty")
+        unknown = [b for b in roster if b not in KNOWN_RUNNERS]
+        if unknown:
+            raise ValueError(
+                f"unknown portfolio runner(s) {unknown!r} "
+                f"(expected one of {', '.join(KNOWN_RUNNERS)})"
+            )
+        self.backends = roster
+        self.time_limit = time_limit
+        self.seed = int(seed)
+        self.threads = threads
+        self.poll_interval = float(poll_interval)
+        self.scheduling_ilp = scheduling_ilp
+        self.heuristic_effort = heuristic_effort
+        self.node_limit = node_limit
+        self.mip_rel_gap = mip_rel_gap
+
+    # -- public ---------------------------------------------------------------
+    def solve(self, model, incumbent=None, cutoff=None, fault_site=None):
+        """Race the roster on ``model``; returns the winner's Solution.
+
+        ``fault_site`` injects at the whole-portfolio level with the
+        same kind semantics as the single backends; the dedicated
+        ``portfolio.cancel`` site additionally fires once per *lane*
+        (inside the race) and degrades that lane to the survivors.
+        """
+        fault = faults.fire(fault_site)
+        if fault == "infeasible":
+            stats = SolverStats(backend="portfolio")
+            stats.gap_timeline = _fault_timeline("INFEASIBLE")
+            return Solution(SolveStatus.INFEASIBLE, stats=stats)
+        if fault == "timeout":
+            stats = SolverStats(backend="portfolio")
+            if incumbent is not None:
+                fallback = HighsSolver._incumbent_solution(
+                    model, model.to_arrays(), incumbent, stats
+                )
+                if fallback is not None:
+                    stats.gap_timeline = _fault_timeline(
+                        "FEASIBLE", incumbent=fallback.objective
+                    )
+                    return fallback
+            stats.gap_timeline = _fault_timeline("NO_SOLUTION")
+            return Solution(SolveStatus.NO_SOLUTION, stats=stats)
+
+        if not obs.ENABLED:
+            solution = self._race(model, incumbent, cutoff)
+        else:
+            with obs.span(
+                "ilp.solve",
+                backend="portfolio",
+                variables=len(model.variables),
+                constraints=model.num_constraints,
+            ) as span:
+                solution = self._race(model, incumbent, cutoff)
+                span.set_attr("status", solution.status.name)
+                detail = solution.stats.portfolio or {}
+                if detail.get("winner"):
+                    span.set_attr("winner", detail["winner"])
+            record_solve_metrics(solution.stats, seeded=incumbent is not None)
+            self._record_race_metrics(solution.stats.portfolio)
+        if fault == "incumbent":
+            return faults.demote_to_feasible(solution)
+        if fault == "corrupt" and solution.status.has_solution:
+            faults.corrupt_solution(solution)
+        return solution
+
+    # -- the race ---------------------------------------------------------------
+    def _race(self, model, incumbent, cutoff):
+        start = time.perf_counter()
+        bus = IncumbentBus()
+        self._seed_bus(bus, model, incumbent)
+
+        runners = []
+        for index, spec in enumerate(self.backends):
+            control = RunnerControl(
+                f"{spec}#{index}",
+                bus=bus if not spec.startswith("ordered:") else None,
+            )
+            runners.append(_Runner(index, spec, control))
+
+        # Seeded deterministic tie-break: a permutation of roster slots.
+        # Two lanes finishing within one poll tick are ranked by it, so
+        # the elected winner is a pure function of (roster, seed,
+        # tick-grain finishing order) — not of scheduler jitter inside
+        # the tick.
+        priority = list(range(len(runners)))
+        random.Random(self.seed).shuffle(priority)
+        tie_rank = {runners[i].index: rank for rank, i in enumerate(priority)}
+
+        cap = len(runners) if self.threads is None else max(1, int(self.threads))
+        pending = list(runners)
+        running = []
+        decided = None
+        proof = None
+
+        def launch_next():
+            while pending and len(running) < cap:
+                runner = pending.pop(0)
+                runner.started = True
+                runner.thread = threading.Thread(
+                    target=self._run_lane,
+                    args=(runner, model, bus, incumbent, cutoff, start),
+                    name=f"portfolio-{runner.control.runner}",
+                    daemon=True,
+                )
+                running.append(runner)
+                runner.thread.start()
+
+        launch_next()
+        while running or pending:
+            if (
+                self.time_limit is not None
+                and time.perf_counter() - start > self.time_limit
+            ):
+                break
+            # A fixed tick, deliberately not an event wait: every lane
+            # finishing inside one tick ties, and the seeded permutation
+            # breaks the tie — waking on the first finisher would hand
+            # photo finishes to scheduler jitter instead of the seed.
+            time.sleep(self.poll_interval)
+            finished = [r for r in running if not r.thread.is_alive()]
+            for runner in finished:
+                running.remove(runner)
+            # Winner election: all lanes that *proved* within this tick
+            # tie; the seeded permutation breaks the tie.
+            provers = [
+                r
+                for r in finished
+                if r.solution is not None
+                and r.solution.status is SolveStatus.OPTIMAL
+                and r.exact
+                and not bus.is_poisoned(r.control.runner)
+            ]
+            if provers:
+                decided = min(provers, key=lambda r: tie_rank[r.index])
+                proof = "solo"
+                break
+            # Combined proof: the strongest shared dual bound meets the
+            # best shared incumbent — optimal without any single runner
+            # closing its tree.
+            combined = self._combined_proof(model, bus)
+            if combined:
+                decided, proof = None, "combined"
+                break
+            launch_next()
+
+        # Cancel the losers (cooperative: bb lanes exit at the next node
+        # tick; a HiGHS lane mid-C-call runs out its own clipped budget).
+        cancelled = {
+            r.control.runner
+            for r in runners
+            if not r.started or (r.thread is not None and r.thread.is_alive())
+        }
+        for runner in runners:
+            runner.control.cancel()
+        grace = max(self.poll_interval * 5, 0.1)
+        for runner in running:
+            runner.thread.join(timeout=grace)
+        abandoned = [r for r in running if r.thread.is_alive()]
+
+        return self._emit(
+            model, runners, bus, decided, proof, start, incumbent,
+            cutoff, abandoned, cancelled,
+        )
+
+    def _run_lane(self, runner, model, bus, incumbent, cutoff, start):
+        """Body of one racing thread; never lets an exception escape."""
+        control = runner.control
+        try:
+            kind = faults.fire("portfolio.cancel")
+            if kind is not None:
+                runner.fault = kind
+                if kind in ("crash", "error"):
+                    # The lane dies before producing anything; its bus
+                    # state is poisoned so stale bounds cannot linger.
+                    bus.poison(control.runner)
+                    return
+                if kind == "timeout":
+                    control.cancel()
+                if kind in ("corrupt", "infeasible"):
+                    # The lane runs on, but nothing it says is trusted:
+                    # bounds discarded, publishes barred, result dropped.
+                    bus.poison(control.runner)
+            if control.cancelled() and runner.fault != "timeout":
+                return
+            remaining = self._lane_budget(start)
+            if remaining is not None and remaining <= 0:
+                return
+            if runner.encoding == "ordered":
+                solution = self._solve_ordered(
+                    runner, model, bus, cutoff, remaining
+                )
+            else:
+                solution = self._solve_exact(
+                    runner, model, bus, incumbent, cutoff, remaining
+                )
+            if runner.fault in ("corrupt", "infeasible"):
+                # Poisoned lane: its own result is as untrusted as its
+                # bus traffic.
+                solution = None
+            elif (
+                runner.fault == "incumbent"
+                and solution is not None
+                and solution.status is SolveStatus.OPTIMAL
+            ):
+                # The lane's proof is suspect: it may not win by proof,
+                # but its feasible point still races on merit.
+                solution = faults.demote_to_feasible(solution)
+            runner.solution = solution
+            if (
+                solution is not None
+                and solution.status.has_solution
+                and runner.exact
+            ):
+                values = _values_vector(model, solution.values)
+                control.publish_incumbent(values, solution.objective)
+                if runner.fault is None:
+                    control.publish_bound(solution.stats.best_bound)
+        except Exception as exc:  # a lane crash degrades, never raises
+            runner.error = f"{type(exc).__name__}: {exc}"
+            bus.poison(control.runner)
+        finally:
+            runner.seconds = time.perf_counter() - start
+
+    def _solve_exact(self, runner, model, bus, incumbent, cutoff, budget):
+        seed_incumbent = incumbent
+        entry = bus.best_incumbent()
+        if entry is not None:
+            # Launch-time cross-seed: the best shared point (validated
+            # by the receiving backend before adoption).
+            seed_incumbent = entry[0]
+        if runner.backend == "bb":
+            solver = BranchBoundSolver(
+                time_limit=budget,
+                control=runner.control,
+                **({"node_limit": self.node_limit} if self.node_limit else {}),
+            )
+        else:
+            solver = HighsSolver(
+                time_limit=budget,
+                node_limit=self.node_limit,
+                mip_rel_gap=self.mip_rel_gap,
+                heuristic_effort=self.heuristic_effort,
+                control=runner.control,
+            )
+        return solver.solve(model, incumbent=seed_incumbent, cutoff=cutoff)
+
+    def _solve_ordered(self, runner, model, bus, cutoff, budget):
+        from repro.ilp.ordered import OrderedEncoding
+
+        if self.scheduling_ilp is None:
+            runner.skipped = "no scheduling formulation attached"
+            return None
+        encoding = OrderedEncoding.from_scheduling_ilp(self.scheduling_ilp)
+        if encoding is None:
+            runner.skipped = "model shape not expressible in order encoding"
+            return None
+        # The race's cutoff (and the bus's best objective) live in the
+        # *full* model's objective space, which need not match the
+        # ordered objective (phase 2 swaps it); both are enforced after
+        # conversion, never inside the ordered search.
+        if runner.backend == "bb":
+            solver = BranchBoundSolver(
+                time_limit=budget, control=runner.control
+            )
+        else:
+            solver = HighsSolver(
+                time_limit=budget,
+                heuristic_effort=self.heuristic_effort,
+                control=runner.control,
+            )
+        ordered_solution = solver.solve(encoding.model)
+        if not ordered_solution.status.has_solution:
+            return ordered_solution
+        converted = encoding.to_time_indexed(
+            model, ordered_solution, time_limit=self._lane_budget(None)
+        )
+        if converted is None:
+            runner.skipped = "ordered solution failed time-indexed completion"
+            return None
+        if cutoff is not None and converted[0] >= cutoff - _TIE_TOL:
+            runner.skipped = "ordered solution not better than the cutoff"
+            return None
+        # The restriction's proof does not cover the full model: demote.
+        status = (
+            SolveStatus.FEASIBLE
+            if ordered_solution.status is SolveStatus.OPTIMAL
+            else ordered_solution.status
+        )
+        stats = ordered_solution.stats
+        stats.backend = f"ordered/{runner.backend}"
+        stats.best_bound = None  # restricted bound: not globally valid
+        stats.gap = None
+        solution = Solution(status, converted[0], converted[1], stats)
+        values = _values_vector(model, solution.values)
+        if bus.publish_incumbent(runner.control.runner, values, solution.objective):
+            runner.control.published += 1
+        return solution
+
+    # -- outcome assembly -------------------------------------------------------
+    def _emit(
+        self, model, runners, bus, decided, proof, start, incumbent,
+        cutoff, abandoned, cancelled,
+    ):
+        elapsed = time.perf_counter() - start
+        winner = decided
+        if winner is None and proof == "combined":
+            # The bus optimum is the winner's solution; attribute the
+            # win to the lane holding it (the holder may be the launch
+            # seed, or still mid-cancel — the bus vector stands alone).
+            holder = bus.incumbent_holder()
+            for runner in runners:
+                if runner.control.runner == holder:
+                    winner = runner
+                    break
+        if winner is None and proof != "combined":
+            winner, proof = self._best_finisher(runners, bus), None
+
+        detail = self._detail(
+            runners, bus, winner, proof, elapsed, abandoned, cancelled
+        )
+
+        if proof == "combined" and (
+            winner is None or winner.solution is None
+        ):
+            # Proven optimal by the shared bound, but the holding lane
+            # produced no standalone Solution (cancelled mid-exit, or
+            # the launch seed holds): rebuild from the bus vector.
+            entry = bus.best_incumbent()
+            stats = SolverStats(backend="portfolio", time_seconds=elapsed)
+            stats.portfolio = detail
+            stats.best_bound = bus.best_bound()
+            if entry is not None:
+                rebuilt = HighsSolver._incumbent_solution(
+                    model, model.to_arrays(), entry[0], stats
+                )
+                if rebuilt is not None:
+                    stats.gap_timeline = _fault_timeline(
+                        "OPTIMAL",
+                        incumbent=rebuilt.objective,
+                        bound=stats.best_bound,
+                    )
+                    return Solution(
+                        SolveStatus.OPTIMAL,
+                        rebuilt.objective,
+                        rebuilt.values,
+                        stats,
+                    )
+            proof = None  # vector failed validation: fall through
+
+        if winner is None or winner.solution is None:
+            winner = self._best_finisher(runners, bus)
+
+        if winner is None or winner.solution is None:
+            # Nothing usable from any lane: degrade, never raise.
+            stats = SolverStats(backend="portfolio", time_seconds=elapsed)
+            stats.portfolio = detail
+            # An exact lane's infeasibility proof holds globally.
+            if any(
+                r.solution is not None
+                and r.exact
+                and r.solution.status is SolveStatus.INFEASIBLE
+                and not bus.is_poisoned(r.control.runner)
+                for r in runners
+            ):
+                stats.gap_timeline = _fault_timeline("INFEASIBLE")
+                return Solution(SolveStatus.INFEASIBLE, stats=stats)
+            for candidate in (
+                entry[0] if (entry := bus.best_incumbent()) else None,
+                incumbent,
+            ):
+                if candidate is None:
+                    continue
+                fallback = HighsSolver._incumbent_solution(
+                    model, model.to_arrays(), candidate, stats
+                )
+                if fallback is not None:
+                    stats.gap_timeline = _fault_timeline(
+                        "FEASIBLE", incumbent=fallback.objective
+                    )
+                    return fallback
+            stats.gap_timeline = _fault_timeline("NO_SOLUTION")
+            return Solution(SolveStatus.NO_SOLUTION, stats=stats)
+
+        solution = winner.solution
+        status = solution.status
+        if (
+            proof == "combined"
+            and status is SolveStatus.FEASIBLE
+            and self._combined_proof(model, bus)
+        ):
+            status = SolveStatus.OPTIMAL
+        stats = solution.stats
+        stats.backend = "portfolio"
+        stats.time_seconds = elapsed
+        stats.portfolio = detail
+        if stats.gap_timeline is None:
+            stats.gap_timeline = GapTimeline()
+            stats.gap_timeline.close(
+                elapsed, incumbent=solution.objective, status=status.name
+            )
+        return Solution(status, solution.objective, solution.values, stats)
+
+    def _best_finisher(self, runners, bus):
+        """No proof anywhere: best objective wins, tie-broken by roster."""
+        candidates = [
+            r
+            for r in runners
+            if r.solution is not None
+            and r.solution.status.has_solution
+            and not bus.is_poisoned(r.control.runner)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda r: (r.solution.objective, r.index),
+        )
+
+    def _combined_proof(self, model, bus):
+        """Does the shared bound close the gap on the shared incumbent?"""
+        entry = bus.best_incumbent()
+        bound = bus.best_bound()
+        if entry is None or bound is None:
+            return False
+        objective = entry[1]
+        if _objective_is_integral(model):
+            return math.ceil(bound - 1e-6) >= objective - _TIE_TOL
+        return bound >= objective - 1e-6
+
+    def _detail(
+        self, runners, bus, winner, proof, elapsed, abandoned, cancelled
+    ):
+        lanes = {}
+        transfers = 0
+        for runner in runners:
+            solution = runner.solution
+            lanes[runner.control.runner] = {
+                "spec": runner.spec,
+                "status": (
+                    solution.status.name if solution is not None else None
+                ),
+                "objective": (
+                    solution.objective if solution is not None else None
+                ),
+                "nodes": solution.stats.nodes if solution is not None else 0,
+                "seconds": (
+                    None if runner.seconds is None else round(runner.seconds, 4)
+                ),
+                "cancelled": runner.control.runner in cancelled
+                and (winner is None or runner is not winner),
+                "fault": runner.fault,
+                "error": runner.error,
+                "skipped": runner.skipped,
+                "published": runner.control.published,
+                "adopted": runner.control.adopted,
+                "poisoned": bus.is_poisoned(runner.control.runner),
+                "abandoned": runner in abandoned,
+                "started": runner.started,
+            }
+            transfers += runner.control.adopted
+        return {
+            "roster": list(self.backends),
+            "seed": self.seed,
+            "winner": winner.spec if winner is not None else None,
+            "winner_lane": (
+                winner.control.runner if winner is not None else None
+            ),
+            "proof": proof,
+            "elapsed_seconds": elapsed,
+            "seed_transfers": transfers,
+            "bus_published": bus.published,
+            "bus_rejected": bus.rejected,
+            "lanes": lanes,
+        }
+
+    def _record_race_metrics(self, detail):
+        if not detail or not obs.ENABLED:
+            return
+        obs.counter("portfolio_races_total", 1)
+        winner = detail.get("winner")
+        for lane in detail.get("lanes", {}).values():
+            spec = lane["spec"]
+            if spec == winner and lane["status"] is not None:
+                obs.counter("portfolio_wins_total", 1, runner=spec)
+            elif lane["started"] and lane["skipped"] is None:
+                obs.counter("portfolio_losses_total", 1, runner=spec)
+            if lane["cancelled"]:
+                obs.counter("portfolio_cancelled_total", 1, runner=spec)
+            if lane["fault"] is not None:
+                obs.counter(
+                    "portfolio_lane_faults_total", 1, runner=spec,
+                    kind=lane["fault"],
+                )
+            if lane["adopted"]:
+                obs.counter(
+                    "portfolio_seed_transfers_total",
+                    lane["adopted"],
+                    runner=spec,
+                )
+            if lane["published"]:
+                obs.counter(
+                    "portfolio_incumbents_published_total",
+                    lane["published"],
+                    runner=spec,
+                )
+        if detail.get("proof"):
+            obs.counter(
+                "portfolio_proofs_total", 1, proof=detail["proof"]
+            )
+
+    # -- helpers ------------------------------------------------------------------
+    def _lane_budget(self, start):
+        if self.time_limit is None:
+            return None
+        if start is None:
+            return self.time_limit
+        return max(0.0, self.time_limit - (time.perf_counter() - start))
+
+    @staticmethod
+    def _seed_bus(bus, model, incumbent):
+        if incumbent is None:
+            return
+        try:
+            vector = _values_vector(model, incumbent)
+        except (KeyError, ValueError, TypeError):
+            return
+        arrays = model.to_arrays()
+        objective = float(np.dot(arrays["c"], vector))
+        bus.publish_incumbent("seed", vector, objective)
+
+
+def _values_vector(model, values):
+    """An index-aligned array from a ``{Var: value}`` map (or passthrough)."""
+    if isinstance(values, dict):
+        vector = np.zeros(len(model.variables))
+        for var in model.variables:
+            vector[var.index] = float(values[var])
+        return vector
+    vector = np.asarray(values, dtype=float)
+    if vector.shape != (len(model.variables),):
+        raise ValueError("incumbent vector shape mismatch")
+    return vector
+
+
+def _objective_is_integral(model):
+    arrays = model.to_arrays()
+    coeffs = arrays["c"][np.abs(arrays["c"]) > 0]
+    if coeffs.size == 0:
+        return True
+    on_integers = arrays["integrality"][np.abs(arrays["c"]) > 0]
+    return bool(
+        np.all(on_integers)
+        and np.allclose(coeffs, np.round(coeffs), atol=1e-9)
+    )

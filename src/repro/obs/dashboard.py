@@ -31,6 +31,7 @@ import json
 from repro.obs.insight import (
     aggregate_paper_metrics,
     decompose_summary,
+    portfolio_summary,
     serve_summary,
 )
 
@@ -425,6 +426,45 @@ def _cache_section(metrics):
     )
 
 
+def _portfolio_section(metrics):
+    """Solver-portfolio panel: per-runner win/loss table + race health."""
+    digest = portfolio_summary(metrics)
+    if not digest["races"]:
+        return "<p class='note'>no portfolio races recorded</p>"
+    runners = sorted(
+        set(digest["wins"]) | set(digest["losses"]) | set(digest["cancelled"])
+    )
+    runner_rows = "".join(
+        "<tr>"
+        f"<td class='name'>{_esc(runner)}</td>"
+        f"<td>{_fmt(digest['wins'].get(runner, 0))}</td>"
+        f"<td>{_fmt(digest['losses'].get(runner, 0))}</td>"
+        f"<td>{_fmt(digest['win_rate'].get(runner, 0.0))}</td>"
+        f"<td>{_fmt(digest['cancelled'].get(runner, 0))}</td>"
+        "</tr>"
+        for runner in runners
+    )
+    proof_mix = ", ".join(
+        f"{kind}: {count:g}"
+        for kind, count in sorted(digest["proofs"].items())
+    ) or "none"
+    health_rows = "".join(
+        f"<tr><td class='name'>{_esc(label)}</td><td>{_fmt(value)}</td></tr>"
+        for label, value in (
+            ("races", digest["races"]),
+            ("seed transfers (adopted)", digest["seed_transfers"]),
+            ("incumbents published", digest["incumbents_published"]),
+            ("lane faults (absorbed)", digest["lane_faults"]),
+            ("proofs", proof_mix),
+        )
+    )
+    return (
+        "<table><tr><th>runner</th><th>wins</th><th>losses</th>"
+        f"<th>win rate</th><th>cancelled</th></tr>{runner_rows}</table>"
+        f"<table><tr><th>series</th><th>value</th></tr>{health_rows}</table>"
+    )
+
+
 def _metrics_section(metrics):
     if not metrics:
         return "<p class='note'>no metrics dump provided</p>"
@@ -483,6 +523,7 @@ def render_dashboard(trace=None, metrics=None, title="tia observatory"):
         "<h2>Bundling-cut effectiveness</h2>", _cut_section(events),
         "<h2>Paper metrics (Table 1/2 shape)</h2>", _paper_section(events),
         "<h2>Schedule cache</h2>", _cache_section(metrics),
+        "<h2>Solver portfolio</h2>", _portfolio_section(metrics),
         "<h2>Metrics</h2>", _metrics_section(metrics),
         "</body></html>",
     ]

@@ -186,6 +186,42 @@ def _wire_site(ilp, site):
             ilp.relax_edge(edge, cyc, blocks=in_loop)
             ilp.verify_exempt.append((edge, cyc))
 
+    # Out-of-loop dependence successors must stay *below* the loop while
+    # the motion is active. The pre-loop copy satisfies the acyclic
+    # precedence (4), so without this a consumer of n could ride that
+    # copy above the loop and read iteration 0's value instead of the
+    # last latch copy's (a real miscompile the differential suite
+    # caught: ``or r44 = r42, ...`` hoisted past the loop recomputing
+    # r42). Anti/output successors have the mirrored hazard — hoisted
+    # above the loop, the latch copies would clobber/read them out of
+    # order — so every out-of-loop successor is confined.
+    above = frozenset(
+        b
+        for b in cfg.block_names
+        if b not in in_loop and cfg.reaches(b, loop.header)
+    )
+    confined = set()
+    for edge in outgoing:
+        succ = edge.dst
+        succ_block = region.source_block.get(succ)
+        if succ_block is None or succ_block in in_loop:
+            continue
+        if succ is instr or succ in confined or succ not in ilp.info:
+            continue
+        confined.add(succ)
+
+        def confine_succ(ilp_, succ=succ):
+            for block in ilp_.info[succ].theta:
+                if block not in above and block not in in_loop:
+                    continue
+                total = ilp_.x_sum(succ, block)
+                ilp_.model.add_constraint(
+                    ilp_._as_expr(total) <= 1 - cyc,
+                    name=f"cyc_below_{instr.uid}_{succ.uid}_{block}",
+                )
+
+        ilp.defer(confine_succ)
+
     # Loop-carried operand writers: the anti edge n→w flips into a
     # local-only true-like edge w→n while cyclic motion is active.
     for edge in outgoing:

@@ -42,6 +42,7 @@ def minimize_instruction_count(
     incumbent=None,
     heuristic_effort=0.5,
     deadline=None,
+    solve_extra=None,
 ):
     """Run phase 2; returns ``(ilp, solution)`` or ``None`` on failure.
 
@@ -83,6 +84,13 @@ def minimize_instruction_count(
         prep.set_attr("pinned_blocks", len(phase1_lengths))
     if obs.ENABLED:
         obs.counter("phase2_solves_total", 1, reused_model=str(reused).lower())
+    extra = dict(solve_extra) if solve_extra else {}
+    if backend == "highs" and "heuristic_effort" not in extra:
+        extra["heuristic_effort"] = heuristic_effort
+    if backend == "portfolio":
+        # The ordered lanes re-encode from the formulation owning this
+        # (pinned, re-objectived) model — never a stale phase-1 one.
+        extra["scheduling_ilp"] = ilp
     solution = solve_model(
         model,
         backend=backend,
@@ -90,7 +98,7 @@ def minimize_instruction_count(
         incumbent=incumbent,
         deadline=deadline,
         fault_site="solve.phase2",
-        **({"heuristic_effort": heuristic_effort} if backend == "highs" else {}),
+        **extra,
     )
     if obs.ENABLED:
         obs.event(

@@ -42,7 +42,8 @@ import time
 from dataclasses import dataclass, field, replace
 
 from repro.errors import BundlingError, SchedulingError
-from repro.ilp import SolveStatus, solve_model
+from repro.ilp import KNOWN_BACKENDS, SolveStatus, solve_model
+from repro.ilp.portfolio import KNOWN_RUNNERS
 from repro.obs import core as obs
 from repro.obs import insight
 from repro.ir.cfg import CfgInfo
@@ -134,6 +135,14 @@ class ScheduleFeatures:
     # Share of solve time HiGHS spends on primal heuristics (None = the
     # HiGHS default). Ignored by the "bb" backend. See HighsSolver.
     heuristic_effort: float | None = 0.5
+    # backend="portfolio" only: the runner roster raced on every solve
+    # (entries from repro.ilp.portfolio.KNOWN_RUNNERS — single-backend
+    # names plus "ordered:<backend>" for the order/disjunctive encoding),
+    # the tie-break seed that keeps tia-opt output byte-identical
+    # run-to-run, and the cap on concurrently racing lanes (None = all).
+    portfolio_backends: tuple = ("highs", "bb", "ordered:highs")
+    portfolio_seed: int = 0
+    portfolio_threads: int | None = None
     reserve: int = 1  # G_A head-room (Sec. 6.1, k)
     freq_cap: float = 5.0  # speculation frequency factor (5.1)
     speculation_cost: float = 0.0  # Sec. 5.1 cost model weight (paper: unused)
@@ -151,6 +160,32 @@ class ScheduleFeatures:
     # bit-identically to decompose=False.
     decompose: bool = True
     decompose_min_instructions: int = 100
+
+    def __post_init__(self):
+        # Fail at construction with the full menu, not deep inside
+        # _optimize_impl on an unknown string (and not per-lane inside a
+        # race for a bad roster entry).
+        if self.backend not in KNOWN_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(expected one of {', '.join(KNOWN_BACKENDS)})"
+            )
+        roster = tuple(self.portfolio_backends)
+        object.__setattr__(self, "portfolio_backends", roster)
+        if self.backend == "portfolio":
+            if not roster:
+                raise ValueError(
+                    "backend='portfolio' requires a non-empty "
+                    "portfolio_backends roster"
+                )
+            unknown = [r for r in roster if r not in KNOWN_RUNNERS]
+            if unknown:
+                raise ValueError(
+                    f"unknown portfolio runner(s) {unknown!r} "
+                    f"(expected one of {', '.join(KNOWN_RUNNERS)})"
+                )
+        if self.portfolio_threads is not None and self.portfolio_threads < 1:
+            raise ValueError("portfolio_threads must be >= 1 (or None)")
 
     @classmethod
     def baseline_ilp(cls):
@@ -587,11 +622,7 @@ class IlpScheduler:
         # Cut-effectiveness attribution: the objective before a cut was
         # appended, resolved against the next successful re-solve.
         pending_cut = None
-        solve_extra = (
-            {"heuristic_effort": features.heuristic_effort}
-            if features.backend == "highs"
-            else {}
-        )
+        solve_extra = _solve_extra(features)
         while True:
             site = "solve.cut_resolve" if bundle_retries else "solve.phase1"
             if deadline.expired:
@@ -604,6 +635,10 @@ class IlpScheduler:
                     build = self._ilp_factory(region, lengths, bundling_cuts)
                     ilp, spec_groups = build()
                     model = ilp.generate()
+            if features.backend == "portfolio":
+                # The ordered lanes re-encode from the formulation that
+                # owns *this* model (rebuilds swap both together).
+                solve_extra["scheduling_ilp"] = ilp
             # A seeded re-solve is a warm-start hit; anything solved cold
             # (first solve, or after a rebuild dropped the incumbent) a miss.
             trace.count(
@@ -768,6 +803,7 @@ class IlpScheduler:
                         incumbent=solution.values,
                         heuristic_effort=features.heuristic_effort,
                         deadline=deadline,
+                        solve_extra=solve_extra,
                     )
                 else:
                     trace.count("warm_start_misses")
@@ -778,6 +814,7 @@ class IlpScheduler:
                         objective=features.phase2_objective,
                         heuristic_effort=features.heuristic_effort,
                         deadline=deadline,
+                        solve_extra=solve_extra,
                     )
                 if outcome is not None:
                     p2stats = outcome[1].stats
@@ -936,6 +973,25 @@ class IlpScheduler:
             return ilp, spec_groups
 
         return build
+
+
+def _solve_extra(features):
+    """Backend-specific ``solve_model`` kwargs for one feature set.
+
+    For the portfolio the caller must still inject ``scheduling_ilp``
+    per solve (the ordered lanes re-encode from the live formulation,
+    which cycle-range growths rebuild mid-pipeline).
+    """
+    if features.backend == "highs":
+        return {"heuristic_effort": features.heuristic_effort}
+    if features.backend == "portfolio":
+        return {
+            "backends": features.portfolio_backends,
+            "seed": features.portfolio_seed,
+            "threads": features.portfolio_threads,
+            "heuristic_effort": features.heuristic_effort,
+        }
+    return {}
 
 
 def apply_length_hint(lengths, hint):

@@ -116,7 +116,9 @@ def serve_main(argv=None):
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--rounds", type=int, default=1)
     parser.add_argument("--time-limit", type=float, default=120.0)
-    parser.add_argument("--backend", choices=["highs", "bb"], default="highs")
+    parser.add_argument(
+        "--backend", choices=["highs", "bb", "portfolio"], default="highs"
+    )
     parser.add_argument("--no-speculation", action="store_true")
     parser.add_argument("--no-cyclic", action="store_true")
     parser.add_argument("--no-partial-ready", action="store_true")
@@ -291,7 +293,9 @@ def cache_main(argv=None):
     p_warm.add_argument("dir")
     p_warm.add_argument("inputs", nargs="+")
     p_warm.add_argument("--time-limit", type=float, default=120.0)
-    p_warm.add_argument("--backend", choices=["highs", "bb"], default="highs")
+    p_warm.add_argument(
+        "--backend", choices=["highs", "bb", "portfolio"], default="highs"
+    )
     p_warm.add_argument("--no-speculation", action="store_true")
     p_warm.add_argument("--no-cyclic", action="store_true")
     p_warm.add_argument("--no-partial-ready", action="store_true")

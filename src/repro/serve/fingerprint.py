@@ -52,6 +52,9 @@ SOLVER_ONLY_FEATURES = frozenset({
     "time_limit",
     "heuristic_effort",
     "backend",
+    "portfolio_backends",
+    "portfolio_seed",
+    "portfolio_threads",
     "verify",
     "incremental_cuts",
     "max_resize_attempts",

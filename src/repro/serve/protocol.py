@@ -77,6 +77,9 @@ WIRE_FEATURES = (
     "partial_ready",
     "heuristic_effort",
     "max_hops",
+    "portfolio_backends",
+    "portfolio_seed",
+    "portfolio_threads",
 )
 
 REQUEST_OPS = ("solve", "health", "stats")
@@ -231,7 +234,12 @@ def features_from_wire(base, overrides, deadline_budget=None):
     unknown = set(overrides) - set(WIRE_FEATURES)
     if unknown:
         raise ProtocolError(f"unknown feature override(s): {sorted(unknown)}")
-    features = replace(base, **overrides) if overrides else base
+    try:
+        features = replace(base, **overrides) if overrides else base
+    except ValueError as exc:
+        # ScheduleFeatures validates eagerly (unknown backend / bad
+        # roster); a bad client knob is a protocol error, not a crash.
+        raise ProtocolError(f"invalid feature override: {exc}") from exc
     if deadline_budget is not None:
         budget = max(1e-6, float(deadline_budget))
         if features.time_limit is None or budget < features.time_limit:

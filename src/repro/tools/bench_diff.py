@@ -75,6 +75,13 @@ SECTION_REL = {
     # search-order luck, hence sweep-sized headroom. The hard quality
     # signals are the booleans (bundles_no_worse, verified).
     "decompose": 1.0,
+    # Portfolio racing: wall-clock depends on how many lanes run
+    # concurrently (lane_threads is recorded in the section, and the
+    # committed baseline came from a single-core host), so the raw
+    # seconds get the serving-style headroom. The hard gates are the
+    # quality_no_worse / schedules_match_winner booleans and the
+    # portfolio_vs_best_ratio leaf with its tight absolute floor.
+    "portfolio": 3.0,
 }
 DEFAULT_REL = 0.5
 

@@ -49,6 +49,15 @@ Sites (``SITES``):
     The graceful-drain path: a firing raises inside the drain sweep
     (flushing queued connections after SIGTERM); the daemon must
     absorb it and still exit cleanly within the drain budget.
+``portfolio.cancel``
+    One racing lane of :class:`repro.ilp.portfolio.PortfolioSolver`
+    (fired per lane, inside the race): ``crash``/``error`` kill the lane
+    before it searches and poison its bus state; ``timeout`` cancels it
+    at launch; ``corrupt``/``infeasible`` poison the lane — its bounds
+    are discarded, future publishes barred, and its own result dropped;
+    ``incumbent`` demotes the lane's optimality proof so it cannot win
+    the race by proof. Every kind degrades the race to the surviving
+    lanes; the portfolio itself never raises.
 
 Kinds (``KINDS``):
 
@@ -117,6 +126,7 @@ SITES = (
     "serve.accept",
     "serve.queue",
     "serve.drain",
+    "portfolio.cancel",
 )
 
 KINDS = ("timeout", "infeasible", "incumbent", "corrupt", "error", "crash")

@@ -8,7 +8,10 @@ optimizer ... a bundler generates the final assembly output").
 Usage::
 
     tia-opt INPUT.tia [-o OUTPUT.tia] [--no-speculation] [--no-cyclic]
-            [--no-partial-ready] [--time-limit S] [--backend highs|bb]
+            [--no-partial-ready] [--time-limit S]
+            [--backend highs|bb|portfolio]
+            [--portfolio-backends R1,R2,...] [--portfolio-seed N]
+            [--portfolio-threads N]
             [--cache DIR] [--schedule] [--bundles]
             [--trace TRACE.json] [--metrics METRICS.json|.prom]
             [--events EVENTS.jsonl] [--html DASHBOARD.html]
@@ -118,7 +121,30 @@ def main(argv=None):
         "when speculation is enabled)",
     )
     parser.add_argument("--time-limit", type=float, default=120.0)
-    parser.add_argument("--backend", choices=["highs", "bb"], default="highs")
+    parser.add_argument(
+        "--backend", choices=["highs", "bb", "portfolio"], default="highs"
+    )
+    parser.add_argument(
+        "--portfolio-backends",
+        metavar="R1,R2,...",
+        default=None,
+        help="portfolio runner roster (e.g. highs,bb,ordered:highs); "
+        "only meaningful with --backend portfolio",
+    )
+    parser.add_argument(
+        "--portfolio-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="deterministic tie-break seed for same-tick photo finishes",
+    )
+    parser.add_argument(
+        "--portfolio-threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on concurrently racing portfolio lanes (default: all)",
+    )
     parser.add_argument(
         "--cache",
         metavar="DIR",
@@ -175,6 +201,13 @@ def main(argv=None):
         with open(args.input) as handle:
             text = handle.read()
 
+    portfolio_kwargs = {}
+    if args.portfolio_backends is not None:
+        portfolio_kwargs["portfolio_backends"] = tuple(
+            entry.strip()
+            for entry in args.portfolio_backends.split(",")
+            if entry.strip()
+        )
     features = ScheduleFeatures(
         speculation=not args.no_speculation,
         data_speculation=not args.no_data_speculation,
@@ -185,6 +218,9 @@ def main(argv=None):
         max_hops=args.max_hops,
         time_limit=args.time_limit,
         backend=args.backend,
+        portfolio_seed=args.portfolio_seed,
+        portfolio_threads=args.portfolio_threads,
+        **portfolio_kwargs,
     )
     if args.decompose_min is not None:
         features = replace(

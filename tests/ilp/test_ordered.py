@@ -1,0 +1,108 @@
+"""The order/disjunctive re-encoding (:mod:`repro.ilp.ordered`).
+
+The encoding is a *restriction* of the time-indexed model: every
+instruction is pinned to its source block and sequenced with cycle
+variables instead of per-cycle binaries.  Its contracts:
+
+* it builds from any single-source scheduling formulation and solves
+  with both numeric backends;
+* its optimum is never *better* than the time-indexed optimum (a
+  restriction can only lose options, never gain them);
+* the completion solve maps an ordered solution back into the full
+  model's variable space, where it validates against the full matrix.
+"""
+
+import pytest
+
+from repro.ilp import SolveStatus, solve_model
+from repro.ilp.highs import HighsSolver
+from repro.ilp.ordered import OrderedEncoding
+from repro.ilp.status import SolverStats
+from repro.ir.cfg import CfgInfo
+from repro.ir.ddg import build_dependence_graph
+from repro.ir.liveness import compute_liveness
+from repro.machine.itanium2 import ITANIUM2
+from repro.sched.cycles import lengths_from_input
+from repro.sched.ilp_formulation import SchedulingIlp
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.regions import build_region
+
+
+def _formulation(fn):
+    cfg = CfgInfo(fn)
+    ddg = build_dependence_graph(fn, cfg, compute_liveness(fn))
+    input_schedule = ListScheduler().schedule(fn, ddg)
+    region = build_region(fn, cfg, ddg, allow_predication=False)
+    lengths = lengths_from_input(input_schedule, fn)
+    ilp = SchedulingIlp(region, lengths, ITANIUM2)
+    return ilp, ilp.generate()
+
+
+@pytest.fixture(params=["straight_fn", "diamond_fn"])
+def built(request):
+    fn = request.getfixturevalue(request.param)
+    return _formulation(fn)
+
+
+def test_encoding_builds_cycle_and_length_vars(built):
+    ilp, _ = built
+    encoding = OrderedEncoding.from_scheduling_ilp(ilp)
+    assert encoding is not None
+    # One cycle variable per included instruction, one length per block.
+    assert encoding.cycle_vars
+    assert set(encoding.len_vars) == set(ilp.lengths)
+    assert encoding.model.variables
+
+
+def test_encoding_build_is_deterministic(built):
+    ilp, _ = built
+    a = OrderedEncoding.from_scheduling_ilp(ilp)
+    b = OrderedEncoding.from_scheduling_ilp(ilp)
+    assert [v.name for v in a.model.variables] == [
+        v.name for v in b.model.variables
+    ]
+    assert a.model.num_constraints == b.model.num_constraints
+
+
+@pytest.mark.parametrize("backend", ["highs", "bb"])
+def test_restriction_never_beats_time_indexed(built, backend):
+    ilp, model = built
+    reference = solve_model(model, backend="highs")
+    assert reference.status is SolveStatus.OPTIMAL
+
+    encoding = OrderedEncoding.from_scheduling_ilp(ilp)
+    ordered = solve_model(encoding.model, backend=backend)
+    assert ordered.status is SolveStatus.OPTIMAL
+    converted = encoding.to_time_indexed(model, ordered)
+    assert converted is not None
+    objective, values = converted
+    # A restriction can match the optimum but never improve on it.
+    assert objective >= reference.objective - 1e-6
+    # The completion fills *every* variable of the full model.
+    assert set(values) == set(model.variables)
+
+
+def test_completion_validates_against_full_matrix(built):
+    """The converted point is feasible for the full model — the same
+    check backends run on externally-supplied incumbents."""
+    ilp, model = built
+    encoding = OrderedEncoding.from_scheduling_ilp(ilp)
+    ordered = solve_model(encoding.model, backend="highs")
+    objective, values = encoding.to_time_indexed(model, ordered)
+    accepted = HighsSolver._incumbent_solution(
+        model, model.to_arrays(), values, SolverStats()
+    )
+    assert accepted is not None
+    assert accepted.objective == pytest.approx(objective, abs=1e-6)
+
+
+def test_ordered_matches_optimum_on_straightline(straight_fn):
+    """With one block there is no branch-off structure to lose: the
+    ordered optimum equals the time-indexed optimum exactly."""
+    ilp, model = _formulation(straight_fn)
+    reference = solve_model(model, backend="highs")
+    encoding = OrderedEncoding.from_scheduling_ilp(ilp)
+    ordered = solve_model(encoding.model, backend="highs")
+    converted = encoding.to_time_indexed(model, ordered)
+    assert converted is not None
+    assert converted[0] == pytest.approx(reference.objective)

@@ -1,0 +1,170 @@
+"""``backend="portfolio"`` through the whole scheduling pipeline.
+
+The racing layer must be invisible in the output: same schedule text as
+the winning backend solo, byte-identical run-to-run under one seed, and
+quality never below a single backend even when ``portfolio.cancel``
+chaos faults take lanes down mid-race.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.ir.printer import format_function, format_schedule
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+from repro.tools import faults
+
+RACE_FEATURES = ScheduleFeatures(
+    backend="portfolio",
+    portfolio_backends=("highs", "bb"),
+    portfolio_seed=3,
+    time_limit=60.0,
+)
+
+
+# -- eager feature validation -------------------------------------------------
+def test_unknown_backend_rejected_with_menu():
+    with pytest.raises(ValueError) as err:
+        ScheduleFeatures(backend="cplex")
+    # The message names every accepted backend, not just the bad one.
+    for known in ("highs", "bb", "portfolio"):
+        assert known in str(err.value)
+
+
+def test_unknown_roster_entry_rejected_eagerly():
+    with pytest.raises(ValueError, match="ordered:bb"):
+        ScheduleFeatures(
+            backend="portfolio", portfolio_backends=("highs", "ordred:bb")
+        )
+
+
+def test_empty_roster_rejected():
+    with pytest.raises(ValueError, match="non-empty"):
+        ScheduleFeatures(backend="portfolio", portfolio_backends=())
+
+
+def test_bad_thread_budget_rejected():
+    with pytest.raises(ValueError, match="portfolio_threads"):
+        ScheduleFeatures(backend="portfolio", portfolio_threads=0)
+
+
+def test_roster_list_coerced_to_tuple():
+    features = ScheduleFeatures(
+        backend="portfolio", portfolio_backends=["highs", "bb"]
+    )
+    assert features.portfolio_backends == ("highs", "bb")
+    # Roster entries are solver-only config for non-portfolio backends:
+    # they must not fail validation there (the default roster includes
+    # ordered runners regardless of the chosen backend).
+    ScheduleFeatures(backend="highs", portfolio_backends=["anything"])
+
+
+# -- racing through the pipeline ----------------------------------------------
+def _render(result):
+    return format_function(result.fn) + "\n" + format_schedule(
+        result.output_schedule, result.fn
+    )
+
+
+def _winners(result):
+    return [
+        s["portfolio"]["winner"]
+        for s in result.trace.solves
+        if s.get("portfolio")
+    ]
+
+
+def test_race_output_is_deterministic_per_seed(straight_fn):
+    """With a serialized race (one lane slot) every run replays the same
+    launch order and the same winner: output is byte-identical."""
+    features = dataclasses.replace(RACE_FEATURES, portfolio_threads=1)
+    first = optimize_function(straight_fn, features)
+    second = optimize_function(straight_fn, features)
+    assert first.quality == "optimal"
+    assert _render(first) == _render(second)
+    assert _winners(first) == _winners(second)
+
+
+def test_parallel_race_output_is_stable(straight_fn):
+    """Parallel racing may attribute the win differently run-to-run
+    (tick-grain timing), but the answer itself never moves."""
+    first = optimize_function(straight_fn, RACE_FEATURES)
+    second = optimize_function(straight_fn, RACE_FEATURES)
+    assert first.quality == second.quality == "optimal"
+    assert first.weighted_length_out == second.weighted_length_out
+    assert _render(first) == _render(second)
+
+
+def test_race_matches_winner_solo(straight_fn):
+    """Racing never changes the emitted schedule: re-running the winning
+    backend alone produces the identical text."""
+    features = dataclasses.replace(RACE_FEATURES, two_phase=False)
+    raced = optimize_function(straight_fn, features)
+    winners = _winners(raced)
+    assert len(winners) == 1
+    solo = optimize_function(
+        straight_fn, dataclasses.replace(features, backend=winners[0])
+    )
+    assert _render(raced) == _render(solo)
+    assert raced.weighted_length_out == solo.weighted_length_out
+
+
+def test_race_quality_matches_single_backend(diamond_fn):
+    raced = optimize_function(diamond_fn, RACE_FEATURES)
+    solo = optimize_function(
+        diamond_fn, dataclasses.replace(RACE_FEATURES, backend="highs")
+    )
+    assert raced.quality == solo.quality == "optimal"
+    assert raced.weighted_length_out == solo.weighted_length_out
+
+
+def test_full_roster_with_ordered_lanes(diamond_fn):
+    features = dataclasses.replace(
+        RACE_FEATURES,
+        portfolio_backends=("highs", "bb", "ordered:highs", "ordered:bb"),
+        two_phase=False,
+    )
+    result = optimize_function(diamond_fn, features)
+    assert result.quality == "optimal"
+    (detail,) = [
+        s["portfolio"] for s in result.trace.solves if s.get("portfolio")
+    ]
+    ordered = [
+        lane
+        for lane in detail["lanes"].values()
+        if lane["spec"].startswith("ordered:")
+    ]
+    assert ordered
+    # Ordered lanes either contribute a feasible point or bow out with a
+    # recorded reason — they never crash the race.
+    for lane in ordered:
+        assert lane["error"] is None
+        assert (
+            lane["status"] in ("FEASIBLE", "OPTIMAL")
+            or lane["skipped"] is not None
+            or lane["cancelled"]
+            or lane["abandoned"]
+        )
+
+
+@pytest.mark.parametrize("kind", ["crash", "timeout", "corrupt", "incumbent"])
+def test_portfolio_chaos_never_degrades_quality(diamond_fn, kind):
+    """A faulted lane mid-pipeline leaves quality untouched: the
+    survivors win the race and the verifier still passes."""
+    with faults.inject(f"portfolio.cancel={kind}:1"):
+        result = optimize_function(diamond_fn, RACE_FEATURES)
+    assert result.quality == "optimal"
+    assert result.verification is not None and result.verification.ok
+    solo = optimize_function(
+        diamond_fn, dataclasses.replace(RACE_FEATURES, backend="highs")
+    )
+    assert result.weighted_length_out <= solo.weighted_length_out
+
+
+def test_portfolio_all_lanes_dead_degrades_gracefully(diamond_fn):
+    """Every lane faulted in every solve: the ladder falls back instead
+    of raising, and the input schedule survives as the answer."""
+    with faults.inject("portfolio.cancel=crash"):
+        result = optimize_function(diamond_fn, RACE_FEATURES)
+    assert result.quality in ("fallback_input", "heuristic", "optimal")
+    assert result.output_schedule is not None

@@ -164,3 +164,24 @@ def test_large_frame_in_chunks():
         thread.join(5)
         b.close()
     assert box["ok"]
+
+
+def test_features_from_wire_validates_backend():
+    """A bad backend or roster override surfaces as a typed protocol
+    error (the daemon replies with it), not a server-side ValueError."""
+    from repro.sched.scheduler import ScheduleFeatures
+
+    base = ScheduleFeatures()
+    raced = protocol.features_from_wire(
+        base,
+        {"backend": "portfolio", "portfolio_backends": ["highs", "bb"]},
+    )
+    assert raced.backend == "portfolio"
+    assert raced.portfolio_backends == ("highs", "bb")
+    with pytest.raises(protocol.ProtocolError, match="cplex"):
+        protocol.features_from_wire(base, {"backend": "cplex"})
+    with pytest.raises(protocol.ProtocolError, match="runner"):
+        protocol.features_from_wire(
+            base,
+            {"backend": "portfolio", "portfolio_backends": ["warp-drive"]},
+        )
