@@ -21,7 +21,13 @@ Four sections, each a dict in ``BENCH_serve.json`` at the repo root:
   socket protocol, pre-warmed cache): p50/p99 latency of *accepted*
   requests, saturation throughput, and the shed rate.  The invariant
   gated here is ``no_request_raised``: under overload every request
-  ends in a typed reply (ok or busy), never an exception or silence.
+  ends in a typed reply (ok or busy), never an exception or silence;
+* ``journal_overhead`` — the same burst twice, without and with the
+  telemetry journal enabled.  ``journal_overhead_ratio`` (plain
+  throughput over journaled throughput, ~1.0 when journaling is free)
+  is the gated headline — ``tia-bench-diff`` holds it near the
+  baseline with a tight section threshold — and the journal itself is
+  audited: every request exit produced exactly one checksummed record.
 
 Usage::
 
@@ -195,33 +201,42 @@ def _percentile(ordered, frac):
     return ordered[min(len(ordered) - 1, int(len(ordered) * frac))]
 
 
-def bench_overload(workdir, *, clients, requests_per_client, time_limit):
-    """Concurrent burst against an under-provisioned FleetDaemon.
+def _prewarmed_overload_service(root, time_limit):
+    """(service, request text) with the xfree schedule already cached.
 
-    The cache is pre-warmed so accepted requests are exact hits — the
-    section measures the *serving tier* under saturation, not the
-    solver.  Clients send raw framed requests with no retry: a busy
-    reply is recorded as a shed, an ok reply's latency feeds the
-    percentile ladder, and any exception fails ``no_request_raised``.
+    Pre-warming goes through the same parse path the daemon uses, so
+    overload bursts are all exact hits — they measure the serving tier
+    under saturation, not the solver.
+    """
+    from repro.ir.parser import parse_functions
+
+    features = ScheduleFeatures(time_limit=time_limit)
+    service = _service(root / "cache", features)
+    text = format_function(build_spec_routine("xfree", scale=0.3))
+    service.request(parse_functions(text)[0])
+    return service, text
+
+
+def _overload_burst(service, text, root, *, clients, requests_per_client,
+                    journal=None, queue_capacity=2, shed_watermark=2):
+    """One concurrent burst against a FleetDaemon.
+
+    Clients send raw framed requests with no retry: a busy reply is
+    recorded as a shed, an ok reply's latency feeds the percentile
+    ladder, and any exception fails ``no_request_raised``.  The default
+    capacity/watermark deliberately under-provision the daemon (the
+    overload section); callers can provision generously instead to
+    measure the accepted-path pipeline without shed jitter.
     """
     from repro.serve import protocol
     from repro.serve.fleet import FleetDaemon
 
-    from repro.ir.parser import parse_functions
-
-    features = ScheduleFeatures(time_limit=time_limit)
-    root = workdir / "overload"
-    service = _service(root / "cache", features)
-    text = format_function(build_spec_routine("xfree", scale=0.3))
-    # Pre-warm through the same parse path the daemon uses, so the
-    # burst below is all exact hits (this measures the serving tier
-    # under saturation, not the solver).
-    service.request(parse_functions(text)[0])
-
+    root.mkdir(parents=True, exist_ok=True)
     sock_path = str(root / "serve.sock")
     daemon = FleetDaemon(
-        service, sock_path, workers=2, queue_capacity=2, shed_watermark=2,
-        io_timeout=10.0, drain_budget=10.0,
+        service, sock_path, workers=2, queue_capacity=queue_capacity,
+        shed_watermark=shed_watermark, io_timeout=10.0, drain_budget=10.0,
+        journal=journal,
     )
     box = {}
 
@@ -279,8 +294,6 @@ def bench_overload(workdir, *, clients, requests_per_client, time_limit):
     latencies.sort()
     total = clients * requests_per_client
     return {
-        "clients": clients,
-        "requests_per_client": requests_per_client,
         "requests": total,
         "accepted": tallies["ok"],
         "shed": tallies["busy"],
@@ -295,7 +308,98 @@ def bench_overload(workdir, *, clients, requests_per_client, time_limit):
     }
 
 
-SECTIONS = ("cold_vs_hit", "family_warm", "hit_rate_sweep", "overload")
+def bench_overload(workdir, *, clients, requests_per_client, time_limit):
+    """Concurrent burst against an under-provisioned FleetDaemon."""
+    root = workdir / "overload"
+    service, text = _prewarmed_overload_service(root, time_limit)
+    result = _overload_burst(
+        service, text, root,
+        clients=clients, requests_per_client=requests_per_client,
+    )
+    result["clients"] = clients
+    result["requests_per_client"] = requests_per_client
+    return result
+
+
+def bench_journal_overhead(workdir, *, clients, requests_per_client,
+                           time_limit):
+    """The overload burst with and without the telemetry journal.
+
+    Same pre-warmed cache, same load shape; the only variable is
+    whether every request exit appends a checksummed journal record.
+    ``journal_overhead_ratio`` is plain throughput over journaled
+    throughput (1.0 = journaling is free), measured as best-of-N over
+    interleaved burst pairs — single bursts are scheduler jitter,
+    best-of-N against best-of-N cancels most of it.  Unlike the
+    ``overload`` section the daemon here is *provisioned* (nothing
+    sheds): shed patterns under saturation are far noisier than the
+    per-request journal write being measured, and a shed burst would
+    gate on that noise instead of on journaling cost.  The journaled
+    runs are also audited against the exactly-one-record-per-exit
+    invariant: request records must number completed + probes +
+    rejected, and every record must checksum and schema-validate.
+    """
+    from repro.obs.journal import read_records, validate_record
+
+    root = workdir / "journal_overhead"
+    service, text = _prewarmed_overload_service(root, time_limit)
+    repeats = 5
+    capacity = max(64, clients * requests_per_client)
+    plain_rps, journaled_rps = [], []
+    records = []
+    expected = 0
+    raised = False
+    for rep in range(repeats):
+        plain = _overload_burst(
+            service, text, root / f"plain{rep}",
+            clients=clients, requests_per_client=requests_per_client,
+            queue_capacity=capacity, shed_watermark=capacity,
+        )
+        journal_root = root / f"journal{rep}"
+        journaled = _overload_burst(
+            service, text, root / f"journaled{rep}",
+            clients=clients, requests_per_client=requests_per_client,
+            journal=str(journal_root),
+            queue_capacity=capacity, shed_watermark=capacity,
+        )
+        plain_rps.append(plain["accepted_per_sec"])
+        journaled_rps.append(journaled["accepted_per_sec"])
+        records.extend(read_records(journal_root, kinds=("request",)))
+        counters = journaled["daemon_counters"]
+        expected += (
+            counters.get("completed", 0)
+            + counters.get("probes", 0)
+            + counters.get("rejected", 0)
+        )
+        raised |= not (
+            plain["no_request_raised"] and journaled["no_request_raised"]
+        )
+
+    best_plain = max(plain_rps)
+    best_journaled = max(journaled_rps)
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "repeats": repeats,
+        # Raw throughputs (requests/second) are context, not gates —
+        # the ratio below is the gated signal, so these deliberately
+        # avoid the *_per_sec suffix bench_diff would gate on.
+        "plain_accepted_rps": best_plain,
+        "journaled_accepted_rps": best_journaled,
+        "journal_overhead_ratio": best_plain / max(best_journaled, 1e-9),
+        "journal_records": len(records),
+        "journal_records_match": len(records) == expected,
+        "journal_records_valid": all(
+            validate_record(r) == [] for r in records
+        ),
+        "no_request_raised": not raised,
+    }
+
+
+SECTIONS = (
+    "cold_vs_hit", "family_warm", "hit_rate_sweep", "overload",
+    "journal_overhead",
+)
 
 
 def main(argv=None):
@@ -347,6 +451,15 @@ def main(argv=None):
                 requests_per_client=requests_per_client,
                 time_limit=20.0,
             )
+        if "journal_overhead" in sections:
+            # Longer bursts than the overload section: the overhead
+            # ratio needs enough requests per burst to rise above
+            # scheduler jitter.
+            report["journal_overhead"] = bench_journal_overhead(
+                workdir, clients=clients,
+                requests_per_client=requests_per_client * 8,
+                time_limit=20.0,
+            )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -376,6 +489,17 @@ def main(argv=None):
             )
         if overload["accepted"] == 0:
             problems.append("overload run accepted nothing")
+    journal = report.get("journal_overhead")
+    if journal is not None:
+        if not journal["no_request_raised"]:
+            problems.append("journal_overhead run raised/errored requests")
+        if not journal["journal_records_match"]:
+            problems.append(
+                f"journal recorded {journal['journal_records']} request "
+                "exits, daemon counters disagree"
+            )
+        if not journal["journal_records_valid"]:
+            problems.append("journal contains invalid records")
     if problems:
         print("FAIL: " + "; ".join(problems), file=sys.stderr)
         return 1

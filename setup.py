@@ -31,6 +31,7 @@ setup(
             "tia-serve = repro.serve.daemon:serve_main",
             "tia-cache = repro.serve.daemon:cache_main",
             "tia-client = repro.serve.client:client_main",
+            "tia-telemetry = repro.obs.telemetry:main",
         ]
     },
 )

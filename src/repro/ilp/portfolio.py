@@ -389,6 +389,12 @@ class PortfolioSolver:
     # -- the race ---------------------------------------------------------------
     def _race(self, model, incumbent, cutoff):
         start = time.perf_counter()
+        # Lane threads get fresh thread-locals, so the racing thread's
+        # distributed-trace context (and its enclosing span as remote
+        # parent) is captured here and re-entered inside each lane —
+        # lane spans stitch back to the request's trace.
+        trace_id, _parent = obs.current_trace()
+        trace_parent = obs.current_span_ref()
         bus = IncumbentBus()
         self._seed_bus(bus, model, incumbent)
 
@@ -421,7 +427,10 @@ class PortfolioSolver:
                 runner.started = True
                 runner.thread = threading.Thread(
                     target=self._run_lane,
-                    args=(runner, model, bus, incumbent, cutoff, start),
+                    args=(
+                        runner, model, bus, incumbent, cutoff, start,
+                        trace_id, trace_parent,
+                    ),
                     name=f"portfolio-{runner.control.runner}",
                     daemon=True,
                 )
@@ -485,8 +494,20 @@ class PortfolioSolver:
             cutoff, abandoned, cancelled,
         )
 
-    def _run_lane(self, runner, model, bus, incumbent, cutoff, start):
+    def _run_lane(self, runner, model, bus, incumbent, cutoff, start,
+                  trace_id=None, trace_parent=None):
         """Body of one racing thread; never lets an exception escape."""
+        with obs.trace_scope(trace_id, trace_parent):
+            with obs.span(
+                "portfolio.lane",
+                runner=runner.control.runner,
+                spec=runner.spec,
+            ):
+                self._run_lane_body(
+                    runner, model, bus, incumbent, cutoff, start
+                )
+
+    def _run_lane_body(self, runner, model, bus, incumbent, cutoff, start):
         control = runner.control
         try:
             kind = faults.fire("portfolio.cancel")

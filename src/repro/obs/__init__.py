@@ -37,7 +37,10 @@ from repro.obs.core import (
     Recorder,
     Span,
     Trace,
+    complete_span,
     counter,
+    current_span_ref,
+    current_trace,
     disable,
     enable,
     enabled,
@@ -45,10 +48,13 @@ from repro.obs.core import (
     gauge,
     histogram,
     merge_snapshot,
+    name_thread,
+    new_trace_id,
     recorder,
     reset,
     snapshot,
     span,
+    trace_scope,
 )
 from repro.obs.metrics import BUCKET_BOUNDS, DEFAULT_BUCKETS, MetricsRegistry
 
@@ -62,7 +68,10 @@ __all__ = [
     "BUCKET_BOUNDS",
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
+    "complete_span",
     "counter",
+    "current_span_ref",
+    "current_trace",
     "disable",
     "enable",
     "enabled",
@@ -70,10 +79,13 @@ __all__ = [
     "gauge",
     "histogram",
     "merge_snapshot",
+    "name_thread",
+    "new_trace_id",
     "recorder",
     "reset",
     "snapshot",
     "span",
+    "trace_scope",
 ]
 
 

@@ -36,6 +36,8 @@ from __future__ import annotations
 import os
 import threading
 import time
+import uuid
+from contextlib import contextmanager
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -66,6 +68,10 @@ class Recorder:
         self.events = []
         self.metrics = MetricsRegistry()
         self.process_labels = {self.pid: f"repro pid {self.pid}"}
+        # (pid, tid) -> display name; foreign pids arrive via
+        # merge_snapshot. Rendered as Chrome thread_name metadata so
+        # e.g. fleet worker threads get their own named lanes.
+        self.thread_labels = {}
         self._lock = threading.Lock()
         self._tls = threading.local()
         self._next_span_id = 0
@@ -108,6 +114,41 @@ class Recorder:
             event["parent"] = stack[-1].span_id
         if attrs:
             event["args"] = dict(attrs)
+        trace_id, _parent = current_trace()
+        if trace_id is not None:
+            event["trace"] = trace_id
+        with self._lock:
+            self.events.append(event)
+        return event
+
+    def add_complete_span(self, name, start, duration, attrs=None):
+        """Record an already-finished span (timestamps recorder-relative).
+
+        For retroactively-timed intervals — e.g. the fleet daemon's
+        queue wait, measured between accept and dispatch — where no
+        context manager bracketed the work.  The span joins the active
+        trace context (if any) but takes no part in the thread's local
+        parent stack.
+        """
+        event = {
+            "type": "span",
+            "name": name,
+            "ts": float(start),
+            "dur": max(0.0, float(duration)),
+            "pid": self.pid,
+            "tid": self._tid(),
+            "id": self._new_span_id(),
+        }
+        stack = self._stack()
+        if stack:
+            event["parent"] = stack[-1].span_id
+        trace_id, remote_parent = current_trace()
+        if trace_id is not None:
+            event["trace"] = trace_id
+            if "parent" not in event and remote_parent is not None:
+                event["remote_parent"] = remote_parent
+        if attrs:
+            event["args"] = dict(attrs)
         with self._lock:
             self.events.append(event)
         return event
@@ -117,7 +158,7 @@ class Span:
     """A live span: context manager pushing onto the recorder's stack."""
 
     __slots__ = ("recorder", "name", "attrs", "span_id", "parent_id",
-                 "start", "duration")
+                 "start", "duration", "trace_id", "remote_parent")
 
     def __init__(self, recorder, name, attrs):
         self.recorder = recorder
@@ -127,14 +168,22 @@ class Span:
         self.parent_id = None
         self.start = None
         self.duration = None
+        self.trace_id = None
+        self.remote_parent = None
 
     def set_attr(self, key, value):
         self.attrs[key] = value
+
+    @property
+    def ref(self):
+        """Globally-unique span reference (``"pid.span_id"``) for the wire."""
+        return f"{self.recorder.pid}.{self.span_id}"
 
     def __enter__(self):
         stack = self.recorder._stack()
         if stack:
             self.parent_id = stack[-1].span_id
+        self.trace_id, self.remote_parent = current_trace()
         stack.append(self)
         self.start = self.recorder.now()
         return self
@@ -158,6 +207,13 @@ class Span:
         }
         if self.parent_id is not None:
             event["parent"] = self.parent_id
+        if self.trace_id is not None:
+            event["trace"] = self.trace_id
+            # A span with a local parent is reachable through it; only
+            # the local root of a remote trace carries the cross-process
+            # link that the Chrome exporter stitches into a flow arrow.
+            if self.parent_id is None and self.remote_parent is not None:
+                event["remote_parent"] = self.remote_parent
         if exc_type is not None:
             event["error"] = exc_type.__name__
         if self.attrs:
@@ -174,6 +230,7 @@ class _NoopSpan:
     duration = None
     span_id = None
     parent_id = None
+    ref = None
 
     def __enter__(self):
         return self
@@ -186,6 +243,101 @@ class _NoopSpan:
 
 
 NOOP_SPAN = _NoopSpan()
+
+
+# -- distributed trace context ------------------------------------------------
+# W3C-traceparent-style propagation: a request-scoped ``trace_id`` (32
+# hex chars) plus the parent span's globally-unique reference
+# (``"pid.span_id"``).  The context is a *thread-local stack* independent
+# of the recorder, so trace ids flow through the wire protocol and the
+# telemetry journal even when span recording is off; spans opened while
+# a scope is active stamp themselves with the trace id and — at the
+# local root — the remote parent reference, which is what lets the
+# Chrome exporter stitch one client request into a single connected
+# flow across the client, daemon and worker processes.
+_trace_tls = threading.local()
+
+
+def new_trace_id():
+    """A fresh 32-hex-char trace id (W3C ``trace-id`` shaped)."""
+    return uuid.uuid4().hex
+
+
+def current_trace():
+    """``(trace_id, parent_ref)`` of the innermost active scope.
+
+    ``(None, None)`` when no scope is active on this thread.
+    """
+    stack = getattr(_trace_tls, "stack", None)
+    if not stack:
+        return (None, None)
+    return stack[-1]
+
+
+def current_span_ref():
+    """Reference of the innermost *open* span on this thread, or ``None``.
+
+    This is what a caller puts on the wire as the remote parent of
+    whatever work the peer does on its behalf.
+    """
+    rec = _recorder
+    if rec is None:
+        return None
+    stack = rec._stack()
+    if not stack:
+        return None
+    return stack[-1].ref
+
+
+@contextmanager
+def trace_scope(trace_id, parent_ref=None):
+    """Activate a trace context for the calling thread.
+
+    Spans opened inside the scope carry ``trace_id``; the first span
+    with no local parent additionally records ``parent_ref`` as its
+    remote parent.  A falsy ``trace_id`` makes the scope a no-op, so
+    call sites can pass whatever the wire carried without guarding.
+    """
+    if not trace_id:
+        yield
+        return
+    stack = getattr(_trace_tls, "stack", None)
+    if stack is None:
+        stack = _trace_tls.stack = []
+    entry = (str(trace_id), parent_ref)
+    stack.append(entry)
+    try:
+        yield
+    finally:
+        if stack and stack[-1] is entry:
+            stack.pop()
+        elif entry in stack:  # tolerate out-of-order exits
+            stack.remove(entry)
+
+
+def name_thread(name):
+    """Label the calling thread's lane in the Chrome trace.
+
+    No-op when recording is off.  The fleet daemon names its worker
+    threads (``fleet worker N``) so queue wait and solve time land on
+    visually separate lanes.
+    """
+    rec = _recorder
+    if rec is not None:
+        tid = rec._tid()  # may take the lock itself; resolve first
+        with rec._lock:
+            rec.thread_labels[(rec.pid, tid)] = str(name)
+
+
+def complete_span(name, duration, **attrs):
+    """Record a span that just finished (started ``duration`` seconds ago).
+
+    For retroactively-timed intervals (queue wait); no-op when disabled.
+    """
+    rec = _recorder
+    if rec is not None:
+        end = rec.now()
+        rec.add_complete_span(name, end - max(0.0, duration), duration, attrs)
 
 
 # -- module-level API ---------------------------------------------------------
@@ -285,11 +437,16 @@ def snapshot():
         return None
     with rec._lock:
         events = [dict(ev) for ev in rec.events]
+        thread_labels = [
+            [pid, tid, label]
+            for (pid, tid), label in rec.thread_labels.items()
+        ]
     return {
         "version": SNAPSHOT_VERSION,
         "pid": rec.pid,
         "epoch_wall": rec.epoch_wall,
         "process_labels": dict(rec.process_labels),
+        "thread_labels": thread_labels,
         "events": events,
         "metrics": rec.metrics.to_state(),
     }
@@ -322,6 +479,12 @@ def merge_snapshot(snap, role=None):
             )
         if role is not None:
             rec.process_labels[int(snap["pid"])] = f"{role} pid {snap['pid']}"
+        for entry in snap.get("thread_labels", []):
+            try:
+                pid, tid, label = entry
+            except (TypeError, ValueError):
+                continue
+            rec.thread_labels.setdefault((int(pid), int(tid)), str(label))
     rec.metrics.merge_state(snap["metrics"])
 
 

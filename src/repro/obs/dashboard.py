@@ -14,6 +14,9 @@ page with:
   ``paper_metrics`` attribute of every ``optimize`` span,
 * the **schedule-cache panel** (:mod:`repro.serve` hit mix, coalescing
   and store health, from :func:`repro.obs.insight.serve_summary`),
+* the **fleet-telemetry panel** — outcome mix, reconstructed counters
+  and per-family activity from a telemetry-journal rollup
+  (:func:`repro.obs.telemetry.journal_rollup`), when one is given,
 * counter / gauge / histogram tables from the metrics dump.
 
 The page is **zero-dependency and self-contained by construction**: all
@@ -465,6 +468,79 @@ def _portfolio_section(metrics):
     )
 
 
+def _telemetry_section(telemetry):
+    """Fleet-telemetry panel from a journal rollup dict."""
+    if not telemetry or not telemetry.get("records"):
+        return "<p class='note'>no telemetry journal provided</p>"
+    outcomes = telemetry.get("outcomes") or {}
+    non_probe = max(telemetry.get("requests") or 0, 1)
+    colors = {
+        "ok": "#3a8f3a", "busy": "#c9a23a", "error": "#b33a3a",
+        "drained": "#7a5fb0", "fault": "#b06a3a",
+    }
+    x, bar = 0.0, []
+    for outcome in ("ok", "busy", "error", "drained", "fault"):
+        count = outcomes.get(outcome, 0)
+        w = 400.0 * count / non_probe
+        if w > 0:
+            bar.append(
+                f"<rect x='{x:.1f}' y='1' width='{max(w, 1.0):.1f}' "
+                f"height='14' fill='{colors[outcome]}'>"
+                f"<title>{outcome}: {count}</title></rect>"
+            )
+            x += w
+    svg = (
+        "<svg width='410' height='16' viewBox='0 0 410 16'>"
+        + "".join(bar) + "</svg>"
+    )
+    counters = telemetry.get("counters") or {}
+    latency = telemetry.get("latency") or {}
+    total_lat = latency.get("total") or {}
+    queue_lat = latency.get("queue_wait") or {}
+    rows = "".join(
+        f"<tr><td class='name'>{_esc(label)}</td><td>{_fmt(value)}</td></tr>"
+        for label, value in (
+            ("journal records", telemetry.get("records")),
+            ("request exits (non-probe)", telemetry.get("requests")),
+            ("distinct traces", telemetry.get("distinct_traces")),
+            ("completed", counters.get("completed")),
+            ("rejected", counters.get("rejected")),
+            ("shed (busy)", counters.get("shed")),
+            ("drained", counters.get("drained")),
+            ("probes", counters.get("probes")),
+            ("cache hit rate", telemetry.get("cache_hit_rate")),
+            ("p99 total (s)", total_lat.get("p99_seconds")),
+            ("p99 queue wait (s)", queue_lat.get("p99_seconds")),
+            ("journal write errors", telemetry.get("write_errors")),
+        )
+    )
+    families = telemetry.get("families") or {}
+    family_rows = "".join(
+        "<tr>"
+        f"<td class='name'>{_esc(family[:16])}</td>"
+        f"<td>{_fmt(entry.get('requests'))}</td>"
+        f"<td>{_fmt((entry.get('cache_kinds') or {}).get('exact', 0))}</td>"
+        f"<td>{_fmt((entry.get('cache_kinds') or {}).get('miss', 0))}</td>"
+        f"<td>{_esc(', '.join(f'{s}:{n}' for s, n in sorted((entry.get('portfolio_wins') or {}).items())) or '-')}</td>"
+        "</tr>"
+        for family, entry in sorted(
+            families.items(), key=lambda kv: -(kv[1].get("requests") or 0)
+        )[:12]
+    )
+    family_table = (
+        "<table><tr><th>family</th><th>reqs</th><th>exact</th>"
+        f"<th>miss</th><th>portfolio wins</th></tr>{family_rows}</table>"
+        if family_rows
+        else ""
+    )
+    return (
+        "<p class='note'>request exit mix "
+        "(ok / busy / error / drained / fault)</p>"
+        f"{svg}<table><tr><th>series</th><th>value</th></tr>{rows}</table>"
+        + family_table
+    )
+
+
 def _metrics_section(metrics):
     if not metrics:
         return "<p class='note'>no metrics dump provided</p>"
@@ -501,12 +577,15 @@ def _metrics_section(metrics):
 
 
 # -- entry points -------------------------------------------------------------
-def render_dashboard(trace=None, metrics=None, title="tia observatory"):
+def render_dashboard(trace=None, metrics=None, title="tia observatory",
+                     telemetry=None):
     """Build the dashboard HTML string from artifact payloads.
 
     ``trace`` is a Chrome-trace document or a JSONL event list (see
-    :func:`load_artifact`), ``metrics`` a flat metrics dump dict; either
-    may be ``None`` and its sections degrade to a note.
+    :func:`load_artifact`), ``metrics`` a flat metrics dump dict,
+    ``telemetry`` a journal rollup
+    (:func:`repro.obs.telemetry.journal_rollup`); any may be ``None``
+    and its sections degrade to a note.
     """
     events = _normalize_events(trace)
     spans = sum(1 for ev in events if ev["ph"] == "X")
@@ -524,6 +603,7 @@ def render_dashboard(trace=None, metrics=None, title="tia observatory"):
         "<h2>Paper metrics (Table 1/2 shape)</h2>", _paper_section(events),
         "<h2>Schedule cache</h2>", _cache_section(metrics),
         "<h2>Solver portfolio</h2>", _portfolio_section(metrics),
+        "<h2>Fleet telemetry</h2>", _telemetry_section(telemetry),
         "<h2>Metrics</h2>", _metrics_section(metrics),
         "</body></html>",
     ]
@@ -541,9 +621,12 @@ def dashboard_from_recorder(recorder=None, title="tia observatory"):
     )
 
 
-def write_dashboard(path, trace=None, metrics=None, title="tia observatory"):
+def write_dashboard(path, trace=None, metrics=None, title="tia observatory",
+                    telemetry=None):
     """Render and write; raises if the output is not self-contained."""
-    text = render_dashboard(trace=trace, metrics=metrics, title=title)
+    text = render_dashboard(
+        trace=trace, metrics=metrics, title=title, telemetry=telemetry
+    )
     problems = validate_self_contained(text)
     if problems:
         raise ValueError(

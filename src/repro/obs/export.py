@@ -64,11 +64,20 @@ def write_jsonl(path, recorder=None):
 
 # -- Chrome trace_event -------------------------------------------------------
 def chrome_trace(recorder=None):
-    """The recorder's events in Chrome ``trace_event`` JSON form."""
+    """The recorder's events in Chrome ``trace_event`` JSON form.
+
+    Spans carrying a distributed-trace context (``trace``,
+    ``remote_parent`` — see :func:`repro.obs.core.trace_scope`) are
+    *stitched*: every cross-process parent link becomes a Perfetto flow
+    event pair (``ph: "s"`` at the parent, ``ph: "f"`` at the child),
+    so one client request renders as a single connected arrow chain
+    across the client, daemon and worker process lanes.
+    """
     rec = _require_recorder(recorder)
     with rec._lock:
         events = [dict(ev) for ev in rec.events]
         labels = dict(rec.process_labels)
+        thread_labels = dict(rec.thread_labels)
     trace_events = []
     for pid in sorted({ev["pid"] for ev in events} | set(labels)):
         trace_events.append({
@@ -78,6 +87,16 @@ def chrome_trace(recorder=None):
             "tid": 0,
             "args": {"name": labels.get(pid, f"pid {pid}")},
         })
+    for (pid, tid), label in sorted(thread_labels.items()):
+        trace_events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": label},
+        })
+    spans_by_ref = {}  # "pid.span_id" -> exported X event
+    stitches = []  # (child out-event, parent ref)
     for ev in events:
         out = {
             "name": ev["name"],
@@ -87,19 +106,46 @@ def chrome_trace(recorder=None):
             "ts": round(ev["ts"] * 1e6, 3),  # microseconds
             "args": ev.get("args", {}),
         }
+        if "trace" in ev:
+            out["args"] = dict(out["args"], trace_id=ev["trace"])
         if ev.get("type") == "span":
             out["ph"] = "X"
             out["dur"] = round(max(ev["dur"], 0.0) * 1e6, 3)
             if "id" in ev:
                 out["args"] = dict(out["args"], span_id=ev["id"])
+                spans_by_ref[f"{ev['pid']}.{ev['id']}"] = out
             if "parent" in ev:
                 out["args"]["parent_span_id"] = ev["parent"]
+            if "remote_parent" in ev:
+                out["args"]["remote_parent"] = ev["remote_parent"]
+                stitches.append((out, ev["remote_parent"]))
             if "error" in ev:
                 out["args"]["error"] = ev["error"]
         else:
             out["ph"] = "i"
             out["s"] = "t"  # thread-scoped instant
         trace_events.append(out)
+    # Cross-process stitching: one flow arrow per remote parent link.
+    # The start binds to the parent span's slice, the finish (bp="e")
+    # encloses the child slice, which is what makes Perfetto draw the
+    # arrow into the child span rather than after it.
+    for flow_id, (child, parent_ref) in enumerate(stitches, start=1):
+        parent = spans_by_ref.get(str(parent_ref))
+        if parent is None:
+            continue  # parent process's snapshot was not merged
+        common = {
+            "name": "trace",
+            "cat": "trace",
+            "id": flow_id,
+        }
+        trace_events.append(dict(
+            common, ph="s", pid=parent["pid"], tid=parent["tid"],
+            ts=parent["ts"],
+        ))
+        trace_events.append(dict(
+            common, ph="f", bp="e", pid=child["pid"], tid=child["tid"],
+            ts=child["ts"],
+        ))
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
@@ -160,6 +206,9 @@ def validate_chrome_trace(obj):
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"{where}: 'X' event needs 'dur' >= 0")
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev:
+                problems.append(f"{where}: flow event needs 'id'")
         elif ph not in ("i", "I", "B", "E", "b", "e", "n", "C"):
             problems.append(f"{where}: unexpected phase {ph!r}")
     try:
@@ -214,5 +263,98 @@ def validate_metrics(obj):
         if buckets and hist.get("count") != counts[-1]:
             problems.append(
                 f"histogram {name}: count != cumulative '+Inf' bucket"
+            )
+    return problems
+
+
+# -- distributed-trace connectivity -------------------------------------------
+def trace_forest(obj):
+    """Group a Chrome trace's spans by distributed trace id.
+
+    Returns ``{trace_id: {"spans": {ref: event}, "roots": [ref],
+    "unreachable": [ref]}}`` where ``ref`` is the global
+    ``"pid.span_id"`` span reference.  A span's parent edge is its
+    in-process ``parent_span_id`` when present, else its cross-process
+    ``remote_parent``.  ``roots`` are spans with no resolvable parent;
+    ``unreachable`` are spans not reachable from the first root — a
+    connected trace has exactly one root and no unreachable spans.
+    """
+    traces = {}
+    for ev in obj.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args", {}) or {}
+        trace_id = args.get("trace_id")
+        span_id = args.get("span_id")
+        if trace_id is None or span_id is None:
+            continue
+        ref = f"{ev.get('pid')}.{span_id}"
+        traces.setdefault(trace_id, {})[ref] = ev
+    out = {}
+    for trace_id, spans in traces.items():
+        children = {ref: [] for ref in spans}
+        roots = []
+        for ref, ev in spans.items():
+            args = ev.get("args", {}) or {}
+            parent = args.get("parent_span_id")
+            parent_ref = (
+                f"{ev.get('pid')}.{parent}" if parent is not None
+                else args.get("remote_parent")
+            )
+            if parent_ref is not None and str(parent_ref) in spans:
+                children[str(parent_ref)].append(ref)
+            else:
+                roots.append(ref)
+        reached = set()
+        if roots:
+            stack = [roots[0]]
+            while stack:
+                ref = stack.pop()
+                if ref in reached:
+                    continue
+                reached.add(ref)
+                stack.extend(children[ref])
+        out[trace_id] = {
+            "spans": spans,
+            "roots": sorted(roots),
+            "unreachable": sorted(set(spans) - reached),
+        }
+    return out
+
+
+def validate_trace_connectivity(obj, expect_pids=None):
+    """Problems with cross-process trace stitching (empty = valid).
+
+    Every distributed trace id in the document must form one connected
+    span tree: a single root, every other span reachable from it
+    through in-process parents or stitched remote parents.
+    ``expect_pids`` (iterable, optional) additionally requires at least
+    one trace to span all the given pids — the CI telemetry-smoke check
+    that a client request really crossed into the daemon's process.
+    """
+    problems = []
+    forest = trace_forest(obj)
+    if expect_pids is not None and not forest:
+        return ["no distributed-trace spans in the document"]
+    for trace_id, tree in forest.items():
+        if len(tree["roots"]) != 1:
+            problems.append(
+                f"trace {trace_id}: {len(tree['roots'])} roots "
+                f"({', '.join(tree['roots'][:4])}) — expected exactly 1"
+            )
+        if tree["unreachable"]:
+            problems.append(
+                f"trace {trace_id}: {len(tree['unreachable'])} span(s) "
+                f"unreachable from the root: "
+                + ", ".join(tree["unreachable"][:4])
+            )
+    if expect_pids is not None:
+        want = {int(p) for p in expect_pids}
+        if not any(
+            want <= {ev.get("pid") for ev in tree["spans"].values()}
+            for tree in forest.values()
+        ):
+            problems.append(
+                f"no single trace spans all of pids {sorted(want)}"
             )
     return problems

@@ -48,11 +48,21 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
+from repro.obs import core as obs
 from repro.serve import protocol
 
 
 class ClientError(Exception):
     """All replicas exhausted (or the deadline expired) for a request."""
+
+
+def _reply_tag(reply):
+    """Echoed request/trace ids of a busy/error reply, for the trail."""
+    request_id = reply.get("id")
+    trace_id = reply.get("trace_id")
+    if request_id is None and trace_id is None:
+        return ""
+    return f" [req={request_id or '-'} trace={(trace_id or '-')[:8]}]"
 
 
 @dataclass
@@ -80,6 +90,8 @@ class ClientReply:
     replica: str
     attempts: int
     elapsed: float
+    request_id: str = None
+    trace_id: str = None  # distributed-trace id the request carried
 
 
 @dataclass
@@ -108,25 +120,45 @@ class FleetClient:
         self.stats = ClientStats()
 
     # -- public --------------------------------------------------------------
-    def solve(self, text, deadline_ms=None, features=None, request_id=None):
+    def solve(self, text, deadline_ms=None, features=None, request_id=None,
+              trace_id=None):
         """Serve ``text`` (TIA assembly); returns a :class:`ClientReply`.
 
         Raises :class:`ClientError` only when every replica failed in
         every round or ``deadline_ms`` expired — a single live replica
         is enough to succeed.
+
+        The request carries a distributed-trace context: ``trace_id``
+        (else the ambient :func:`repro.obs.core.current_trace`, else a
+        fresh id) plus the client span's ref, so the daemon's spans and
+        journal records attribute back to this call.
         """
         request_id = request_id or uuid.uuid4().hex[:12]
-        header, payload = protocol.solve_request(
-            text, request_id=request_id,
-            deadline_ms=deadline_ms, features=features,
-        )
-        return self._with_retries(
-            "solve", header, payload, deadline_ms=deadline_ms
-        )
+        trace_id = trace_id or obs.current_trace()[0] or obs.new_trace_id()
+        with obs.trace_scope(trace_id):
+            with obs.span(
+                "client.solve", request=str(request_id)
+            ) as span:
+                header, payload = protocol.solve_request(
+                    text, request_id=request_id,
+                    deadline_ms=deadline_ms, features=features,
+                    trace=protocol.trace_header(trace_id, span.ref),
+                )
+                reply = self._with_retries(
+                    "solve", header, payload, deadline_ms=deadline_ms,
+                    tag=f"req={request_id} trace={trace_id[:8]}",
+                )
+        reply.request_id = request_id
+        reply.trace_id = trace_id
+        return reply
 
     def health(self, deadline_ms=2000):
         """First healthy replica's health header (dict)."""
-        header, payload = protocol.probe_request("health")
+        trace_id, _parent = obs.current_trace()
+        header, payload = protocol.probe_request(
+            "health",
+            trace=protocol.trace_header(trace_id, obs.current_span_ref()),
+        )
         return self._with_retries(
             "health", header, payload, deadline_ms=deadline_ms
         )
@@ -145,12 +177,13 @@ class FleetClient:
         return out
 
     # -- retry engine --------------------------------------------------------
-    def _with_retries(self, op, header, payload, deadline_ms=None):
+    def _with_retries(self, op, header, payload, deadline_ms=None, tag=None):
         started = time.monotonic()
         deadline = (
             None if deadline_ms is None
             else started + float(deadline_ms) / 1000.0
         )
+        suffix = f" [{tag}]" if tag else ""
         trail = []
         attempts = 0
         for round_no in range(self.policy.max_rounds):
@@ -159,8 +192,8 @@ class FleetClient:
                 if deadline is not None and time.monotonic() >= deadline:
                     self.stats.trail = trail
                     raise ClientError(
-                        f"deadline expired after {attempts} attempt(s): "
-                        + "; ".join(trail[-4:])
+                        f"deadline expired after {attempts} attempt(s)"
+                        f"{suffix}: " + "; ".join(trail[-4:])
                     )
                 attempts += 1
                 self.stats.attempts += 1
@@ -194,11 +227,15 @@ class FleetClient:
                         )
                     trail.append(
                         f"{path}: busy ({reply.get('reason', '?')})"
+                        + _reply_tag(reply)
                     )
                     continue  # failover: another replica may have room
                 if status == "error":
                     self.stats.errors += 1
-                    trail.append(f"{path}: error: {reply.get('error')}")
+                    trail.append(
+                        f"{path}: error: {reply.get('error')}"
+                        + _reply_tag(reply)
+                    )
                     continue
                 if op == "solve" and status == "ok":
                     return ClientReply(
@@ -222,7 +259,7 @@ class FleetClient:
                 time.sleep(delay)
         self.stats.trail = trail
         raise ClientError(
-            f"all replicas failed after {attempts} attempt(s): "
+            f"all replicas failed after {attempts} attempt(s){suffix}: "
             + "; ".join(trail[-6:])
         )
 

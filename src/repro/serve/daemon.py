@@ -17,7 +17,10 @@ store.  Two ingestion modes:
   (:mod:`repro.serve.client`) is the matching retrying/failover
   client.  ``--max-requests`` bounds the loop for scripted runs and
   tests — only *completed* solve requests count; shed or errored
-  connections are tallied separately as ``rejected``.
+  connections are tallied separately as ``rejected``.  ``--journal
+  DIR`` attaches a persistent telemetry journal
+  (:mod:`repro.obs.journal`): one record per request exit path, read
+  back by ``tia-telemetry``.
 
 ``tia-cache`` inspects and maintains a store directory::
 
@@ -161,6 +164,11 @@ def serve_main(argv=None):
         "--default-deadline-ms", type=int, default=None,
         help="socket mode: deadline applied to requests without one",
     )
+    parser.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="socket mode: append one telemetry-journal record per "
+             "request exit path under DIR (read back by tia-telemetry)",
+    )
     args = parser.parse_args(argv)
 
     faults.validate_env()
@@ -258,6 +266,7 @@ def _serve_socket(service, args):
         drain_budget=args.drain_budget,
         max_requests=args.max_requests,
         default_deadline_ms=args.default_deadline_ms,
+        journal=args.journal,
     )
     if threading.current_thread() is threading.main_thread():
         for signum in (signal.SIGTERM, signal.SIGINT):

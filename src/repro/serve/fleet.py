@@ -32,9 +32,21 @@ needs:
   the accept thread's worker pool without competing with solves for
   queue slots beyond their (tiny) service time.
 
+* **Attributable exits.**  Every request adopts the client's
+  distributed-trace context (the ``trace`` header member) for the
+  spans the daemon records on its behalf and echoes ``id`` +
+  ``trace_id`` on every reply — busy and error included, via a
+  best-effort read of the queued frame on the shed/drain paths.  When
+  a telemetry journal is attached, exactly one
+  :mod:`repro.obs.journal` record is appended per request exit path
+  (``ok``/``busy``/``error``/``drained``/``fault``/``probe``), and a
+  drain-time ``portfolio_summary`` record persists the per-family
+  solver-race win tallies.
+
 Chaos hooks: fault sites ``serve.accept`` (the accepted connection
-fails before queueing), ``serve.queue`` (forced shed) and
-``serve.drain`` (failure inside the drain sweep) let
+fails before queueing), ``serve.queue`` (forced shed), ``serve.drain``
+(failure inside the drain sweep) and ``obs.journal`` (journal append
+I/O failure, which must never surface into the request path) let
 :mod:`repro.tools.faults` prove each of those paths degrades instead of
 crashing.
 """
@@ -49,6 +61,7 @@ import time
 
 from repro.ir.parser import parse_functions
 from repro.obs import core as obs
+from repro.obs import journal as journal_mod
 from repro.serve import protocol
 from repro.tools import faults
 
@@ -61,6 +74,17 @@ def _emit(result):
     from repro.tools.optimize import _emit_function
 
     return _emit_function(result)
+
+
+def _wire_features(features):
+    """JSON-able view of the wire-overridable knobs actually in effect."""
+    view = {}
+    for name in protocol.WIRE_FEATURES:
+        value = getattr(features, name, None)
+        if isinstance(value, tuple):
+            value = list(value)
+        view[name] = value
+    return view
 
 
 class FleetDaemon:
@@ -92,6 +116,11 @@ class FleetDaemon:
     default_deadline_ms:
         Applied to requests that carry no ``deadline_ms`` of their own
         (``None`` = the service's feature time limit alone governs).
+    journal:
+        A :class:`repro.obs.journal.TelemetryJournal` — or a directory
+        path, in which case one is built with default budgets —
+        receiving one record per request exit path.  ``None`` disables
+        journaling.
     """
 
     def __init__(
@@ -107,6 +136,7 @@ class FleetDaemon:
         max_requests=None,
         default_deadline_ms=None,
         backlog=64,
+        journal=None,
     ):
         self.service = service
         self.path = str(path)
@@ -124,6 +154,11 @@ class FleetDaemon:
         self.max_requests = max_requests
         self.default_deadline_ms = default_deadline_ms
         self.backlog = backlog
+        if journal is not None and not hasattr(journal, "append"):
+            journal = journal_mod.TelemetryJournal(journal)
+        self.journal = journal
+        self.replica = f"{os.path.basename(self.path)}:{os.getpid()}"
+        self._portfolio_families = {}  # family -> {backend spec: race wins}
 
         self._queue = queue.Queue(maxsize=self.queue_capacity)
         self._stop = threading.Event()  # stop accepting
@@ -213,7 +248,10 @@ class FleetDaemon:
         self.bind()
         threads = [
             threading.Thread(
-                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+                target=self._worker_loop,
+                args=(i,),
+                name=f"serve-worker-{i}",
+                daemon=True,
             )
             for i in range(self.workers)
         ]
@@ -224,6 +262,7 @@ class FleetDaemon:
         finally:
             self._close_listener()
             self._drain(threads)
+            self._flush_journal()
         return dict(self.counters)
 
     def _close_listener(self):
@@ -269,34 +308,87 @@ class FleetDaemon:
             self._count("rejected")
             if obs.ENABLED:
                 obs.counter("serve_accept_errors_total")
+            request_id, trace_id = self._peek_ids(conn)
+            self._journal_request(
+                "fault",
+                trace_id=trace_id,
+                request_id=request_id,
+                fault="serve.accept",
+                timings={"total": time.monotonic() - accepted_at},
+            )
             self._best_effort_reply(
-                conn, *protocol.error_reply(None, "injected accept fault")
+                conn,
+                *protocol.error_reply(
+                    request_id, "injected accept fault", trace_id=trace_id
+                ),
             )
             self._close(conn)
             return
         depth = self._queue.qsize()
         forced_shed = faults.fire("serve.queue") is not None
         if forced_shed or depth >= self.shed_watermark:
-            self._shed(conn, depth, "injected" if forced_shed else "overload")
+            self._shed(
+                conn, depth, "injected" if forced_shed else "overload",
+                accepted_at,
+            )
             return
         try:
             self._queue.put_nowait((conn, accepted_at))
         except queue.Full:
-            self._shed(conn, self._queue.qsize(), "overload")
+            self._shed(conn, self._queue.qsize(), "overload", accepted_at)
             return
         if obs.ENABLED:
             obs.gauge("serve_conn_queue_depth", float(self._queue.qsize()))
 
-    def _shed(self, conn, depth, reason):
+    def _shed(self, conn, depth, reason, accepted_at=None):
         self._count("shed")
         self._count("rejected")
         if obs.ENABLED:
             obs.counter("serve_shed_total", reason=reason)
+        request_id, trace_id = self._peek_ids(conn)
+        timings = None
+        if accepted_at is not None:
+            timings = {"total": time.monotonic() - accepted_at}
+        self._journal_request(
+            "busy",
+            trace_id=trace_id,
+            request_id=request_id,
+            shed_reason=reason,
+            timings=timings,
+        )
         header, payload = protocol.busy_reply(
-            None, self._retry_after_ms(depth), reason, queue_depth=depth
+            request_id, self._retry_after_ms(depth), reason,
+            queue_depth=depth, trace_id=trace_id,
         )
         self._best_effort_reply(conn, header, payload)
         self._close(conn)
+
+    def _peek_ids(self, conn, timeout=0.1):
+        """Best-effort ``(request_id, trace_id)`` off a doomed connection.
+
+        A shed/drained/faulted connection never reaches a worker's
+        normal frame read, but by the time the daemon decides to reject
+        it the client has almost always written its single request
+        frame — so a short bounded read usually recovers the request id
+        and trace context, making the typed reply and the journal
+        record attributable from the client side.  Any failure (slow
+        client, garbage frame) just yields anonymous ids; the rejection
+        itself is never at risk.
+        """
+        try:
+            conn.settimeout(timeout)
+            frame = protocol.recv_frame(conn)
+        except Exception:
+            return (None, None)
+        if frame is None:
+            return (None, None)
+        header, _payload = frame
+        trace_id, _parent = protocol.trace_from_header(header)
+        request_id = header.get("id")
+        return (
+            None if request_id is None else str(request_id),
+            trace_id,
+        )
 
     def _retry_after_ms(self, depth):
         """How long a shed client should wait: the backlog's expected
@@ -322,8 +414,92 @@ class FleetDaemon:
         with self._lock:
             self.counters[name] += n
 
+    # -- telemetry journal ---------------------------------------------------
+    def _journal_request(self, outcome, **fields):
+        """Append one request-exit record; a no-op without a journal.
+
+        :meth:`TelemetryJournal.append` never raises, so this is safe
+        on every exit path including the drain sweep.
+        """
+        journal = self.journal
+        if journal is None:
+            return
+        journal.append(
+            journal_mod.request_record(
+                outcome, replica=self.replica, **fields
+            )
+        )
+
+    def _portfolio_note(self, outcomes):
+        """Race digest for one request + fold per-family win tallies.
+
+        Returns ``{races, winner, seed_transfers}`` when at least one
+        portfolio race ran for the request, else ``None``; as a side
+        effect the winning backend's tally for the routine's cache
+        family is bumped (persisted at drain as the
+        ``portfolio_summary`` journal record).
+        """
+        races = 0
+        transfers = 0
+        winner = None
+        with self._lock:
+            for outcome in outcomes:
+                trace = getattr(outcome.result, "trace", None)
+                for solve in getattr(trace, "solves", None) or ():
+                    detail = (
+                        solve.get("portfolio")
+                        if isinstance(solve, dict)
+                        else None
+                    )
+                    if not detail:
+                        continue
+                    races += 1
+                    transfers += int(detail.get("seed_transfers") or 0)
+                    spec = detail.get("winner")
+                    if spec:
+                        winner = spec
+                        tallies = self._portfolio_families.setdefault(
+                            outcome.family, {}
+                        )
+                        tallies[spec] = tallies.get(spec, 0) + 1
+        if not races:
+            return None
+        return {
+            "races": races,
+            "winner": winner,
+            "seed_transfers": transfers,
+        }
+
+    def _flush_journal(self):
+        """Drain-time persistence: per-family race tallies + counters."""
+        journal = self.journal
+        if journal is None:
+            return
+        with self._lock:
+            families = {
+                family: dict(tallies)
+                for family, tallies in self._portfolio_families.items()
+            }
+            counters = dict(self.counters)
+        journal.append(
+            journal_mod.seal_record(
+                {
+                    "kind": "portfolio_summary",
+                    "ts": time.time(),
+                    "replica": self.replica,
+                    "families": families,
+                    "counters": counters,
+                    "drain_reason": self._drain_reason,
+                    "write_errors": journal.write_errors,
+                }
+            )
+        )
+        journal.close()
+
     # -- worker path ---------------------------------------------------------
-    def _worker_loop(self):
+    def _worker_loop(self, index=0):
+        if obs.ENABLED:
+            obs.name_thread(f"fleet worker {index}")
         while True:
             try:
                 item = self._queue.get(timeout=0.1)
@@ -338,16 +514,29 @@ class FleetDaemon:
                 # Drain budget expired with this connection still
                 # queued: flush it with a typed busy instead of
                 # starting work we cannot finish.
-                self._count("drained")
-                self._count("rejected")
-                if obs.ENABLED:
-                    obs.counter("serve_drained_total")
-                self._best_effort_reply(
-                    conn, *protocol.busy_reply(None, 250, "draining")
-                )
-                self._close(conn)
+                self._flush_queued(conn, accepted_at)
                 continue
             self._handle(conn, accepted_at)
+
+    def _flush_queued(self, conn, accepted_at):
+        """Busy-reply a queued connection the drain gave up on."""
+        self._count("drained")
+        self._count("rejected")
+        if obs.ENABLED:
+            obs.counter("serve_drained_total")
+        request_id, trace_id = self._peek_ids(conn)
+        self._journal_request(
+            "drained",
+            trace_id=trace_id,
+            request_id=request_id,
+            shed_reason="draining",
+            timings={"total": time.monotonic() - accepted_at},
+        )
+        self._best_effort_reply(
+            conn,
+            *protocol.busy_reply(request_id, 250, "draining", trace_id=trace_id),
+        )
+        self._close(conn)
 
     def _handle(self, conn, accepted_at):
         with self._lock:
@@ -357,21 +546,19 @@ class FleetDaemon:
             obs.gauge("serve_inflight", float(inflight))
             obs.gauge("serve_conn_queue_depth", float(self._queue.qsize()))
         started = time.monotonic()
+        # Populated by _handle_framed as soon as the header parses, so
+        # the error exits below can echo ids and journal attributably.
+        ctx = {"id": None, "trace": None}
         try:
             conn.settimeout(self.io_timeout)
-            self._handle_framed(conn, accepted_at)
+            self._handle_framed(conn, accepted_at, ctx)
         except (TimeoutError, socket.timeout):
-            self._count("rejected")
-            self._best_effort_reply(
-                conn, *protocol.error_reply(None, "request timed out")
-            )
+            self._reject(conn, accepted_at, ctx, "request timed out")
         except protocol.ProtocolError as exc:
-            self._count("rejected")
-            self._best_effort_reply(conn, *protocol.error_reply(None, exc))
+            self._reject(conn, accepted_at, ctx, str(exc))
         except Exception as exc:  # a bad request must not kill the worker
-            self._count("rejected")
-            self._best_effort_reply(
-                conn, *protocol.error_reply(None, f"{type(exc).__name__}: {exc}")
+            self._reject(
+                conn, accepted_at, ctx, f"{type(exc).__name__}: {exc}"
             )
         finally:
             self._close(conn)
@@ -384,31 +571,93 @@ class FleetDaemon:
             if obs.ENABLED:
                 obs.gauge("serve_inflight", float(inflight))
 
-    def _handle_framed(self, conn, accepted_at):
+    def _reject(self, conn, accepted_at, ctx, error):
+        """Typed error exit: count, journal once, best-effort reply."""
+        self._count("rejected")
+        self._journal_request(
+            "error",
+            trace_id=ctx["trace"],
+            request_id=ctx["id"],
+            error=error,
+            timings={"total": time.monotonic() - accepted_at},
+        )
+        self._best_effort_reply(
+            conn,
+            *protocol.error_reply(ctx["id"], error, trace_id=ctx["trace"]),
+        )
+
+    def _handle_framed(self, conn, accepted_at, ctx):
         frame = protocol.recv_frame(conn)
         if frame is None:  # connected and left without a frame
             return
         header, payload = frame
+        request_id = header.get("id")
+        trace_id, parent_ref = protocol.trace_from_header(header)
+        ctx["id"] = request_id
+        ctx["trace"] = trace_id
+        # Adopt the client's trace for everything recorded on this
+        # request's behalf — the fleet.request span becomes the local
+        # root that the Chrome-trace exporter stitches to the client's
+        # span via its remote parent ref.
+        with obs.trace_scope(trace_id, parent_ref):
+            with obs.span(
+                "fleet.request",
+                op=str(header.get("op")),
+                request=str(request_id),
+            ):
+                self._serve_framed(
+                    conn, accepted_at, header, payload, trace_id
+                )
+
+    def _serve_framed(self, conn, accepted_at, header, payload, trace_id):
         op = header.get("op")
         request_id = header.get("id")
-        if op == "health":
+        if op in ("health", "stats"):
             self._count("probes")
-            protocol.send_frame(conn, self._health_header(request_id))
-            return
-        if op == "stats":
-            self._count("probes")
-            protocol.send_frame(conn, self._stats_header(request_id))
+            probe = (
+                self._health_header(request_id)
+                if op == "health"
+                else self._stats_header(request_id)
+            )
+            if trace_id is not None:
+                probe["trace_id"] = str(trace_id)
+            protocol.send_frame(conn, probe)
+            self._journal_request(
+                "probe",
+                trace_id=trace_id,
+                request_id=request_id,
+                timings={"total": time.monotonic() - accepted_at},
+            )
             return
         if op != "solve":
             raise protocol.ProtocolError(f"unknown op {op!r}")
 
+        waited = time.monotonic() - accepted_at
+        if obs.ENABLED:
+            # Retroactive span covering accept -> dispatch, so the
+            # Chrome trace shows queue wait as a first-class phase of
+            # the request instead of a silent gap before the solve.
+            obs.complete_span("fleet.queue_wait", waited)
         text = payload.decode("utf-8")
         fns = parse_functions(text)
         if not fns:
             protocol.send_frame(
-                conn, *protocol.error_reply(request_id, "no routines in payload")
+                conn,
+                *protocol.error_reply(
+                    request_id, "no routines in payload", trace_id=trace_id
+                ),
             )
             self._count("rejected")
+            self._journal_request(
+                "error",
+                trace_id=trace_id,
+                request_id=request_id,
+                error="no routines in payload",
+                timings={
+                    "queue_wait": waited,
+                    "total": time.monotonic() - accepted_at,
+                },
+            )
             return
 
         deadline_ms = header.get("deadline_ms", self.default_deadline_ms)
@@ -417,7 +666,6 @@ class FleetDaemon:
             # Queue wait already burned part of the client's budget;
             # what is left bounds the solve, so an over-queued request
             # degrades along the fallback ladder instead of overshooting.
-            waited = time.monotonic() - accepted_at
             budget = max(1e-6, float(deadline_ms) / 1000.0 - waited)
         features = protocol.features_from_wire(
             self.service.default_features,
@@ -427,8 +675,10 @@ class FleetDaemon:
 
         results = []
         emitted = []
+        outcomes = []
         for fn in fns:
             outcome = self.service.request(fn, features)
+            outcomes.append(outcome)
             results.append(
                 {
                     "routine": outcome.result.fn.name,
@@ -439,12 +689,31 @@ class FleetDaemon:
             )
             emitted.append(_emit(outcome.result))
         reply_header, reply_payload = protocol.ok_reply(
-            request_id, results, "\n".join(emitted).encode("utf-8")
+            request_id, results, "\n".join(emitted).encode("utf-8"),
+            trace_id=trace_id,
         )
         protocol.send_frame(conn, reply_header, reply_payload)
         self._count("completed")
         if obs.ENABLED:
             obs.counter("serve_completed_total")
+        cache_kinds = {}
+        for outcome in outcomes:
+            cache_kinds[outcome.kind] = cache_kinds.get(outcome.kind, 0) + 1
+        self._journal_request(
+            "ok",
+            trace_id=trace_id,
+            request_id=request_id,
+            family=outcomes[0].family,
+            routines=results,
+            features=_wire_features(features),
+            timings={
+                "queue_wait": waited,
+                "solve": sum(o.elapsed for o in outcomes),
+                "total": time.monotonic() - accepted_at,
+            },
+            cache_kinds=cache_kinds,
+            portfolio=self._portfolio_note(outcomes),
+        )
 
     def _health_header(self, request_id):
         with self._lock:
@@ -505,17 +774,10 @@ class FleetDaemon:
         self._reject_queued = True
         while True:
             try:
-                conn, _accepted_at = self._queue.get_nowait()
+                conn, accepted_at = self._queue.get_nowait()
             except queue.Empty:
                 break
-            self._count("drained")
-            self._count("rejected")
-            if obs.ENABLED:
-                obs.counter("serve_drained_total")
-            self._best_effort_reply(
-                conn, *protocol.busy_reply(None, 250, "draining")
-            )
-            self._close(conn)
+            self._flush_queued(conn, accepted_at)
         for _thread in threads:
             try:
                 self._queue.put_nowait(None)

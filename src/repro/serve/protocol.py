@@ -17,10 +17,16 @@ Both directions use the same frame.  Request headers carry::
     {"op": "solve" | "health" | "stats",
      "id": "<client-chosen request id>",
      "deadline_ms": <total budget in ms, or null>,
-     "features": {<ScheduleFeatures overrides, wire-safe subset>}}
+     "features": {<ScheduleFeatures overrides, wire-safe subset>},
+     "trace": {"id": "<32-hex trace id>", "parent": "<pid.span_id>"}}
 
-with the TIA assembly text as the payload of a ``solve``.  Reply
-headers carry a ``status``::
+with the TIA assembly text as the payload of a ``solve``.  The
+``trace`` member is W3C-traceparent-shaped distributed-trace context
+(:mod:`repro.obs.core`): the client generates the trace id, the daemon
+adopts it for every span it records on the request's behalf, and every
+reply — including ``busy`` and ``error`` — echoes ``id`` and
+``trace_id`` so a shed or failed hop is attributable from the client
+side alone.  Reply headers carry a ``status``::
 
     ok      the solve finished; payload = emitted assembly, header
             lists per-routine {routine, kind, quality, coalesced}
@@ -167,13 +173,43 @@ def recv_frame(sock, max_payload=MAX_PAYLOAD_BYTES):
 
 
 # -- request/reply constructors ----------------------------------------------
-def solve_request(text, request_id=None, deadline_ms=None, features=None):
-    """``(header, payload)`` for a solve of ``text`` (TIA assembly)."""
+def trace_header(trace_id, parent_ref=None):
+    """The ``trace`` request-header member, or ``None`` for no context."""
+    if not trace_id:
+        return None
+    member = {"id": str(trace_id)}
+    if parent_ref is not None:
+        member["parent"] = str(parent_ref)
+    return member
+
+
+def trace_from_header(header):
+    """``(trace_id, parent_ref)`` carried by a request header."""
+    trace = header.get("trace")
+    if not isinstance(trace, dict):
+        return (None, None)
+    trace_id = trace.get("id")
+    parent = trace.get("parent")
+    return (
+        None if trace_id is None else str(trace_id),
+        None if parent is None else str(parent),
+    )
+
+
+def solve_request(text, request_id=None, deadline_ms=None, features=None,
+                  trace=None):
+    """``(header, payload)`` for a solve of ``text`` (TIA assembly).
+
+    ``trace`` is a :func:`trace_header` dict (or ``None``) propagating
+    the client's distributed-trace context to the daemon.
+    """
     header = {"op": "solve"}
     if request_id is not None:
         header["id"] = str(request_id)
     if deadline_ms is not None:
         header["deadline_ms"] = int(deadline_ms)
+    if trace:
+        header["trace"] = dict(trace)
     if features:
         unknown = set(features) - set(WIRE_FEATURES)
         if unknown:
@@ -185,40 +221,51 @@ def solve_request(text, request_id=None, deadline_ms=None, features=None):
     return header, text.encode("utf-8")
 
 
-def probe_request(op, request_id=None):
+def probe_request(op, request_id=None, trace=None):
     """Header for a ``health``/``stats`` probe (no payload)."""
     if op not in ("health", "stats"):
         raise ProtocolError(f"not a probe op: {op!r}")
     header = {"op": op}
     if request_id is not None:
         header["id"] = str(request_id)
+    if trace:
+        header["trace"] = dict(trace)
     return header, b""
 
 
-def ok_reply(request_id, results, payload):
+def _stamp_trace(header, trace_id):
+    if trace_id is not None:
+        header["trace_id"] = str(trace_id)
+    return header
+
+
+def ok_reply(request_id, results, payload, trace_id=None):
     """``status=ok``: payload is the emitted assembly, ``results`` the
     per-routine ``{routine, kind, quality, coalesced}`` summaries."""
-    return {
+    return _stamp_trace({
         "status": "ok",
         "id": request_id,
         "results": list(results),
-    }, payload
+    }, trace_id), payload
 
 
-def busy_reply(request_id, retry_after_ms, reason, queue_depth=None):
-    header = {
+def busy_reply(request_id, retry_after_ms, reason, queue_depth=None,
+               trace_id=None):
+    header = _stamp_trace({
         "status": "busy",
         "id": request_id,
         "retry_after_ms": int(retry_after_ms),
         "reason": reason,
-    }
+    }, trace_id)
     if queue_depth is not None:
         header["queue_depth"] = int(queue_depth)
     return header, b""
 
 
-def error_reply(request_id, error):
-    return {"status": "error", "id": request_id, "error": str(error)}, b""
+def error_reply(request_id, error, trace_id=None):
+    return _stamp_trace(
+        {"status": "error", "id": request_id, "error": str(error)}, trace_id
+    ), b""
 
 
 def features_from_wire(base, overrides, deadline_budget=None):

@@ -75,6 +75,13 @@ SECTION_REL = {
     # search-order luck, hence sweep-sized headroom. The hard quality
     # signals are the booleans (bundles_no_worse, verified).
     "decompose": 1.0,
+    # Journaling overhead on the overload burst: the headline is the
+    # journal_overhead_ratio (plain/journaled throughput, ~1.0 when
+    # journaling is free) — held tight like obs_overhead so a >5%-ish
+    # regression past the ratio's 0.03 absolute floor gates.  The raw
+    # throughput leaves are named *_rps precisely so they stay info
+    # context (overload-style noise); the ratio carries the gate.
+    "journal_overhead": 0.05,
     # Portfolio racing: wall-clock depends on how many lanes run
     # concurrently (lane_threads is recorded in the section, and the
     # committed baseline came from a single-core host), so the raw

@@ -49,6 +49,12 @@ Sites (``SITES``):
     The graceful-drain path: a firing raises inside the drain sweep
     (flushing queued connections after SIGTERM); the daemon must
     absorb it and still exit cleanly within the drain budget.
+``obs.journal``
+    A telemetry-journal append (:mod:`repro.obs.journal`): a firing
+    makes the write raise ``OSError`` inside
+    :meth:`~repro.obs.journal.TelemetryJournal.append`, which must
+    swallow it — journal failures are counted, never surfaced into the
+    serving request path, and never corrupt already-written shards.
 ``portfolio.cancel``
     One racing lane of :class:`repro.ilp.portfolio.PortfolioSolver`
     (fired per lane, inside the race): ``crash``/``error`` kill the lane
@@ -127,6 +133,7 @@ SITES = (
     "serve.queue",
     "serve.drain",
     "portfolio.cancel",
+    "obs.journal",
 )
 
 KINDS = ("timeout", "infeasible", "incumbent", "corrupt", "error", "crash")

@@ -199,7 +199,12 @@ def _render_dashboard(args, names):
     if not args.html:
         print("dashboard requires --html OUT.html", file=sys.stderr)
         return 2
-    if args.trace or args.metrics:
+    telemetry = None
+    if args.journal:
+        from repro.obs.telemetry import journal_rollup
+
+        telemetry = journal_rollup(args.journal)
+    if args.trace or args.metrics or telemetry:
         trace = metrics = None
         for path in (args.trace, args.metrics):
             if not path:
@@ -209,7 +214,9 @@ def _render_dashboard(args, names):
                 trace = payload
             else:
                 metrics = payload
-        html = dashboard.render_dashboard(trace=trace, metrics=metrics)
+        html = dashboard.render_dashboard(
+            trace=trace, metrics=metrics, telemetry=telemetry
+        )
     else:
         # No artifacts given: run the table-1 routines under a live
         # recorder and render that run directly.
@@ -253,6 +260,11 @@ def main(argv=None):
     parser.add_argument(
         "--metrics", metavar="FILE",
         help="dashboard input: metrics JSON dump",
+    )
+    parser.add_argument(
+        "--journal", metavar="DIR",
+        help="dashboard input: telemetry-journal directory "
+             "(fleet-telemetry panel)",
     )
     args = parser.parse_args(argv)
 

@@ -1,0 +1,149 @@
+"""Property: stitched multi-process traces form one connected tree each.
+
+The distributed-tracing pipeline promises that *any* topology of spans —
+arbitrarily nested locally, fanned out across processes via
+``trace_scope(trace_id, parent_ref)`` hops, merged back in any order —
+exports to a Chrome trace in which every ``trace_id``'s spans form
+exactly one connected tree (single root, no unreachable spans), with a
+flow arrow per cross-process link.  Hypothesis generates the topologies;
+:func:`repro.obs.export.trace_forest` and
+:func:`~repro.obs.export.validate_trace_connectivity` are the oracle.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import core as obs
+from repro.obs import export
+
+
+@st.composite
+def topologies(draw):
+    """A forest of 1-2 traces, each a DAG of cross-process hops.
+
+    Each hop is ``(process, chain_depth, parent_hop)``: a chain of
+    nested spans recorded in one process, whose local root hangs off a
+    span of the parent hop (``None`` = the trace root).
+    """
+    trees = []
+    for _ in range(draw(st.integers(1, 2))):
+        n_hops = draw(st.integers(1, 5))
+        hops = []
+        for j in range(n_hops):
+            proc = draw(st.integers(0, 3))
+            depth = draw(st.integers(1, 3))
+            parent = None if j == 0 else draw(st.integers(0, j - 1))
+            hops.append((proc, depth, parent))
+        trees.append(hops)
+    return trees
+
+
+def _record_hop(rec, trace_id, remote_parent, depth, label):
+    """One hop: a chain of ``depth`` nested spans in recorder ``rec``.
+
+    Returns the refs of every span in the chain (stitch targets for
+    child hops).
+    """
+    refs = []
+    with obs.trace_scope(trace_id, remote_parent):
+        spans = []
+        for level in range(depth):
+            span = obs.Span(rec, f"{label}.{level}", {})
+            span.__enter__()
+            spans.append(span)
+            refs.append(span.ref)
+        for span in reversed(spans):
+            span.__exit__(None, None, None)
+    return refs
+
+
+def _snapshot_of(rec):
+    """Module-level snapshot of a specific recorder instance."""
+    saved = obs._recorder
+    obs._recorder = rec
+    try:
+        return obs.snapshot()
+    finally:
+        obs._recorder = saved
+
+
+@given(trees=topologies())
+@settings(max_examples=40, deadline=None)
+def test_merged_snapshots_stitch_into_connected_trees(trees):
+    obs.disable()
+    obs.enable()
+    try:
+        root_rec = obs.recorder()
+        # Simulated remote processes: fresh recorders with distinct pids
+        # (span refs are "pid.span_id", so pids must not collide).
+        remote = {}
+
+        def rec_for(proc):
+            if proc == 0:
+                return root_rec
+            if proc not in remote:
+                rec = obs.Recorder()
+                rec.pid = 100000 + proc
+                rec.process_labels = {rec.pid: f"simulated pid {rec.pid}"}
+                remote[proc] = rec
+            return remote[proc]
+
+        expected = {}  # trace_id -> span count
+        for tree_no, hops in enumerate(trees):
+            trace_id = obs.new_trace_id()
+            hop_refs = []
+            for hop_no, (proc, depth, parent) in enumerate(hops):
+                parent_ref = (
+                    None if parent is None else hop_refs[parent][-1]
+                )
+                refs = _record_hop(
+                    rec_for(proc), trace_id, parent_ref,
+                    depth, f"t{tree_no}h{hop_no}",
+                )
+                hop_refs.append(refs)
+            expected[trace_id] = sum(len(refs) for refs in hop_refs)
+
+        # Merge the remote snapshots (any order) into the root recorder
+        # and export one document.
+        for proc in sorted(remote, reverse=True):
+            obs.merge_snapshot(_snapshot_of(remote[proc]))
+        doc = export.chrome_trace()
+
+        assert export.validate_chrome_trace(doc) == []
+        assert export.validate_trace_connectivity(doc) == []
+        forest = export.trace_forest(doc)
+        assert set(forest) == set(expected)
+        for trace_id, info in forest.items():
+            assert len(info["spans"]) == expected[trace_id]
+            assert len(info["roots"]) == 1
+            assert info["unreachable"] == []
+    finally:
+        obs.disable()
+
+
+def test_unmerged_parent_is_not_stitched(clean_obs):
+    """A hop whose parent snapshot never arrives must not fabricate a
+    flow arrow — the span simply roots its own (partial) trace."""
+    clean_obs.enable()
+    rec = obs.recorder()
+    trace_id = obs.new_trace_id()
+    # Remote parent ref points at a pid that was never merged.
+    _record_hop(rec, trace_id, "424242.7", 2, "orphan")
+    doc = export.chrome_trace()
+    assert export.validate_chrome_trace(doc) == []
+    flows = [ev for ev in doc["traceEvents"] if ev.get("ph") in ("s", "f")]
+    assert flows == []
+    forest = export.trace_forest(doc)
+    assert len(forest[trace_id]["roots"]) == 1
+
+
+def test_expect_pids_detects_missing_process(clean_obs):
+    clean_obs.enable()
+    rec = obs.recorder()
+    trace_id = obs.new_trace_id()
+    _record_hop(rec, trace_id, None, 1, "local")
+    doc = export.chrome_trace()
+    assert export.validate_trace_connectivity(doc) == []
+    problems = export.validate_trace_connectivity(
+        doc, expect_pids=(rec.pid, 999999)
+    )
+    assert problems  # no single trace spans both pids

@@ -1,0 +1,274 @@
+"""Fleet journaling contract: one attributable record per request exit.
+
+Every way a request can leave the daemon — ok, shed (busy), protocol
+error, drained, injected accept fault, probe — must append exactly one
+schema-valid journal record carrying whatever identity the daemon could
+recover (request id, trace id), and ``tia-telemetry`` must be able to
+reconstruct the daemon's own exit counters from the journal alone.
+Journal faults must never leak into the request path.
+"""
+
+import socket
+import threading
+import time
+
+from repro.obs import telemetry
+from repro.obs.journal import read_records, validate_record
+from repro.sched.scheduler import ScheduleFeatures
+from repro.serve import protocol
+from repro.serve.fleet import FleetDaemon
+from repro.serve.service import ScheduleService
+from repro.tools import faults
+
+from tests.conftest import STRAIGHT_TEXT
+
+FEATURES = ScheduleFeatures(time_limit=20)
+
+
+def _daemon(tmp_path, **kwargs):
+    service = ScheduleService(
+        tmp_path / "cache", default_features=FEATURES
+    )
+    kwargs.setdefault("journal", str(tmp_path / "journal"))
+    return FleetDaemon(service, str(tmp_path / "serve.sock"), **kwargs)
+
+
+def _run(daemon):
+    box = {}
+
+    def target():
+        box["counters"] = daemon.serve_forever()
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    assert daemon.wait_ready(10), "daemon never bound its socket"
+    return thread, box
+
+
+def _connect(path, timeout=10.0):
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.settimeout(timeout)
+    conn.connect(path)
+    return conn
+
+
+def _roundtrip(path, header, payload=b"", timeout=60.0):
+    conn = _connect(path, timeout)
+    try:
+        try:
+            protocol.send_frame(conn, header, payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        return protocol.recv_frame(conn)
+    finally:
+        conn.close()
+
+
+def _requests(root, outcome=None):
+    records = list(read_records(root, kinds=("request",)))
+    if outcome is not None:
+        records = [r for r in records if r["outcome"] == outcome]
+    return records
+
+
+def test_ok_and_probe_paths_journal_with_trace(tmp_path):
+    daemon = _daemon(tmp_path, workers=1, max_requests=1)
+    thread, box = _run(daemon)
+    trace = protocol.trace_header("ab" * 16, parent_ref="77.3")
+    probe_header, _ = _roundtrip(
+        daemon.path, *protocol.probe_request("health", "h1", trace=trace)
+    )
+    reply, _ = _roundtrip(
+        daemon.path,
+        *protocol.solve_request(STRAIGHT_TEXT, request_id="r1", trace=trace),
+    )
+    thread.join(30)
+    assert reply["status"] == "ok"
+    # Replies echo the adopted trace id end to end.
+    assert reply["trace_id"] == "ab" * 16
+    assert probe_header["trace_id"] == "ab" * 16
+
+    root = tmp_path / "journal"
+    records = _requests(root)
+    assert [r["outcome"] for r in records] == ["probe", "ok"]
+    assert all(validate_record(r) == [] for r in records)
+    probe, ok = records
+    assert probe["request_id"] == "h1"
+    assert probe["trace_id"] == "ab" * 16
+    assert ok["request_id"] == "r1"
+    assert ok["trace_id"] == "ab" * 16
+    assert ok["family"]
+    assert ok["routines"][0]["kind"] == "miss"
+    assert ok["cache_kinds"] == {"miss": 1}
+    assert ok["features"]["time_limit"] == 20
+    for key in ("queue_wait", "solve", "total"):
+        assert ok["timings"][key] >= 0.0
+    assert ok["replica"] == daemon.replica
+
+
+def test_error_path_journals_once_with_ids(tmp_path):
+    daemon = _daemon(tmp_path, workers=1, max_requests=1)
+    thread, box = _run(daemon)
+    trace = protocol.trace_header("cd" * 16)
+    header, payload = protocol.solve_request(
+        "", request_id="bad-1", trace=trace
+    )
+    reply, _ = _roundtrip(daemon.path, header, payload)
+    good, _ = _roundtrip(
+        daemon.path, *protocol.solve_request(STRAIGHT_TEXT)
+    )
+    thread.join(30)
+    assert reply["status"] == "error"
+    assert reply["id"] == "bad-1"
+    assert reply["trace_id"] == "cd" * 16
+    assert good["status"] == "ok"
+
+    errors = _requests(tmp_path / "journal", "error")
+    assert len(errors) == 1
+    assert errors[0]["request_id"] == "bad-1"
+    assert errors[0]["trace_id"] == "cd" * 16
+    assert "no routines" in errors[0]["error"]
+
+
+def test_shed_path_journals_busy_with_peeked_ids(tmp_path):
+    daemon = _daemon(
+        tmp_path, workers=1, queue_capacity=1, shed_watermark=1,
+        io_timeout=1.0, max_requests=1,
+    )
+    thread, box = _run(daemon)
+    stalled = _connect(daemon.path)
+    time.sleep(0.2)
+    queued = _connect(daemon.path)
+    time.sleep(0.1)
+    trace = protocol.trace_header("ef" * 16)
+    shed_reply, _ = _roundtrip(
+        daemon.path,
+        *protocol.solve_request(
+            STRAIGHT_TEXT, request_id="shed-me", trace=trace
+        ),
+    )
+    assert shed_reply["status"] == "busy"
+    assert shed_reply["reason"] == "overload"
+    # The daemon peeked the buffered frame: identity survives the shed.
+    assert shed_reply["id"] == "shed-me"
+    assert shed_reply["trace_id"] == "ef" * 16
+    try:
+        protocol.send_frame(queued, *protocol.solve_request(STRAIGHT_TEXT))
+        queued.settimeout(60.0)
+        assert protocol.recv_frame(queued)[0]["status"] == "ok"
+    finally:
+        queued.close()
+        stalled.close()
+    thread.join(30)
+
+    busy = _requests(tmp_path / "journal", "busy")
+    assert len(busy) == 1
+    assert busy[0]["shed_reason"] == "overload"
+    assert busy[0]["request_id"] == "shed-me"
+    assert busy[0]["trace_id"] == "ef" * 16
+
+
+def test_accept_fault_path_journals_fault(tmp_path):
+    daemon = _daemon(tmp_path, workers=1, max_requests=1)
+    with faults.inject("serve.accept=error:1"):
+        thread, box = _run(daemon)
+        first, _ = _roundtrip(
+            daemon.path,
+            *protocol.solve_request(STRAIGHT_TEXT, request_id="f1"),
+        )
+        good, _ = _roundtrip(
+            daemon.path, *protocol.solve_request(STRAIGHT_TEXT)
+        )
+        thread.join(30)
+    assert first["status"] == "error"
+    assert good["status"] == "ok"
+    fault_records = _requests(tmp_path / "journal", "fault")
+    assert len(fault_records) == 1
+    assert fault_records[0]["fault"] == "serve.accept"
+
+
+def test_drain_path_journals_drained_and_summary(tmp_path):
+    daemon = _daemon(
+        tmp_path, workers=1, queue_capacity=2, io_timeout=1.0,
+        drain_budget=0.5,
+    )
+    thread, box = _run(daemon)
+    stalled = _connect(daemon.path)
+    time.sleep(0.2)
+    queued = _connect(daemon.path)
+    protocol.send_frame(
+        queued, *protocol.solve_request(STRAIGHT_TEXT, request_id="q1")
+    )
+    time.sleep(0.1)
+    daemon.initiate_drain("test")
+    thread.join(30)
+    assert not thread.is_alive()
+    queued.close()
+    stalled.close()
+
+    root = tmp_path / "journal"
+    if box["counters"]["drained"]:
+        drained = _requests(root, "drained")
+        assert len(drained) == box["counters"]["drained"]
+        assert all(r["shed_reason"] == "draining" for r in drained)
+    summaries = list(read_records(root, kinds=("portfolio_summary",)))
+    assert len(summaries) == 1
+    assert summaries[0]["drain_reason"] == "test"
+    assert summaries[0]["counters"] == box["counters"]
+    assert summaries[0]["write_errors"] == 0
+
+
+def test_rollup_reconstructs_daemon_counters(tmp_path):
+    daemon = _daemon(tmp_path, workers=2, max_requests=2)
+    thread, box = _run(daemon)
+    _roundtrip(daemon.path, *protocol.probe_request("stats"))
+    _roundtrip(daemon.path, *protocol.solve_request(STRAIGHT_TEXT))
+    _roundtrip(daemon.path, *protocol.solve_request("", request_id="bad"))
+    _roundtrip(daemon.path, *protocol.solve_request(STRAIGHT_TEXT))
+    thread.join(30)
+    assert box["counters"]["completed"] == 2
+    assert box["counters"]["rejected"] == 1
+
+    rollup = telemetry.journal_rollup(tmp_path / "journal")
+    # The acceptance invariant: journal alone reproduces the daemon's
+    # own exit counters, and matches what the replica reported at drain.
+    assert rollup["counters"] == box["counters"]
+    assert rollup["reported_counters"] == box["counters"]
+    assert rollup["cache_kinds"] == {"miss": 1, "exact": 1}
+    assert list(rollup["replicas"]) == [daemon.replica]
+
+
+def test_journal_fault_never_breaks_requests(tmp_path):
+    daemon = _daemon(tmp_path, workers=1, max_requests=2)
+    with faults.inject("obs.journal=error:1"):
+        thread, box = _run(daemon)
+        first, _ = _roundtrip(
+            daemon.path, *protocol.solve_request(STRAIGHT_TEXT)
+        )
+        second, _ = _roundtrip(
+            daemon.path, *protocol.solve_request(STRAIGHT_TEXT)
+        )
+        thread.join(30)
+    # The journal failure is invisible to clients...
+    assert first["status"] == "ok"
+    assert second["status"] == "ok"
+    assert box["counters"]["completed"] == 2
+    # ...but accounted for at drain, and surviving shards stay valid.
+    summaries = list(
+        read_records(tmp_path / "journal", kinds=("portfolio_summary",))
+    )
+    assert summaries[0]["write_errors"] == 1
+    assert len(_requests(tmp_path / "journal", "ok")) == 1
+    rollup = telemetry.journal_rollup(tmp_path / "journal")
+    assert rollup["write_errors"] == 1
+
+
+def test_no_journal_configured_is_a_noop(tmp_path):
+    daemon = _daemon(tmp_path, workers=1, max_requests=1, journal=None)
+    thread, box = _run(daemon)
+    reply, _ = _roundtrip(
+        daemon.path, *protocol.solve_request(STRAIGHT_TEXT)
+    )
+    thread.join(30)
+    assert reply["status"] == "ok"
+    assert not (tmp_path / "journal").exists()
