@@ -23,6 +23,11 @@ Sections, each a dict in ``BENCH_solver.json`` at the repo root:
   within ~1.1x of the best single backend, quality must never decay,
   and the raced schedule must match the winner's solo run byte for
   byte.
+* ``swp``           — modulo scheduling (repro.sched.modulo) over the
+  loop-dominated family: the II ladder must hit II = max(ResMII,
+  RecMII) on >=80% of pipelined loops, every pipelined loop must pass
+  the kernel-vs-unrolled oracle, and a ``swp.materialize`` chaos round
+  must degrade down the ladder instead of raising.
 
 The seed baselines are materialized from the growth-seed commit via
 ``git show`` so the comparison runs the *actual* old code, not a guess.
@@ -646,6 +651,107 @@ def bench_portfolio(smoke):
     }
 
 
+def bench_swp(smoke):
+    """Modulo scheduling on the loop-dominated family.
+
+    Runs every family loop through the II ladder
+    (:func:`repro.sched.modulo.ladder.pipeline_loop`) and records the
+    Table-2-style row set behind EXPERIMENTS.md.  Gated claims:
+    ``mii_achieved_80pct`` (II = max(ResMII, RecMII) on >= 80% of
+    pipelined loops — the paper-style optimality headline),
+    ``oracle_all_passed`` (every pipelined loop proven by execution),
+    and ``chaos_degraded`` (a ``swp.materialize`` fault round demotes
+    outcomes down the ladder; nothing raises).  ``mean_overlap_speedup``
+    is critical path / II averaged over pipelined loops — the
+    steady-state win of overlapping iterations against the serial
+    dependence height.
+    """
+    from repro.ir.cfg import CfgInfo
+    from repro.ir.ddg import build_dependence_graph
+    from repro.ir.liveness import compute_liveness
+    from repro.sched.modulo.bounds import critical_path
+    from repro.sched.modulo.ladder import pipeline_loop
+    from repro.sched.swp import ModuloScheduler, build_modulo_edges
+    from repro.tools import faults
+    from repro.workloads.generator import loop_dominated_family
+
+    count = 4 if smoke else 8
+    time_limit = 10.0 if smoke else 20.0
+
+    def analyzed(fn):
+        cfg = CfgInfo(fn)
+        ddg = build_dependence_graph(fn, cfg, compute_liveness(fn))
+        return cfg, ddg, cfg.loops[0]
+
+    per_loop = {}
+    pipelined = 0
+    at_mii = 0
+    oracle_all_passed = True
+    solve_total = 0.0
+    overlaps = []
+    family = list(loop_dominated_family(count=count, seed=1))
+    for spec, fn in family:
+        cfg, ddg, loop = analyzed(fn)
+        t0 = time.perf_counter()
+        outcome = pipeline_loop(fn, cfg, ddg, loop, time_limit=time_limit)
+        elapsed = time.perf_counter() - t0
+        solve_total += elapsed
+        row = {
+            "body_instructions": outcome.detail.get("body_instructions"),
+            "trips": spec.trips,
+            "res_mii": outcome.mii_resource,
+            "rec_mii": outcome.mii_recurrence,
+            "ii": outcome.ii,
+            "stages": outcome.stages,
+            "status": outcome.status,
+            "seconds": elapsed,
+        }
+        if outcome.pipelined:
+            pipelined += 1
+            if outcome.ii == outcome.mii:
+                at_mii += 1
+            if not (outcome.oracle and outcome.oracle.ok):
+                oracle_all_passed = False
+            body = ModuloScheduler._body_instructions(fn, loop)
+            edges = build_modulo_edges(fn, loop, body, ddg)
+            overlap = critical_path(body, edges) / outcome.ii
+            overlaps.append(overlap)
+            row["overlap_speedup"] = overlap
+        per_loop[spec.name] = row
+
+    # Chaos round: one materialization fault must demote the first loop
+    # down the ladder (modulo kernel discarded -> time-indexed rung); a
+    # persistent fault must land it unpipelined. Raising fails the run.
+    _spec, fn = family[0]
+    cfg, ddg, loop = analyzed(fn)
+    with faults.inject("swp.materialize=error:1"):
+        demoted = pipeline_loop(fn, cfg, ddg, loop, time_limit=time_limit)
+    with faults.inject("swp.materialize=error"):
+        floored = pipeline_loop(fn, cfg, ddg, loop, time_limit=time_limit)
+    chaos_degraded = (
+        demoted.status in ("fallback_swp", "unpipelined")
+        and floored.status == "unpipelined"
+    )
+
+    return {
+        "loops": len(per_loop),
+        "time_limit": time_limit,
+        "pipelined": pipelined,
+        "mii_achieved": at_mii,
+        "mii_achieved_rate": at_mii / pipelined if pipelined else 0.0,
+        "mii_achieved_80pct": (
+            pipelined > 0 and at_mii >= 0.8 * pipelined
+        ),
+        "oracle_all_passed": oracle_all_passed,
+        "chaos_degraded": chaos_degraded,
+        "mean_overlap_speedup": (
+            sum(overlaps) / len(overlaps) if overlaps else None
+        ),
+        "ladder_seconds": solve_total,
+        "per_loop": per_loop,
+    }
+
+
 # -- driver -----------------------------------------------------------------
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -661,14 +767,14 @@ def main(argv=None):
     )
     parser.add_argument(
         "--sections",
-        default="root_lp,bb_throughput,cut_resolve,sweep,obs_overhead,decompose,portfolio",
+        default="root_lp,bb_throughput,cut_resolve,sweep,obs_overhead,decompose,portfolio,swp",
         help="comma list of sections to run",
     )
     args = parser.parse_args(argv)
     sections = set(args.sections.split(","))
     known = {
         "root_lp", "bb_throughput", "cut_resolve", "sweep", "obs_overhead",
-        "decompose", "portfolio",
+        "decompose", "portfolio", "swp",
     }
     unknown = sections - known
     if unknown:
@@ -713,6 +819,12 @@ def main(argv=None):
             k: v for k, v in report["portfolio"].items() if k != "per_routine"
         }
         print(f"portfolio: {json.dumps(summary, indent=2)}")
+    if "swp" in sections:
+        report["swp"] = bench_swp(args.smoke)
+        summary = {
+            k: v for k, v in report["swp"].items() if k != "per_loop"
+        }
+        print(f"swp: {json.dumps(summary, indent=2)}")
 
     out_path = pathlib.Path(args.out)
     if args.check:

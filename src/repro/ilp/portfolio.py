@@ -303,6 +303,17 @@ class PortfolioSolver:
         are converted back through it).
     heuristic_effort / node_limit / mip_rel_gap:
         Forwarded to HiGHS lanes (see :class:`~repro.ilp.highs.HighsSolver`).
+    lane_stats:
+        Optional ``{runner spec: {"win_rate": f, "mean_seconds": s}}``
+        history (e.g. from :func:`lane_stats_from_metrics` over a prior
+        run's telemetry).  Only consulted when the race *serializes*
+        (``threads`` below the roster size): queued lanes then launch in
+        expected-productivity order — highest win rate first, faster
+        expected solve breaking ties — so a losing lane no longer burns
+        the shared budget before a productive lane starts.  Fully
+        concurrent races ignore it: launch order is irrelevant when
+        every lane starts at once, and the roster-order default keeps
+        output byte-identical.
     """
 
     def __init__(
@@ -316,6 +327,7 @@ class PortfolioSolver:
         heuristic_effort=0.5,
         node_limit=None,
         mip_rel_gap=0.0,
+        lane_stats=None,
     ):
         roster = tuple(backends)
         if not roster:
@@ -335,6 +347,7 @@ class PortfolioSolver:
         self.heuristic_effort = heuristic_effort
         self.node_limit = node_limit
         self.mip_rel_gap = mip_rel_gap
+        self.lane_stats = dict(lane_stats) if lane_stats else None
 
     # -- public ---------------------------------------------------------------
     def solve(self, model, incumbent=None, cutoff=None, fault_site=None):
@@ -417,6 +430,12 @@ class PortfolioSolver:
 
         cap = len(runners) if self.threads is None else max(1, int(self.threads))
         pending = list(runners)
+        if self.lane_stats and cap < len(pending):
+            # Serialized race: launch order decides who gets the budget.
+            # Reorder the queue by expected productivity; concurrent
+            # races keep roster order (launch order is moot there, and
+            # the default stays byte-identical).
+            pending = self._order_lanes(pending)
         running = []
         decided = None
         proof = None
@@ -744,6 +763,27 @@ class PortfolioSolver:
             )
         return Solution(status, solution.objective, solution.values, stats)
 
+    def _order_lanes(self, pending):
+        """Expected-productivity launch order for a serialized race.
+
+        Highest historical win rate first; among equals, the lower
+        expected solve time; among unknowns, original roster order.  A
+        runner absent from the stats table sorts after every known one —
+        history never demotes a proven lane below an untried one.
+        """
+        def rank(runner):
+            stats = self.lane_stats.get(runner.spec)
+            if stats is None:
+                return (1, 0.0, float("inf"), runner.index)
+            if isinstance(stats, (int, float)):
+                return (0, -float(stats), float("inf"), runner.index)
+            win_rate = float(stats.get("win_rate") or 0.0)
+            seconds = stats.get("mean_seconds")
+            seconds = float("inf") if seconds is None else float(seconds)
+            return (0, -win_rate, seconds, runner.index)
+
+        return sorted(pending, key=rank)
+
     def _best_finisher(self, runners, bus):
         """No proof anywhere: best objective wins, tie-broken by roster."""
         candidates = [
@@ -847,6 +887,12 @@ class PortfolioSolver:
                     lane["published"],
                     runner=spec,
                 )
+            if lane["seconds"] is not None and lane["started"]:
+                # Raw material for lane_stats_from_metrics: expected
+                # solve time per runner, for budget-aware lane ordering.
+                obs.histogram(
+                    "portfolio_lane_seconds", lane["seconds"], runner=spec
+                )
         if detail.get("proof"):
             obs.counter(
                 "portfolio_proofs_total", 1, proof=detail["proof"]
@@ -871,6 +917,44 @@ class PortfolioSolver:
         arrays = model.to_arrays()
         objective = float(np.dot(arrays["c"], vector))
         bus.publish_incumbent("seed", vector, objective)
+
+
+def lane_stats_from_metrics(metrics):
+    """Per-runner ``lane_stats`` table from a ``--metrics`` dump.
+
+    Folds a prior run's telemetry (``portfolio_wins_total`` /
+    ``portfolio_losses_total`` counters, the ``portfolio_lane_seconds``
+    histogram) into the ``{spec: {"win_rate", "mean_seconds"}}`` shape
+    :class:`PortfolioSolver` consumes, closing the telemetry loop the
+    ROADMAP's backend auto-tuner calls for: yesterday's races decide
+    today's serialized launch order.  Returns ``{}`` on an empty or
+    obs-disabled dump, which the solver treats as "no history".
+    """
+    from repro.obs.insight import portfolio_summary
+
+    digest = portfolio_summary(metrics or {})
+    histograms = (metrics or {}).get("histograms", {}) or {}
+    seconds = {}
+    marker = 'portfolio_lane_seconds{runner="'
+    for key, value in histograms.items():
+        if not key.startswith(marker) or not isinstance(value, dict):
+            continue
+        spec = key[len(marker):].split('"', 1)[0]
+        count = value.get("count") or 0
+        if count:
+            entry = seconds.setdefault(spec, [0.0, 0.0])
+            entry[0] += value.get("sum") or 0.0
+            entry[1] += count
+    stats = {}
+    for spec in set(digest["wins"]) | set(digest["losses"]) | set(seconds):
+        wins = digest["wins"].get(spec, 0)
+        entered = wins + digest["losses"].get(spec, 0)
+        total, count = seconds.get(spec, (0.0, 0.0))
+        stats[spec] = {
+            "win_rate": wins / entered if entered else 0.0,
+            "mean_seconds": total / count if count else None,
+        }
+    return stats
 
 
 def _values_vector(model, values):

@@ -51,12 +51,28 @@ class ExecutionResult:
     block_trace: list
     instructions_executed: int
     returned: bool
+    store_log: list = field(default_factory=list)
 
     def register(self, name):
         return self.registers.get(reg(name), 0)
 
     def live_out_state(self, fn):
         return {r: self.registers.get(r, 0) for r in sorted(fn.live_out)}
+
+    def store_sequences(self):
+        """Per-address sequences of stored values, in execution order.
+
+        Only populated when the interpreter ran with
+        ``record_stores=True``. Grouping by address makes the comparison
+        reordering-tolerant: a legal schedule may interleave independent
+        stores differently, but the value history *at each address* must
+        match — a strictly stronger check than comparing final memory,
+        which cannot see an overwritten wrong value.
+        """
+        sequences = {}
+        for address, value in self.store_log:
+            sequences.setdefault(address, []).append(value)
+        return sequences
 
 
 def _hash64(*parts):
@@ -86,9 +102,10 @@ class _Memory:
     leaves the observable memory image unchanged — as on hardware.
     """
 
-    def __init__(self, seed=0):
+    def __init__(self, seed=0, record_stores=False):
         self.seed = seed
         self.cells = {}
+        self.log = [] if record_stores else None
 
     def load(self, address):
         address &= _MASK & ~0x7
@@ -97,15 +114,21 @@ class _Memory:
         return _hash64("mem", self.seed, address)
 
     def store(self, address, value):
-        self.cells[address & _MASK & ~0x7] = value & _MASK
+        address &= _MASK & ~0x7
+        value &= _MASK
+        self.cells[address] = value
+        if self.log is not None:
+            self.log.append((address, value))
 
 
 class Interpreter:
     """Executes Functions and Schedules over concrete state."""
 
-    def __init__(self, max_blocks=4000, max_instructions=400000):
+    def __init__(self, max_blocks=4000, max_instructions=400000,
+                 record_stores=False):
         self.max_blocks = max_blocks
         self.max_instructions = max_instructions
+        self.record_stores = record_stores
 
     # -- entry points ---------------------------------------------------------
     def run_function(self, fn, registers=None, seed=0):
@@ -143,7 +166,7 @@ class Interpreter:
         registers = dict(registers or initial_registers(fn, seed))
         registers.setdefault(reg("r0"), 0)
         registers.setdefault(reg("p0"), 1)
-        memory = _Memory(seed)
+        memory = _Memory(seed, record_stores=self.record_stores)
         layout = [b.name for b in fn.blocks]
         trace = []
         executed = 0
@@ -185,6 +208,7 @@ class Interpreter:
             block_trace=trace,
             instructions_executed=executed,
             returned=returned,
+            store_log=memory.log if memory.log is not None else [],
         )
 
     # -- instruction semantics -----------------------------------------------------

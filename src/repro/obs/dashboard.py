@@ -36,6 +36,7 @@ from repro.obs.insight import (
     decompose_summary,
     portfolio_summary,
     serve_summary,
+    swp_summary,
 )
 
 # Substrings that would make the page reach outside itself. ``src=`` and
@@ -468,6 +469,42 @@ def _portfolio_section(metrics):
     )
 
 
+def _swp_section(metrics):
+    """Software-pipelining panel: status mix + II-quality health rows."""
+    digest = swp_summary(metrics)
+    if not digest["loops"]:
+        return "<p class='note'>no software-pipelined loops recorded</p>"
+    status_rows = "".join(
+        f"<tr><td class='name'>{_esc(status)}</td><td>{_fmt(count)}</td></tr>"
+        for status, count in sorted(digest["by_status"].items())
+    )
+    fallback_mix = ", ".join(
+        f"{reason}: {count:g}"
+        for reason, count in sorted(digest["fallbacks"].items())
+    ) or "none"
+    oracle = digest["oracle"]
+    health_rows = "".join(
+        f"<tr><td class='name'>{_esc(label)}</td><td>{_fmt(value)}</td></tr>"
+        for label, value in (
+            ("loops attempted", digest["loops"]),
+            ("pipelined", digest["pipelined"]),
+            ("pipelined rate", digest["pipelined_rate"]),
+            ("II = MII (modulo-optimal)", digest["ii_at_mii"]),
+            ("II = MII rate", digest["ii_at_mii_rate"]),
+            ("mean II / MII", digest["mean_ii_over_mii"]),
+            ("oracle pass / fail",
+             f"{oracle.get('pass', 0):g} / {oracle.get('fail', 0):g}"),
+            ("fallbacks", fallback_mix),
+            ("kernel cache hit rate", digest["cache_hit_rate"]),
+        )
+    )
+    return (
+        "<table><tr><th>ladder status</th><th>loops</th></tr>"
+        f"{status_rows}</table>"
+        f"<table><tr><th>series</th><th>value</th></tr>{health_rows}</table>"
+    )
+
+
 def _telemetry_section(telemetry):
     """Fleet-telemetry panel from a journal rollup dict."""
     if not telemetry or not telemetry.get("records"):
@@ -603,6 +640,7 @@ def render_dashboard(trace=None, metrics=None, title="tia observatory",
         "<h2>Paper metrics (Table 1/2 shape)</h2>", _paper_section(events),
         "<h2>Schedule cache</h2>", _cache_section(metrics),
         "<h2>Solver portfolio</h2>", _portfolio_section(metrics),
+        "<h2>Software pipelining</h2>", _swp_section(metrics),
         "<h2>Fleet telemetry</h2>", _telemetry_section(telemetry),
         "<h2>Metrics</h2>", _metrics_section(metrics),
         "</body></html>",

@@ -411,6 +411,74 @@ def portfolio_summary(metrics):
     }
 
 
+def swp_summary(metrics):
+    """Software-pipelining digest from a ``--metrics`` dump.
+
+    Same input shape as :func:`serve_summary`.  Returns ``{"loops",
+    "by_status": {status: n}, "pipelined", "pipelined_rate", "ii_at_mii",
+    "ii_at_mii_rate", "mean_ii_over_mii", "oracle": {"pass": n, "fail":
+    n}, "fallbacks": {reason: n}, "cache_hits", "cache_misses",
+    "cache_hit_rate"}`` — the numbers behind the dashboard's SWP panel
+    and the CI swp-smoke artifact.  ``ii_at_mii_rate`` is the fraction
+    of *pipelined* loops whose achieved II equals max(ResMII, RecMII) —
+    the paper-style optimality headline the sweep's 80% acceptance bar
+    reads.  All fields default to zero/empty, so the digest is safe on
+    an obs-disabled (empty) dump.
+    """
+    metrics = metrics or {}
+    counters = metrics.get("counters", {}) or {}
+    histograms = metrics.get("histograms", {}) or {}
+
+    def _by_label(prefix, label):
+        out = {}
+        marker = f'{prefix}{{{label}="'
+        for key, value in counters.items():
+            if not key.startswith(marker):
+                continue
+            if not isinstance(value, (int, float)):
+                continue
+            name = key[len(marker):].split('"', 1)[0]
+            out[name] = out.get(name, 0) + value
+        return out
+
+    def _sum(section, prefix, field=None):
+        total = 0.0
+        for key, value in section.items():
+            if key != prefix and not key.startswith(prefix + "{"):
+                continue
+            if field is not None:
+                value = (value or {}).get(field, 0)
+            if isinstance(value, (int, float)):
+                total += value
+        return total
+
+    by_status = _by_label("swp_loops_total", "status")
+    loops = sum(by_status.values())
+    pipelined = by_status.get("pipelined", 0) + by_status.get(
+        "fallback_swp", 0
+    )
+    at_mii = _sum(counters, "swp_ii_at_mii_total")
+    ratio_count = _sum(histograms, "swp_ii_over_mii", field="count")
+    ratio_sum = _sum(histograms, "swp_ii_over_mii", field="sum")
+    hits = _sum(counters, "swp_cache_hits_total")
+    misses = _sum(counters, "swp_cache_misses_total")
+    probes = hits + misses
+    return {
+        "loops": loops,
+        "by_status": by_status,
+        "pipelined": pipelined,
+        "pipelined_rate": pipelined / loops if loops else 0.0,
+        "ii_at_mii": at_mii,
+        "ii_at_mii_rate": at_mii / ratio_count if ratio_count else 0.0,
+        "mean_ii_over_mii": ratio_sum / ratio_count if ratio_count else 0.0,
+        "oracle": _by_label("swp_oracle_total", "result"),
+        "fallbacks": _by_label("swp_fallbacks_total", "reason"),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": hits / probes if probes else 0.0,
+    }
+
+
 def aggregate_paper_metrics(rows):
     """Cross-routine run summary in the shape of Table 1's bottom row.
 

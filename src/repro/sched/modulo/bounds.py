@@ -1,0 +1,124 @@
+"""Lower bounds on the initiation interval (MII).
+
+Modulo scheduling searches for the smallest initiation interval II at
+which a loop kernel exists.  Two classic lower bounds prune that search
+before any ILP is built, and both are *principled* — each is the exact
+optimum of a relaxation of the full problem:
+
+**ResMII** (resource-constrained MII) relaxes every dependence: even
+with unlimited reordering freedom, each kernel iteration must issue the
+body's instructions through the Itanium 2 dispersal windows.  For every
+unit class the bound is ``ceil(uses / ports)``; the machine-wide issue
+width (with ``L``-unit ops costing two slots, as in the bundle
+templates) and the shared M+I dispersal pool give two more.  ResMII is
+the max over all of them — the steady-state throughput wall.
+
+**RecMII** (recurrence-constrained MII) relaxes every resource: a
+dependence cycle C with total latency L(C) and total iteration distance
+D(C) forces ``II >= ceil(L(C) / D(C))`` — each trip around the cycle
+advances D(C) iterations and must take at least L(C) cycles.  RecMII is
+the maximum cycle ratio over all cycles of the distance-annotated DDG.
+Enumerating cycles is exponential, so the ratio is resolved by binary
+search on II: candidate II is infeasible iff the graph with edge
+weights ``latency − distance·II`` has a positive-weight cycle, detected
+by Bellman–Ford (|V| relaxation passes; a pass that still improves
+proves a positive cycle).  The search is monotone — raising II only
+lowers weights — so the first feasible II is exactly
+``max_C ceil(L(C)/D(C))``.
+
+Any feasible modulo schedule satisfies ``II >= max(ResMII, RecMII)``;
+the II ladder (:mod:`repro.sched.modulo.ladder`) starts there and the
+bench/tests assert how often the bound is achieved.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.itanium2 import ITANIUM2
+from repro.machine.units import UnitKind
+
+
+def resource_mii(body, machine=ITANIUM2):
+    """ResMII: ceil(usage / capacity) over all unit classes."""
+    ports = machine.ports
+    counts = {kind: 0 for kind in UnitKind}
+    for instr in body:
+        counts[instr.unit] += 1
+    slots = (
+        counts[UnitKind.M]
+        + counts[UnitKind.I]
+        + counts[UnitKind.F]
+        + counts[UnitKind.B]
+        + counts[UnitKind.A]
+        + 2 * counts[UnitKind.L]
+    )
+    bounds = [
+        math.ceil(slots / ports.issue_width),
+        math.ceil(counts[UnitKind.M] / ports.m_ports),
+        math.ceil((counts[UnitKind.I] + counts[UnitKind.L]) / ports.i_ports),
+        math.ceil(counts[UnitKind.F] / ports.f_ports) if counts[UnitKind.F] else 0,
+        math.ceil(counts[UnitKind.B] / ports.b_ports) if counts[UnitKind.B] else 0,
+        math.ceil(
+            (counts[UnitKind.A] + counts[UnitKind.M] + counts[UnitKind.I])
+            / (ports.m_ports + ports.i_ports)
+        ),
+    ]
+    return max([b for b in bounds if b] + [1])
+
+
+def recurrence_mii(body, edges):
+    """RecMII: smallest II with no positive-weight cycle (binary search).
+
+    For a candidate II, edge weight = latency − distance·II; a positive
+    cycle means some recurrence needs more than II cycles per iteration.
+    Detection via Bellman–Ford on the negated graph.
+    """
+    low, high = 1, max(
+        (sum(e.latency for e in edges if e.src is e.dst) or 1), 1
+    )
+    high = max(high, critical_path(body, edges), 1)
+    while low < high:
+        mid = (low + high) // 2
+        if has_positive_cycle(body, edges, mid):
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def has_positive_cycle(body, edges, ii):
+    """Bellman–Ford positive-cycle test at candidate II."""
+    distance = {instr: 0.0 for instr in body}
+    relevant = [
+        (e.src, e.dst, e.latency - e.distance * ii) for e in edges
+    ]
+    for _ in range(len(body)):
+        changed = False
+        for src, dst, weight in relevant:
+            if distance[src] + weight > distance[dst]:
+                distance[dst] = distance[src] + weight
+                changed = True
+        if not changed:
+            return False
+    # One more pass: still-improving means a positive cycle.
+    for src, dst, weight in relevant:
+        if distance[src] + weight > distance[dst]:
+            return True
+    return False
+
+
+def critical_path(body, edges):
+    """Longest distance-0 path (acyclic) in cycles."""
+    height = {instr: 1 for instr in body}
+    forward = [e for e in edges if e.distance == 0]
+    for _ in range(len(body)):
+        changed = False
+        for edge in forward:
+            want = height[edge.src] + max(edge.latency, 0)
+            if want > height.get(edge.dst, 0):
+                height[edge.dst] = want
+                changed = True
+        if not changed:
+            break
+    return max(height.values(), default=1)

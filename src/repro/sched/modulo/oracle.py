@@ -1,0 +1,105 @@
+"""The kernel-vs-unrolled execution oracle.
+
+Materializing a modulo schedule rewrites a counted loop into
+prologue / unrolled kernel / epilogue with freshly renamed registers —
+a transformation far outside what the path-based schedule verifier can
+check (it reasons about motion of *existing* instructions, not about a
+rewritten CFG).  The oracle closes that gap semantically: it *executes*
+both routines on the concrete interpreter over several deterministic
+input seeds and demands identical observable behaviour — the memory
+image after all N source-loop iterations, every live-out register, and
+the returned/fell-off-the-end disposition.
+
+Block traces are deliberately **not** compared: the pipelined routine
+runs different blocks by construction (``__pro``/``__ker``/``__epi``),
+and the kernel executes ``passes`` backedges where the source loop took
+``trips``.  What must survive is the input/output function, which is
+exactly what memory + live-outs capture under the interpreter's
+uninterpreted-function semantics — any dependence the pipeliner broke
+(a stale renamed copy, a mis-staged load, a lost escaping value)
+changes a hash chain and shows up as a differing cell or register.
+
+Every pipelined loop must pass this oracle before the ladder reports it
+``pipelined``; a failure discards the materialized routine and degrades
+to the next rung (ISSUE: the materializer is *gated* by execution, not
+trusted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.interp import Interpreter
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one kernel-vs-unrolled comparison."""
+
+    ok: bool
+    seeds: tuple
+    problems: list = field(default_factory=list)
+
+    def __bool__(self):
+        return self.ok
+
+
+def kernel_vs_unrolled(source_fn, pipelined_fn, seeds=(0, 1, 2),
+                       max_blocks=4000):
+    """Run both routines over ``seeds``; report the first divergences.
+
+    ``source_fn`` is the original counted loop (N unrolled-by-execution
+    iterations), ``pipelined_fn`` the materialized prologue/kernel/
+    epilogue version.  Interpreter errors on the pipelined side count as
+    failures (a materialization that falls into an unknown block is
+    wrong, not unlucky); errors on the source side abort the comparison
+    for that seed — the oracle only judges loops the source can run.
+    """
+    interp = Interpreter(max_blocks=max_blocks)
+    problems = []
+    for seed in seeds:
+        try:
+            want = interp.run_function(source_fn, seed=seed)
+        except Exception as exc:
+            problems.append(
+                f"seed {seed}: source routine failed to execute "
+                f"({type(exc).__name__}: {exc})"
+            )
+            continue
+        try:
+            got = interp.run_function(pipelined_fn, seed=seed)
+        except Exception as exc:
+            problems.append(
+                f"seed {seed}: pipelined routine failed to execute "
+                f"({type(exc).__name__}: {exc})"
+            )
+            continue
+        if want.returned != got.returned:
+            problems.append(
+                f"seed {seed}: returned {want.returned} vs {got.returned}"
+            )
+            continue
+        want_out = want.live_out_state(source_fn)
+        got_out = got.live_out_state(pipelined_fn)
+        if want_out != got_out:
+            diffs = [
+                f"{r.name}: {want_out[r]:#x} vs {got_out.get(r, 0):#x}"
+                for r in want_out
+                if want_out[r] != got_out.get(r, 0)
+            ]
+            problems.append(
+                f"seed {seed}: live-out mismatch ({', '.join(diffs[:4])})"
+            )
+        if want.memory != got.memory:
+            keys = set(want.memory) | set(got.memory)
+            diffs = [
+                f"[{addr:#x}]: {want.memory.get(addr)} vs "
+                f"{got.memory.get(addr)}"
+                for addr in sorted(keys)
+                if want.memory.get(addr) != got.memory.get(addr)
+            ]
+            problems.append(
+                f"seed {seed}: memory mismatch ({', '.join(diffs[:4])})"
+            )
+    return OracleReport(ok=not problems, seeds=tuple(seeds),
+                        problems=problems)

@@ -160,6 +160,17 @@ class ScheduleFeatures:
     # bit-identically to decompose=False.
     decompose: bool = True
     decompose_min_instructions: int = 100
+    # Software pipelining (repro.sched.modulo): after the acyclic global
+    # schedule is produced, modulo-schedule every counted single-block
+    # inner loop through the II ladder (modulo ILP from MII upward, then
+    # the time-indexed formulation, then the unpipelined loop).  Off by
+    # default: the pipelined routine is attached as per-loop
+    # ``OptimizeResult.swp_outcomes`` records, never spliced into the
+    # acyclic ``output_schedule``.
+    swp: bool = False
+    swp_max_ii: int = 32  # II ladder ceiling
+    swp_max_stages: int = 4  # stage-count / register-pressure bound
+    swp_time_limit: float = 10.0  # per-loop ladder budget (seconds)
 
     def __post_init__(self):
         # Fail at construction with the full menu, not deep inside
@@ -186,6 +197,10 @@ class ScheduleFeatures:
                 )
         if self.portfolio_threads is not None and self.portfolio_threads < 1:
             raise ValueError("portfolio_threads must be >= 1 (or None)")
+        if self.swp_max_ii < 1:
+            raise ValueError("swp_max_ii must be >= 1")
+        if self.swp_max_stages < 1:
+            raise ValueError("swp_max_stages must be >= 1")
 
     @classmethod
     def baseline_ilp(cls):
@@ -230,6 +245,10 @@ class OptimizeResult:
     # consumers that re-verify (the serving cache) must replay these.
     verify_edges: object = None
     verify_scopes: object = None
+    # Software-pipelining post-step (features.swp): one
+    # repro.sched.modulo.ladder.LoopPipelineOutcome per counted loop.
+    # The acyclic output_schedule is never altered by this step.
+    swp_outcomes: list = field(default_factory=list)
 
     # -- headline metrics -------------------------------------------------------
     @property
@@ -292,6 +311,7 @@ class OptimizeResult:
         lines.append(f"  quality: {self.quality}")
         if self.fallback_reason is not None:
             lines.append(f"  fallback reason: {self.fallback_reason}")
+        lines.extend(f"  {o.summary()}" for o in self.swp_outcomes)
         lines.extend(f"  note: {m}" for m in self.messages)
         return "\n".join(lines)
 
@@ -305,6 +325,10 @@ class OptimizeResult:
         ("bundle", "bundle"),
         ("solve.phase2", "phase 2"),
         ("verify", "verify"),
+        ("swp.ladder", "swp ladder"),
+        ("swp.fallback", "swp fallback"),
+        ("swp.materialize", "swp materialize"),
+        ("swp.oracle", "swp oracle"),
     )
 
     def phase_breakdown(self):
@@ -362,6 +386,8 @@ class IlpScheduler:
         trace = obs.Trace()
         with trace.span("optimize", routine=fn.name) as root_span:
             result = self._optimize_impl(fn, deadline, trace, length_hint)
+            if self.features.swp:
+                self._run_swp(result, deadline, trace)
             # Paper-metric analytics ride the trace (and, when recording,
             # the optimize span) so Table 1/2-shaped numbers survive the
             # pool fan-out and land in the Chrome trace for dashboards.
@@ -516,6 +542,45 @@ class IlpScheduler:
             verify_edges=verify_edges,
             verify_scopes=verify_scopes,
         )
+
+    def _run_swp(self, result, deadline, trace):
+        """Software-pipelining post-step (``features.swp``).
+
+        Runs the II ladder (:func:`repro.sched.modulo.ladder.pipeline_loop`)
+        over every natural loop of the *scheduled* routine and attaches the
+        per-loop outcomes.  The acyclic schedule, its verification, and the
+        quality tier are untouched — a loop that cannot be pipelined simply
+        reports itself unpipelined.  Like the main pipeline, this step never
+        raises (only a malformed ``REPRO_FAULTS`` spec propagates).
+        """
+        from repro.sched.modulo.ladder import pipeline_loop
+
+        features = self.features
+        try:
+            fn = result.fn
+            cfg = CfgInfo(fn)
+            ddg = build_dependence_graph(fn, cfg, compute_liveness(fn))
+            solve_extra = _solve_extra(features)
+            for loop in cfg.loops:
+                result.swp_outcomes.append(pipeline_loop(
+                    fn, cfg, ddg, loop,
+                    machine=self.machine,
+                    backend=features.backend,
+                    deadline=deadline,
+                    max_ii=features.swp_max_ii,
+                    max_stages=features.swp_max_stages,
+                    time_limit=features.swp_time_limit,
+                    solve_extra=solve_extra,
+                    features=features,
+                    store=self.partition_store,
+                    trace=trace,
+                ))
+        except faults.FaultConfigError:
+            raise  # driver misconfiguration, not a routine failure
+        except Exception as exc:  # the post-step never fails a routine
+            result.messages.append(
+                f"software pipelining failed: {type(exc).__name__}: {exc}"
+            )
 
     # Pipeline sites whose share of the wall-clock budget is worth a
     # histogram: one observation per routine per site that actually ran.

@@ -31,7 +31,6 @@ exactly the loops the paper's routine selection avoided.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.errors import SchedulingError
@@ -39,6 +38,12 @@ from repro.ilp import Model, lin_sum, solve_model
 from repro.ir.ddg import DepKind
 from repro.machine.itanium2 import ITANIUM2
 from repro.machine.units import UnitKind
+from repro.sched.modulo.bounds import (
+    critical_path as _critical_path,
+    has_positive_cycle as _has_positive_cycle,
+    recurrence_mii,
+    resource_mii as _resource_mii,
+)
 
 
 @dataclass(frozen=True)
@@ -154,31 +159,13 @@ class ModuloScheduler:
         return body
 
     def resource_mii(self, body):
-        """ResMII: ceil(usage / capacity) over all unit classes."""
-        ports = self.machine.ports
-        counts = {kind: 0 for kind in UnitKind}
-        for instr in body:
-            counts[instr.unit] += 1
-        slots = (
-            counts[UnitKind.M]
-            + counts[UnitKind.I]
-            + counts[UnitKind.F]
-            + counts[UnitKind.B]
-            + counts[UnitKind.A]
-            + 2 * counts[UnitKind.L]
-        )
-        bounds = [
-            math.ceil(slots / ports.issue_width),
-            math.ceil(counts[UnitKind.M] / ports.m_ports),
-            math.ceil((counts[UnitKind.I] + counts[UnitKind.L]) / ports.i_ports),
-            math.ceil(counts[UnitKind.F] / ports.f_ports) if counts[UnitKind.F] else 0,
-            math.ceil(counts[UnitKind.B] / ports.b_ports) if counts[UnitKind.B] else 0,
-            math.ceil(
-                (counts[UnitKind.A] + counts[UnitKind.M] + counts[UnitKind.I])
-                / (ports.m_ports + ports.i_ports)
-            ),
-        ]
-        return max([b for b in bounds if b] + [1])
+        """ResMII: ceil(usage / capacity) over all unit classes.
+
+        The computation lives in :mod:`repro.sched.modulo.bounds` (the
+        canonical MII code shared with the modulo ILP ladder); this
+        method survives as the machine-bound convenience form.
+        """
+        return _resource_mii(body, self.machine)
 
     def _try_ii(self, body, edges, ii):
         """Build and solve the time-indexed model for one candidate II."""
@@ -324,58 +311,6 @@ def build_modulo_edges(fn, loop, body, ddg):
     return edges
 
 
-def recurrence_mii(body, edges):
-    """RecMII: smallest II with no positive-weight cycle (binary search).
-
-    For a candidate II, edge weight = latency − distance·II; a positive
-    cycle means some recurrence needs more than II cycles per iteration.
-    Detection via Bellman–Ford on the negated graph.
-    """
-    low, high = 1, max(
-        (sum(e.latency for e in edges if e.src is e.dst) or 1), 1
-    )
-    high = max(high, _critical_path(body, edges), 1)
-    while low < high:
-        mid = (low + high) // 2
-        if _has_positive_cycle(body, edges, mid):
-            low = mid + 1
-        else:
-            high = mid
-    return low
-
-
-def _has_positive_cycle(body, edges, ii):
-    distance = {instr: 0.0 for instr in body}
-    relevant = [
-        (e.src, e.dst, e.latency - e.distance * ii) for e in edges
-    ]
-    for _ in range(len(body)):
-        changed = False
-        for src, dst, weight in relevant:
-            if distance[src] + weight > distance[dst]:
-                distance[dst] = distance[src] + weight
-                changed = True
-        if not changed:
-            return False
-    # One more pass: still-improving means a positive cycle.
-    for src, dst, weight in relevant:
-        if distance[src] + weight > distance[dst]:
-            return True
-    return False
-
-
-def _critical_path(body, edges):
-    """Longest distance-0 path (acyclic) in cycles."""
-    order = list(body)
-    height = {instr: 1 for instr in body}
-    forward = [e for e in edges if e.distance == 0]
-    for _ in range(len(body)):
-        changed = False
-        for edge in forward:
-            want = height[edge.src] + max(edge.latency, 0)
-            if want > height.get(edge.dst, 0):
-                height[edge.dst] = want
-                changed = True
-        if not changed:
-            break
-    return max(height.values(), default=1)
+# recurrence_mii / _critical_path / _has_positive_cycle now live in
+# repro.sched.modulo.bounds (imported above): the MII theory is shared
+# verbatim between this time-indexed formulation and the modulo ILP.

@@ -19,11 +19,14 @@ software-pipelining code generation with **modulo variable expansion**
 
 Scope (each unmet condition returns ``None`` rather than bad code):
 single-block counted loops — trip counter starting at 0, unit step,
-literal bound, counter used for control only — whose remaining
-iterations after the fill divide evenly into kernel passes. Loops that
-do not fit stay on the acyclic path, exactly how production compilers
-gate their SWP (and how the paper's routine selection avoided hot SWP
-loops).
+literal bound, counter used for control only (and not live-out).  The
+loop tests its counter at the bottom, so trip bounds of 0 and 1 still
+execute the body once (do-while semantics); when the trip count is too
+small for even one steady-state kernel pass, the loop is **fully
+unrolled** instead — every instance lands in the prologue block and the
+epilogue keeps only the escaping-value copies.  Loops that do not fit
+stay on the acyclic path, exactly how production compilers gate their
+SWP (and how the paper's routine selection avoided hot SWP loops).
 
 The interpreter-based differential tests exercise this end to end: the
 materialized routine must compute the same live-out values and memory
@@ -90,7 +93,11 @@ def recognize_counted_loop(fn, loop):
     )
     if update is None:
         return None
-    # The counter must serve control only.
+    # The counter must serve control only — a live-out counter is an
+    # implicit read after the loop, and the pipelined rewrite drops the
+    # counter updates entirely.
+    if counter in fn.live_out:
+        return None
     for instr in fn.all_instructions():
         if instr in (compare, update):
             continue
@@ -173,15 +180,44 @@ def materialize_counted_loop(fn, cfg, ddg, loop, msched, counted=None):
     stages = 1 + max(start // ii for _i, start in body)
     if stages < 2:
         return None  # nothing overlaps; the acyclic path handles it
-    trips = counted.trips
+    # The recognized loop tests its counter at the *bottom* (do-while):
+    # the body runs once before the first compare, so even trip bounds
+    # of 0 or 1 execute exactly one iteration.
+    iterations = max(counted.trips, 1)
 
     stage_of = {instr: start // ii for instr, start in body}
     start_of = dict(body)
     position = {instr: at for at, (instr, _s) in enumerate(body)}
-    writers = {}
+    # Reaching definitions resolve in *original program order* — the
+    # schedule's time order is no proxy for it: a register written twice
+    # per iteration (accumulator chains) or a carried writer the solver
+    # placed time-earlier than its reader would bind reads to the wrong
+    # def and silently change semantics.
+    block_order = {
+        instr: at
+        for at, instr in enumerate(fn.block(loop.header).instructions)
+    }
+    writers_of = {}  # register -> writers, in program order
     for instr, _start in body:
         for dest in instr.regs_written():
-            writers[dest] = instr
+            writers_of.setdefault(dest, []).append(instr)
+    for defs in writers_of.values():
+        defs.sort(key=block_order.get)
+    # Last def per register (program order): the value leaving the loop.
+    writers = {regname: defs[-1] for regname, defs in writers_of.items()}
+
+    def reaching(src, reader):
+        """(writer, distance) of the def feeding ``reader``'s read of
+        ``src``: the closest preceding same-iteration def, else the last
+        def of the previous iteration.  (None, 0) for loop invariants."""
+        defs = writers_of.get(src)
+        if not defs:
+            return None, 0
+        at = block_order[reader]
+        prior = [w for w in defs if block_order[w] < at]
+        if prior:
+            return prior[-1], 0
+        return defs[-1], 1
 
     # Unroll factor: enough stages in flight AND every value's lifetime
     # (d·II + t_reader − t_writer) strictly shorter than u·II, so the
@@ -189,10 +225,9 @@ def materialize_counted_loop(fn, cfg, ddg, loop, msched, counted=None):
     u = stages
     for reader, _t in body:
         for src in _register_operands(reader):
-            writer = writers.get(src)
+            writer, distance = reaching(src, reader)
             if writer is None:
                 continue
-            distance = 0 if position[writer] < position[reader] else 1
             lifetime = distance * ii + start_of[reader] - start_of[writer]
             u = max(u, lifetime // ii + 1)
 
@@ -207,7 +242,7 @@ def materialize_counted_loop(fn, cfg, ddg, loop, msched, counted=None):
         out = []
         for instr, t_start in body:
             first = max(0, -(-(t_lo - t_start) // ii))
-            for logical in range(first, trips):
+            for logical in range(first, iterations):
                 time = logical * ii + t_start
                 if time >= t_hi:
                     break
@@ -222,23 +257,26 @@ def materialize_counted_loop(fn, cfg, ddg, loop, msched, counted=None):
             first_time = lo + ((t_start - lo) % ii)
             first_logical = (first_time - t_start) // ii
             last_logical = first_logical + u - 1
-            if first_logical < 0 or last_logical > trips - 1:
+            if first_logical < 0 or last_logical > iterations - 1:
                 return False
         return True
 
     passes = 0
     while pass_complete(passes):
         passes += 1
-    if passes < 1:
-        return None  # trip count too small for a steady-state pass
+    # Too few iterations for a steady-state kernel pass (trip count
+    # below the depth of the pipeline): fully unroll instead — every
+    # instance lands in the prologue block, there is no kernel loop, and
+    # the epilogue holds only the escaping-value copies.  Trip counts of
+    # 0 and 1 (one do-while execution) take this path.
+    unrolled = passes < 1
 
     def mapped(src, reader, logical):
         if not isinstance(src, Register) or src.is_constant:
             return src
-        writer = writers.get(src)
+        writer, distance = reaching(src, reader)
         if writer is None:
             return src  # loop-invariant operand
-        distance = 0 if position[writer] < position[reader] else 1
         src_logical = logical - distance
         if src_logical < 0:
             return src  # value from before the loop (preheader)
@@ -265,35 +303,45 @@ def materialize_counted_loop(fn, cfg, ddg, loop, msched, counted=None):
 
     header = loop.header
     header_freq = fn.block(header).freq
-    last_time = (trips - 1) * ii + max(start_of.values()) + 1
+    last_time = (iterations - 1) * ii + max(start_of.values()) + 1
 
-    prologue = BasicBlock(name=f"{header}__pro", freq=header_freq / trips)
-    for _t, _p, instr, logical in instances_between(0, period):
+    prologue = BasicBlock(
+        name=f"{header}__pro", freq=header_freq / iterations
+    )
+    fill_end = last_time if unrolled else period
+    for _t, _p, instr, logical in instances_between(0, fill_end):
         prologue.instructions.append(instance(instr, logical))
 
-    kernel = BasicBlock(
-        name=f"{header}__ker", freq=header_freq * passes * u / trips
-    )
-    for _t, _p, instr, logical in instances_between(period, 2 * period):
-        # Register classes repeat every u iterations, so pass-0 instances
-        # stand for every pass.
-        kernel.instructions.append(instance(instr, logical))
-    counter = renamer.pass_counter
-    kernel.instructions.append(
-        parse_instruction(f"adds {counter.name} = 1, {counter.name}")
-    )
-    kernel.instructions.append(
-        parse_instruction(f"cmp.lt p62, p63 = {counter.name}, {passes}")
-    )
-    kernel.instructions.append(parse_instruction(f"(p62) br.cond {header}__ker"))
+    kernel = counter = None
+    if not unrolled:
+        kernel = BasicBlock(
+            name=f"{header}__ker", freq=header_freq * passes * u / iterations
+        )
+        for _t, _p, instr, logical in instances_between(period, 2 * period):
+            # Register classes repeat every u iterations, so pass-0
+            # instances stand for every pass.
+            kernel.instructions.append(instance(instr, logical))
+        counter = renamer.pass_counter
+        kernel.instructions.append(
+            parse_instruction(f"adds {counter.name} = 1, {counter.name}")
+        )
+        kernel.instructions.append(
+            parse_instruction(f"cmp.lt p62, p63 = {counter.name}, {passes}")
+        )
+        kernel.instructions.append(
+            parse_instruction(f"(p62) br.cond {header}__ker")
+        )
 
-    epilogue = BasicBlock(name=f"{header}__epi", freq=header_freq / trips)
-    for _t, _p, instr, logical in instances_between(
-        period + passes * period, last_time
-    ):
-        epilogue.instructions.append(instance(instr, logical))
+    epilogue = BasicBlock(
+        name=f"{header}__epi", freq=header_freq / iterations
+    )
+    if not unrolled:
+        for _t, _p, instr, logical in instances_between(
+            period + passes * period, last_time
+        ):
+            epilogue.instructions.append(instance(instr, logical))
     for regname, writer in sorted(escaping.items(), key=lambda kv: kv[0].name):
-        final = renamer.dest(writer, regname, trips - 1, stage_of[writer])
+        final = renamer.dest(writer, regname, iterations - 1, stage_of[writer])
         epilogue.instructions.append(
             parse_instruction(f"mov {regname.name} = {final.name}")
         )
@@ -328,7 +376,13 @@ def _escaping_registers(fn, loop, writers):
 
 
 def _rebuild_function(fn, loop, counted, prologue, kernel, epilogue, counter):
-    """New Function with the loop block replaced by pro/ker/epi."""
+    """New Function with the loop block replaced by pro/[ker]/epi.
+
+    ``kernel`` is ``None`` on the full-unroll path (trip count below the
+    pipeline depth): the prologue then holds every instance, there is no
+    pass counter, and the old trip-counter init is simply dropped — the
+    counter served control only, and control is gone.
+    """
     header = loop.header
     out = Function(
         name=fn.name + "_swp",
@@ -339,16 +393,19 @@ def _rebuild_function(fn, loop, counted, prologue, kernel, epilogue, counter):
     for block in fn.blocks:
         if block.name == header:
             out.add_block(prologue)
-            out.add_block(kernel)
+            if kernel is not None:
+                out.add_block(kernel)
             out.add_block(epilogue)
             continue
         clone = BasicBlock(name=block.name, freq=block.freq)
         for instr in block.instructions:
             if counted and instr.mnemonic == "mov" and counted.counter in instr.regs_written():
-                # Replace the old trip-counter init with the pass counter's.
-                clone.instructions.append(
-                    parse_instruction(f"mov {counter.name} = 0")
-                )
+                if counter is not None:
+                    # Replace the old trip-counter init with the pass
+                    # counter's; without a kernel it is dropped outright.
+                    clone.instructions.append(
+                        parse_instruction(f"mov {counter.name} = 0")
+                    )
                 continue
             copy = instr.copy(origin=None)
             if copy.is_branch and copy.target == header:
@@ -367,8 +424,11 @@ def _rebuild_function(fn, loop, counted, prologue, kernel, epilogue, counter):
             out.add_edge(epilogue.name, dst, edge.prob)
             continue
         out.add_edge(src, dst, edge.prob)
-    out.add_edge(prologue.name, kernel.name)
-    out.add_edge(kernel.name, kernel.name, None)
-    out.add_edge(kernel.name, epilogue.name, None)
+    if kernel is not None:
+        out.add_edge(prologue.name, kernel.name)
+        out.add_edge(kernel.name, kernel.name, None)
+        out.add_edge(kernel.name, epilogue.name, None)
+    else:
+        out.add_edge(prologue.name, epilogue.name)
     out.validate()
     return out

@@ -42,7 +42,9 @@ from repro.ir.registers import Register
 # Bump when the scheduler/formulation changes in a way that can change
 # emitted schedules: every cached entry keyed under the old version
 # becomes unreachable (and is eventually LRU-evicted).
-CODE_VERSION = "serve-2"
+# serve-3: software-pipelining subsystem (repro.sched.modulo) — new
+# ScheduleFeatures knobs and the kind="loop" entries.
+CODE_VERSION = "serve-3"
 
 # ScheduleFeatures fields that steer the *solver*, not the model: two
 # requests differing only here want the same schedule, so they share a
@@ -66,6 +68,11 @@ SOLVER_ONLY_FEATURES = frozenset({
     # field — so decomposed and whole-function answers never alias.
     "decompose",
     "decompose_min_instructions",
+    # The SWP ladder budget steers how far the II search gets, not which
+    # kernel a given II admits; the structural knobs (swp, swp_max_ii,
+    # swp_max_stages) stay in the family key because they change which
+    # pipelined loop is even attempted.
+    "swp_time_limit",
 })
 
 
@@ -237,6 +244,26 @@ def partition_fingerprint(fn, features, machine):
     return _digest({
         "code": CODE_VERSION,
         "kind": "partition",
+        "fn": canonical_function(fn),
+        "features": features_dict(features),
+        "machine": machine_dict(machine),
+    })
+
+
+def loop_fingerprint(fn, loop_header, features, machine):
+    """Exact cache key for one modulo-scheduled loop (``kind="loop"``).
+
+    Keyed over the whole routine's canonical form plus the loop header
+    name: the loop body's modulo schedule depends on the body
+    instructions and their loop-carried dependences, both of which the
+    routine canonical form captures, and the header pins *which* loop of
+    a multi-loop routine the entry describes.  The ``kind`` tag keeps
+    loop entries from aliasing whole-routine or partition entries.
+    """
+    return _digest({
+        "code": CODE_VERSION,
+        "kind": "loop",
+        "loop": str(loop_header),
         "fn": canonical_function(fn),
         "features": features_dict(features),
         "machine": machine_dict(machine),

@@ -64,6 +64,12 @@ Sites (``SITES``):
     ``incumbent`` demotes the lane's optimality proof so it cannot win
     the race by proof. Every kind degrades the race to the surviving
     lanes; the portfolio itself never raises.
+``swp.materialize``
+    Kernel materialization in the software-pipelining ladder
+    (:mod:`repro.sched.modulo.ladder`): any firing discards the modulo
+    schedule before prologue/kernel/epilogue construction, forcing the
+    ladder down a rung — the loop is still emitted (time-indexed SWP or
+    the unpipelined original) and ``optimize`` never raises.
 
 Kinds (``KINDS``):
 
@@ -134,6 +140,7 @@ SITES = (
     "serve.drain",
     "portfolio.cancel",
     "obs.journal",
+    "swp.materialize",
 )
 
 KINDS = ("timeout", "infeasible", "incumbent", "corrupt", "error", "crash")

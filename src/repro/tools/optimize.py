@@ -112,6 +112,35 @@ def main(argv=None):
         "(default: ScheduleFeatures.decompose_min_instructions)",
     )
     parser.add_argument(
+        "--swp",
+        action="store_true",
+        help="software-pipeline counted inner loops after scheduling "
+        "(repro.sched.modulo; per-loop summaries land in the report)",
+    )
+    parser.add_argument(
+        "--swp-max-ii",
+        type=int,
+        default=None,
+        metavar="N",
+        help="II ladder ceiling (default: ScheduleFeatures.swp_max_ii)",
+    )
+    parser.add_argument(
+        "--swp-max-stages",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stage-count bound for the modulo ILP "
+        "(default: ScheduleFeatures.swp_max_stages)",
+    )
+    parser.add_argument(
+        "--swp-time-limit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-loop II ladder budget "
+        "(default: ScheduleFeatures.swp_time_limit)",
+    )
+    parser.add_argument(
         "--max-hops",
         type=int,
         default=None,
@@ -226,6 +255,15 @@ def main(argv=None):
         features = replace(
             features, decompose_min_instructions=args.decompose_min
         )
+    if args.swp:
+        features = replace(features, swp=True)
+    for flag, name in (
+        (args.swp_max_ii, "swp_max_ii"),
+        (args.swp_max_stages, "swp_max_stages"),
+        (args.swp_time_limit, "swp_time_limit"),
+    ):
+        if flag is not None:
+            features = replace(features, **{name: flag})
 
     outputs = []
     for fn in parse_functions(text):

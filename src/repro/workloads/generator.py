@@ -471,6 +471,128 @@ def multi_region_family(count=3, scale=1.0, seed=1):
         yield spec, generate_multi_region(spec)
 
 
+# -- loop-dominated routines --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoopDominatedSpec:
+    """Recipe for a loop-dominated routine: one hot counted inner loop.
+
+    The standing workload for :mod:`repro.sched.modulo` (Table-2-style
+    sweeps with a software-pipelining column).  The routine is
+    preheader / single-block counted loop / exit, shaped exactly like
+    compiled ``for``-loop output so :func:`recognize_counted_loop`
+    accepts it: counter from 0 by 1 to a literal trip count, compare and
+    backedge branch at the bottom, counter dead outside the loop.  The
+    body mixes address-chained loads (through the induction register),
+    ALU work, loop-carried accumulator recurrences, and optionally a
+    store — the knobs that move ResMII vs RecMII against each other.
+    """
+
+    name: str
+    body_instructions: int = 8
+    accumulators: int = 1  # loop-carried ``acc = acc op x`` recurrences
+    trips: int = 13
+    stores: int = 1  # st8s in the body (invariant base, glob class)
+    seed: int = 1
+    base_freq: float = 100.0
+    alias_classes: tuple = ("heap", "stack")
+
+
+def generate_loop_dominated(spec):
+    """Build the loop-dominated routine for ``spec``."""
+    rng = random.Random(spec.seed)
+    live_in = [f"r{i}" for i in range(32, 40)]
+    iv = "r15"
+    counter = "r9"
+    accs = [f"r{40 + k}" for k in range(max(0, spec.accumulators))]
+    lines = [f".proc {spec.name}"]
+    lines.append(".livein " + ", ".join(live_in))
+    lines.append(".liveout r8")
+
+    lines.append(f".block PRE freq={spec.base_freq:g} succ=LOOP:1.0")
+    lines.append(f"    mov {counter} = 0")
+    lines.append(f"    add {iv} = {rng.choice(live_in)}, 0")
+    for acc in accs:
+        lines.append(f"    add {acc} = {rng.choice(live_in)}, 0")
+
+    trips = max(1, spec.trips)
+    p_back = 1.0 - 1.0 / (trips + 1)
+    lines.append(
+        f".block LOOP freq={spec.base_freq * trips:g} "
+        f"succ=LOOP:{p_back:.4f},POST:{1.0 - p_back:.4f}"
+    )
+    # Operand pool: registers defined *earlier* this iteration (or in
+    # PRE), so every read is defined on the first trip too — accumulator
+    # and induction recurrences are the only loop-carried value flow.
+    window = list(live_in) + [iv] + accs
+    fresh = 50
+    stores_left = max(0, spec.stores)
+    body = []
+    for position in range(max(1, spec.body_instructions)):
+        draw = rng.random()
+        if draw < 0.30:
+            dest = f"r{fresh}"
+            fresh += 1
+            offset = rng.choice((0, 8, 16, 24))
+            cls = rng.choice(spec.alias_classes)
+            body.append(f"ld8 {dest} = [{iv}+{offset}] cls={cls}")
+            window.append(dest)
+        elif draw < 0.45 and accs:
+            acc = rng.choice(accs)
+            op = rng.choice(("add", "xor", "or"))
+            body.append(f"{op} {acc} = {acc}, {rng.choice(window[-8:])}")
+        elif stores_left > 0 and draw < 0.58:
+            stores_left -= 1
+            base = rng.choice(("r33", "r34"))
+            offset = rng.choice((0, 8, 16))
+            body.append(
+                f"st8 [{base}+{offset}] = {rng.choice(window[-6:])} cls=glob"
+            )
+        else:
+            dest = f"r{fresh}"
+            fresh += 1
+            op = rng.choice(("add", "sub", "and", "or", "xor", "shladd"))
+            src1 = rng.choice(window[-6:])
+            src2 = rng.choice(window[-10:])
+            body.append(f"{op} {dest} = {src1}, {src2}")
+            window.append(dest)
+    body.append(f"adds {iv} = 8, {iv}")
+    body.append(f"adds {counter} = 1, {counter}")
+    body.append(f"cmp.lt p16, p17 = {counter}, {trips}")
+    body.append("(p16) br.cond LOOP")
+    lines.extend("    " + line for line in body)
+
+    lines.append(f".block POST freq={spec.base_freq:g}")
+    result = accs[0] if accs else window[-1]
+    lines.append(f"    add r8 = {result}, 0")
+    lines.append("    br.ret b0")
+    lines.append(".endp")
+    return parse_function("\n".join(lines) + "\n")
+
+
+def loop_dominated_family(count=8, scale=1.0, seed=1):
+    """Yield ``count`` loop-dominated routines, one at a time.
+
+    ``scale`` multiplies body size, so the sweep driver can dial the
+    family from smoke kernels to bodies whose modulo ILPs stress the
+    solver.  Position varies trip counts, accumulator depth, and store
+    mix — spreading routines across the ResMII-bound / RecMII-bound
+    spectrum.  Streaming like :func:`multi_region_family`: each routine
+    is built only when the consumer asks for it.
+    """
+    for position in range(count):
+        spec = LoopDominatedSpec(
+            name=f"loop{position}",
+            body_instructions=max(4, int(round((6 + 2 * position) * scale))),
+            accumulators=1 + position % 3,
+            trips=5 + 3 * position,
+            stores=position % 2,
+            seed=seed + 97 * position,
+        )
+        yield spec, generate_loop_dominated(spec)
+
+
 def _fill_block(spec, rng, pool, count, produced, spec_loads_left, iv=None):
     """Generate ``count`` instruction lines for one block.
 

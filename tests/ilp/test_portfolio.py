@@ -279,3 +279,79 @@ def test_known_runner_roster_is_stable():
     # The wire protocol and CLI complete against this tuple; growing it
     # is fine, renaming entries is a breaking change.
     assert set(KNOWN_RUNNERS) >= {"highs", "bb", "ordered:highs", "ordered:bb"}
+
+
+# -- budget-aware lane ordering ------------------------------------------------
+class _FakeRunner:
+    def __init__(self, index, spec):
+        self.index = index
+        self.spec = spec
+
+
+def test_order_lanes_by_win_rate_then_speed():
+    solver = PortfolioSolver(
+        backends=("highs", "bb", "ordered:highs"),
+        threads=1,
+        lane_stats={
+            "highs": {"win_rate": 0.2, "mean_seconds": 0.5},
+            "bb": {"win_rate": 0.8, "mean_seconds": 2.0},
+            # ordered:highs absent: untried runners sort last.
+        },
+    )
+    pending = [
+        _FakeRunner(0, "highs"),
+        _FakeRunner(1, "bb"),
+        _FakeRunner(2, "ordered:highs"),
+    ]
+    ordered = [r.spec for r in solver._order_lanes(pending)]
+    assert ordered == ["bb", "highs", "ordered:highs"]
+
+
+def test_order_lanes_speed_breaks_win_rate_ties():
+    solver = PortfolioSolver(
+        backends=("highs", "bb"),
+        threads=1,
+        lane_stats={
+            "highs": {"win_rate": 0.5, "mean_seconds": 3.0},
+            "bb": {"win_rate": 0.5, "mean_seconds": 0.1},
+        },
+    )
+    pending = [_FakeRunner(0, "highs"), _FakeRunner(1, "bb")]
+    assert [r.spec for r in solver._order_lanes(pending)] == ["bb", "highs"]
+
+
+def test_serialized_race_with_lane_stats_still_proves():
+    solution = PortfolioSolver(
+        backends=("highs", "bb"),
+        threads=1,
+        time_limit=30.0,
+        lane_stats={"bb": {"win_rate": 1.0, "mean_seconds": 0.1}},
+    ).solve(_knapsack())
+    assert solution.status is SolveStatus.OPTIMAL
+
+
+def test_lane_stats_from_metrics_roundtrip():
+    from repro.ilp.portfolio import lane_stats_from_metrics
+
+    metrics = {
+        "counters": {
+            'portfolio_wins_total{runner="bb"}': 3.0,
+            'portfolio_losses_total{runner="bb"}': 1.0,
+            'portfolio_losses_total{runner="highs"}': 4.0,
+        },
+        "histograms": {
+            'portfolio_lane_seconds{runner="bb"}': {
+                "sum": 2.0, "count": 4, "buckets": {"+Inf": 4},
+            },
+            'portfolio_lane_seconds{runner="highs"}': {
+                "sum": 12.0, "count": 4, "buckets": {"+Inf": 4},
+            },
+        },
+    }
+    stats = lane_stats_from_metrics(metrics)
+    assert stats["bb"]["win_rate"] == pytest.approx(0.75)
+    assert stats["bb"]["mean_seconds"] == pytest.approx(0.5)
+    assert stats["highs"]["win_rate"] == 0.0
+    assert stats["highs"]["mean_seconds"] == pytest.approx(3.0)
+    assert lane_stats_from_metrics({}) == {}
+    assert lane_stats_from_metrics(None) == {}

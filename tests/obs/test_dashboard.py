@@ -146,3 +146,29 @@ def test_cache_panel_shows_partition_rows():
     assert "partitions solved" in html
     assert "partition hit rate" in html
     assert "mean per-partition solve" in html
+
+
+def test_swp_panel_renders_from_metrics():
+    metrics = {
+        "counters": {
+            'swp_loops_total{status="pipelined"}': 3.0,
+            'swp_loops_total{status="unpipelined"}': 1.0,
+            "swp_ii_at_mii_total": 3.0,
+            'swp_oracle_total{result="pass"}': 3.0,
+        },
+        "histograms": {
+            "swp_ii_over_mii": {
+                "sum": 3.0, "count": 3, "buckets": {"+Inf": 3},
+            },
+        },
+    }
+    html = dashboard.render_dashboard(metrics=metrics)
+    assert "Software pipelining" in html
+    assert "pipelined" in html
+    assert dashboard.validate_self_contained(html) == []
+
+
+def test_swp_panel_degrades_without_activity():
+    html = dashboard.render_dashboard(metrics={"counters": {}})
+    assert "Software pipelining" in html
+    assert "no software-pipelined loops recorded" in html

@@ -229,3 +229,82 @@ def test_serve_summary_from_live_serve_run(tmp_path):
     assert digest["requests"] == 2
     assert digest["hits"]["exact"] == 1
     assert digest["hits"]["miss"] == 1
+
+
+def test_swp_summary_from_metrics_dump():
+    metrics = {
+        "counters": {
+            'swp_loops_total{status="pipelined"}': 4.0,
+            'swp_loops_total{status="fallback_swp"}': 1.0,
+            'swp_loops_total{status="unpipelined"}': 1.0,
+            "swp_ii_at_mii_total": 4.0,
+            'swp_oracle_total{result="pass"}': 5.0,
+            'swp_fallbacks_total{reason="not_counted"}': 1.0,
+            "swp_cache_hits_total": 2.0,
+            "swp_cache_misses_total": 2.0,
+        },
+        "histograms": {
+            "swp_ii_over_mii": {
+                "sum": 5.5, "count": 5, "buckets": {"+Inf": 5},
+            },
+        },
+    }
+    digest = insight.swp_summary(metrics)
+    assert digest["loops"] == 6.0
+    assert digest["by_status"]["pipelined"] == 4.0
+    assert digest["pipelined"] == 5.0
+    assert digest["pipelined_rate"] == pytest.approx(5 / 6)
+    assert digest["ii_at_mii"] == 4.0
+    assert digest["ii_at_mii_rate"] == pytest.approx(0.8)
+    assert digest["mean_ii_over_mii"] == pytest.approx(1.1)
+    assert digest["oracle"]["pass"] == 5.0
+    assert digest["fallbacks"]["not_counted"] == 1.0
+    assert digest["cache_hits"] == 2.0
+    assert digest["cache_hit_rate"] == pytest.approx(0.5)
+
+
+def test_swp_summary_empty_and_live():
+    for metrics in (None, {}, {"counters": {}, "histograms": {}}):
+        digest = insight.swp_summary(metrics)
+        assert digest["loops"] == 0
+        assert digest["pipelined_rate"] == 0.0
+        assert digest["ii_at_mii_rate"] == 0.0
+        assert digest["oracle"] == {}
+
+    from repro.obs import core as obs
+    from repro.obs import export
+
+    counted = """
+.proc swpobs
+.livein r32, r33
+.liveout r8
+.block PRE freq=10
+  add r15 = r32, 0
+  mov r9 = 0
+.block LOOP freq=130 succ=LOOP:0.92,POST:0.08
+  ld8 r21 = [r15+0] cls=heap
+  xor r23 = r21, r33
+  st8 [r33+8] = r23 cls=glob
+  adds r15 = 8, r15
+  adds r9 = 1, r9
+  cmp.lt p16, p17 = r9, 6
+  (p16) br.cond LOOP
+.block POST freq=10
+  add r8 = r23, 0
+  br.ret b0
+.endp
+"""
+    fn = parse_function(counted)
+    obs.disable()
+    obs.enable()
+    try:
+        result = optimize_function(
+            fn, ScheduleFeatures(time_limit=60, swp=True)
+        )
+        digest = insight.swp_summary(export.metrics_dict())
+    finally:
+        obs.disable()
+    assert result.swp_outcomes, result.messages
+    assert digest["loops"] >= 1
+    assert digest["pipelined"] >= 1
+    assert digest["oracle"].get("pass", 0) >= 1

@@ -30,7 +30,7 @@ from repro.workloads.samples import (
 FEATURES = ScheduleFeatures(time_limit=30, max_hops=3)
 
 
-def _compare(fn, want, got, seed):
+def _compare(fn, want, got, seed, compare_stores=False):
     assert got.block_trace == want.block_trace, (
         f"seed {seed}: trace diverged at block "
         f"{next(i for i, (a, b) in enumerate(zip(want.block_trace, got.block_trace)) if a != b)}"
@@ -42,21 +42,31 @@ def _compare(fn, want, got, seed):
         # boundary of an unfinished loop.
         assert got.live_out_state(fn) == want.live_out_state(fn)
         assert got.memory == want.memory
+        if compare_stores:
+            # Opt-in stronger check: the per-address *value history*,
+            # not just the final image — an overwritten wrong store is
+            # invisible to the memory comparison above but not to this.
+            # Candidate for promotion into verify_schedule once the
+            # known divergence (test_seed905_store_values_pinned) is
+            # resolved.
+            assert got.store_sequences() == want.store_sequences(), (
+                f"seed {seed}: store value sequences diverged"
+            )
     else:
         assert want.returned == got.returned
 
 
-def _differential(fn, features=FEATURES, seeds=(0, 1, 2)):
+def _differential(fn, features=FEATURES, seeds=(0, 1, 2), compare_stores=False):
     result = optimize_function(fn, features)
     assert result.verification.ok, result.verification.problems[:3]
-    interp = Interpreter(max_blocks=600)
+    interp = Interpreter(max_blocks=600, record_stores=compare_stores)
     for seed in seeds:
         registers = initial_registers(result.fn, seed)
         want = interp.run_function(result.fn, registers, seed=seed)
         got = interp.run_schedule(
             result.output_schedule, result.fn, registers, seed=seed
         )
-        _compare(result.fn, want, got, seed)
+        _compare(result.fn, want, got, seed, compare_stores=compare_stores)
     return result
 
 
@@ -113,6 +123,82 @@ def test_random_routines_semantics_preserved(seed):
     )
     fn = generate_routine(spec)
     _differential(fn, seeds=(0, 5))
+
+
+def test_store_value_sequences_preserved():
+    """Opt-in store-history mode passes on a well-behaved loop.
+
+    Two same-class stores to one address alternate per iteration; the
+    output dependence pins their order, so the per-address value
+    sequence must survive scheduling exactly.
+    """
+    text = """
+.proc storeseq
+.livein r32, r38
+.liveout r8
+.block B0 freq=1000
+  mov r9 = 0
+.block B1 freq=6000
+  st8 [r38+16] = r38 cls=heap
+  cmp.ge p18, p19 = r9, 6
+  (p18) br.cond B3
+.block B2 freq=5000
+  st8 [r38+16] = r32 cls=heap
+  adds r9 = r9, 1
+  br B1
+.block B3 freq=1000
+  add r8 = r38, 0
+  br.ret b0
+.endp
+"""
+    _differential(parse_function(text), compare_stores=True)
+
+
+# Minimized from ``RoutineSpec(name="diff", seed=905, instructions=22,
+# blocks=6, loops=1, input_spec_loads=1)``: the loop header's heap-class
+# store is loop-invariant and under M-unit pressure, so the scheduler
+# profitably hoists it out of the loop — past the latch's *same-address*
+# store, which carries a different alias class and therefore no output
+# dependence. The motion is model-legal (the verifier's last-copy rule
+# cannot express cross-iteration store counts) but concretely collapses
+# thirteen alternating stores into seven, changing both the per-address
+# value history and the final memory image.
+SEED905_MINIMIZED = """
+.proc seed905min
+.livein r32, r38
+.liveout r8, r10, r11, r12, r13
+.block B0 freq=1000
+  mov r9 = 0
+.block B1 freq=6000
+  ld8 r10 = [r38+0] cls=stack
+  ld8 r11 = [r38+8] cls=stack
+  ld8 r12 = [r38+24] cls=stack
+  ld8 r13 = [r38+32] cls=stack
+  st8 [r38+16] = r38 cls=heap
+  cmp.ge p18, p19 = r9, 6
+  (p18) br.cond B3
+.block B2 freq=5000
+  st8 [r38+16] = r32 cls=glob
+  adds r9 = r9, 1
+  br B1
+.block B3 freq=1000
+  add r8 = r38, 0
+  br.ret b0
+.endp
+"""
+
+
+@pytest.mark.xfail(
+    strict=False,
+    reason="known store-value divergence (generator seed=905, minimized): "
+    "a loop-invariant store hoists out of the loop past a same-address "
+    "store in a different alias class — class-based disambiguation sees "
+    "no conflict, so the motion is model-legal but changes the concrete "
+    "store history. Pinned until alias classes become sound for stores "
+    "or verify_schedule learns cross-iteration store counting.",
+)
+def test_seed905_store_values_pinned():
+    _differential(parse_function(SEED905_MINIMIZED), compare_stores=True)
 
 
 def test_greedy_baseline_semantics_preserved():

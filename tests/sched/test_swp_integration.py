@@ -1,0 +1,73 @@
+"""Software pipelining through the full scheduler (`ScheduleFeatures.swp`).
+
+The ladder itself is covered in test_modulo.py; these tests pin the
+integration contract: opt-in via features, per-loop outcomes on the
+result, report/trace surfacing, and the §8 no-raise guarantee under
+``swp.materialize`` chaos.
+"""
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.sched.scheduler import ScheduleFeatures, optimize_function
+from repro.tools import faults
+
+COUNTED = """
+.proc swpint
+.livein r32, r33
+.liveout r8
+.block PRE freq=10
+  add r15 = r32, 0
+  mov r9 = 0
+.block LOOP freq=130 succ=LOOP:0.92,POST:0.08
+  ld8 r21 = [r15+0] cls=heap
+  xor r23 = r21, r33
+  st8 [r33+8] = r23 cls=glob
+  adds r15 = 8, r15
+  adds r9 = 1, r9
+  cmp.lt p16, p17 = r9, 6
+  (p16) br.cond LOOP
+.block POST freq=10
+  add r8 = r23, 0
+  br.ret b0
+.endp
+"""
+
+
+def test_swp_off_by_default():
+    result = optimize_function(
+        parse_function(COUNTED), ScheduleFeatures(time_limit=30)
+    )
+    assert result.swp_outcomes == []
+    assert "swp LOOP" not in result.report()
+
+
+def test_swp_outcomes_and_report():
+    result = optimize_function(
+        parse_function(COUNTED), ScheduleFeatures(time_limit=60, swp=True)
+    )
+    assert len(result.swp_outcomes) == 1
+    outcome = result.swp_outcomes[0]
+    assert outcome.loop_header == "LOOP"
+    assert outcome.pipelined
+    assert outcome.ii >= outcome.mii
+    assert outcome.oracle and outcome.oracle.ok
+    assert "swp LOOP: pipelined II=" in result.report()
+    # The acyclic schedule itself is untouched by the SWP post-step.
+    assert result.verification.ok
+
+
+def test_swp_chaos_never_raises():
+    with faults.inject("swp.materialize=error"):
+        result = optimize_function(
+            parse_function(COUNTED), ScheduleFeatures(time_limit=60, swp=True)
+        )
+    assert len(result.swp_outcomes) == 1
+    assert result.swp_outcomes[0].status == "unpipelined"
+
+
+def test_swp_feature_validation():
+    with pytest.raises(ValueError):
+        ScheduleFeatures(swp_max_ii=0)
+    with pytest.raises(ValueError):
+        ScheduleFeatures(swp_max_stages=0)

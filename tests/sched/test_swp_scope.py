@@ -46,11 +46,25 @@ def _counted(trips, extra_use_of_counter=False):
 """
 
 
-def test_too_few_trips_rejected():
+def test_too_few_trips_fully_unrolled():
+    # Trip counts below the pipeline depth cannot complete a kernel
+    # pass; the materializer fully unrolls instead of pipelining, and
+    # the unrolled routine must be loop-free yet execute identically.
     fn, cfg, ddg = _pipeline(_counted(1))
     loop = cfg.loops[0]
     msched = ModuloScheduler().schedule_loop(fn, cfg, ddg, loop)
-    assert materialize_counted_loop(fn, cfg, ddg, loop, msched) is None
+    out = materialize_counted_loop(fn, cfg, ddg, loop, msched)
+    assert out is not None
+    assert not CfgInfo(out).loops
+    from repro.ir.interp import Interpreter, initial_registers
+
+    interp = Interpreter(max_blocks=1000)
+    registers = initial_registers(fn, 4)
+    want = interp.run_function(fn, registers, seed=4)
+    got = interp.run_function(out, registers, seed=4)
+    assert want.returned and got.returned
+    assert got.live_out_state(out) == want.live_out_state(fn)
+    assert got.memory == want.memory
 
 
 def test_counter_with_data_use_rejected():

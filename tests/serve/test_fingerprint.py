@@ -265,3 +265,22 @@ def test_partition_fingerprint_distinct_from_whole(straight_fn):
     assert partition_fingerprint(
         straight_fn, FEATURES, ITANIUM2
     ) != fingerprint(straight_fn, FEATURES, ITANIUM2)
+
+
+# -- kind="loop" fingerprints -------------------------------------------------
+def test_loop_fingerprint_distinct_from_routine_and_per_loop():
+    from repro.serve.fingerprint import loop_fingerprint
+    from repro.workloads.generator import (
+        LoopDominatedSpec,
+        generate_loop_dominated,
+    )
+
+    fn = generate_loop_dominated(LoopDominatedSpec(name="lfp", seed=4))
+    routine_key = fingerprint(fn, FEATURES, ITANIUM2)
+    loop_key = loop_fingerprint(fn, "LOOP", FEATURES, ITANIUM2)
+    assert loop_key != routine_key
+    # Stable across calls, sensitive to the loop header and the knobs.
+    assert loop_key == loop_fingerprint(fn, "LOOP", FEATURES, ITANIUM2)
+    assert loop_key != loop_fingerprint(fn, "LOOP2", FEATURES, ITANIUM2)
+    flipped = ScheduleFeatures(time_limit=30, swp_max_stages=2)
+    assert loop_key != loop_fingerprint(fn, "LOOP", flipped, ITANIUM2)
